@@ -1,0 +1,373 @@
+// Command idebench is the benchmark driver CLI (paper Sec. 4.4): it
+// generates datasets and workloads, runs the benchmark against the built-in
+// engines, and regenerates every table and figure of the paper's evaluation
+// section.
+//
+// Usage:
+//
+//	idebench datagen     -rows 500000 -out flights.csv
+//	idebench workloadgen -rows 100000 -count 10 -interactions 18 -out flows.json
+//	idebench run         -engine progressive -rows 500000 -tr 12ms -think 4ms
+//	idebench exp         -name fig5 [-rows 500000] [-quick]
+//
+// Run `idebench <command> -h` for each command's flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/datagen"
+	"idebench/internal/dataset"
+	"idebench/internal/driver"
+	"idebench/internal/experiments"
+	"idebench/internal/report"
+	"idebench/internal/workflow"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datagen":
+		err = cmdDatagen(os.Args[2:])
+	case "workloadgen":
+		err = cmdWorkloadgen(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "view":
+		err = cmdView(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "idebench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idebench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `idebench — a benchmark for interactive data exploration (Go reproduction)
+
+Commands:
+  datagen      generate the scaled flights dataset as CSV
+  workloadgen  generate benchmark workflows as JSON
+  run          run the benchmark for one engine and setting
+  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, all)
+  view         inspect generated workflows (text or Graphviz DOT)
+  analyze      re-aggregate a saved detailed report (summary + factor analysis)
+`)
+}
+
+func cmdDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	rows := fs.Int("rows", core.SizeM, "number of tuples to generate")
+	seedRows := fs.Int("seed-rows", 20000, "seed table size the copula scaler is fitted on")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "flights.csv", "output CSV path")
+	showStats := fs.Bool("stats", false, "print per-column statistics of the generated data")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	seedTbl, err := datagen.GenerateSeed(*seedRows, *seed)
+	if err != nil {
+		return err
+	}
+	tbl, err := datagen.ScaleTable(seedTbl, *rows, *seed+1)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteCSVFile(*out, tbl); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows to %s in %v\n", tbl.NumRows(), *out, time.Since(start).Round(time.Millisecond))
+	if *showStats {
+		if err := dataset.RenderStats(os.Stdout, dataset.Stats(tbl)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdWorkloadgen(args []string) error {
+	fs := flag.NewFlagSet("workloadgen", flag.ExitOnError)
+	rows := fs.Int("rows", 50000, "rows of generated data to derive value domains from")
+	data := fs.String("data", "", "optional CSV dataset to derive domains from (flights schema)")
+	count := fs.Int("count", 10, "workflows per type")
+	interactions := fs.Int("interactions", 18, "interactions per workflow")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "workflows.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tbl *dataset.Table
+	var err error
+	if *data != "" {
+		tbl, err = dataset.ReadCSVFile(*data, "flights", datagen.FlightsSchema())
+	} else {
+		db, berr := core.BuildData(*rows, false, *seed)
+		if berr != nil {
+			return berr
+		}
+		tbl = db.Fact
+	}
+	if err != nil {
+		return err
+	}
+	gen, err := workflow.NewGenerator(tbl)
+	if err != nil {
+		return err
+	}
+	flows, err := gen.GenerateSet(*count, *interactions, *seed+100)
+	if err != nil {
+		return err
+	}
+	if err := workflow.SaveFile(*out, flows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d workflows to %s\n", len(flows), *out)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	engineName := fs.String("engine", "progressive", "engine: "+strings.Join(core.EngineNames, ", ")+", progressive-spec, systemy")
+	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
+	tr := fs.Duration("tr", 12*time.Millisecond, "time requirement")
+	think := fs.Duration("think", core.DefaultThinkTime, "think time between interactions")
+	useJoins := fs.Bool("joins", false, "use the normalized star schema")
+	count := fs.Int("count", 10, "workflows per type (generated workload)")
+	interactions := fs.Int("interactions", 18, "interactions per workflow")
+	flowsPath := fs.String("workflows", "", "optional workflow JSON (default: generated mixed workload)")
+	detailed := fs.String("detailed", "", "optional path for the detailed per-query CSV report")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db, err := core.BuildData(*rows, *useJoins, *seed)
+	if err != nil {
+		return err
+	}
+	var flows []*workflow.Workflow
+	if *flowsPath != "" {
+		flows, err = workflow.LoadFile(*flowsPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		flatDB := db
+		if *useJoins {
+			flatDB, err = core.BuildData(*rows, false, *seed)
+			if err != nil {
+				return err
+			}
+		}
+		all, gerr := core.GenerateWorkflows(flatDB, *count, *interactions, *seed+100)
+		if gerr != nil {
+			return gerr
+		}
+		flows = core.MixedOnly(all)
+	}
+
+	s := core.DefaultSettings()
+	s.TimeRequirement = *tr
+	s.ThinkTime = *think
+	s.DataSize = *rows
+	s.UseJoins = *useJoins
+	s.Seed = *seed
+
+	p, err := core.Prepare(*engineName, db, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
+	recs, err := p.Run(flows, s)
+	if err != nil {
+		return err
+	}
+	rows2 := report.Summarize(recs, report.GroupBy{Driver: true, TimeReq: true, WorkflowType: true})
+	if err := report.RenderSummaries(os.Stdout, rows2); err != nil {
+		return err
+	}
+	if *detailed != "" {
+		if err := writeDetailed(*detailed, recs); err != nil {
+			return err
+		}
+		fmt.Printf("detailed report: %s (%d queries)\n", *detailed, len(recs))
+	}
+	return nil
+}
+
+func writeDetailed(path string, recs []driver.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteDetailedCSV(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	path := fs.String("detailed", "detailed.csv", "detailed report CSV to analyze")
+	byType := fs.Bool("by-type", false, "group the summary by workflow type instead of time requirement")
+	effects := fs.Bool("effects", true, "also print the Exp.-4 factor analysis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	recs, err := report.ReadDetailedCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	g := report.GroupBy{Driver: true, TimeReq: true, DataSize: true}
+	if *byType {
+		g = report.GroupBy{Driver: true, WorkflowType: true, DataSize: true}
+	}
+	rows := report.Summarize(recs, g)
+	if err := report.RenderSummaries(os.Stdout, rows); err != nil {
+		return err
+	}
+	if *effects {
+		fmt.Println()
+		if err := report.RenderEffects(os.Stdout, report.Analyze(recs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdView(args []string) error {
+	fs := flag.NewFlagSet("view", flag.ExitOnError)
+	path := fs.String("workflows", "workflows.json", "workflow JSON file to inspect")
+	name := fs.String("name", "", "only show the named workflow")
+	dot := fs.Bool("dot", false, "emit the link graph as Graphviz DOT instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	flows, err := workflow.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, f := range flows {
+		if *name != "" && f.Name != *name {
+			continue
+		}
+		var out string
+		if *dot {
+			out, err = workflow.DOT(f)
+		} else {
+			out, err = workflow.Describe(f)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		shown++
+	}
+	if shown == 0 {
+		return fmt.Errorf("no workflows matched (file has %d)", len(flows))
+	}
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, all")
+	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
+	count := fs.Int("workflows", 10, "workflows per type")
+	interactions := fs.Int("interactions", 18, "interactions per workflow")
+	engines := fs.String("engines", "", "comma-separated engine subset (default: all)")
+	quick := fs.Bool("quick", false, "reduced configuration for a fast smoke run")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{
+		Rows:             *rows,
+		WorkflowsPerType: *count,
+		Interactions:     *interactions,
+		Seed:             *seed,
+		Out:              os.Stdout,
+	}
+	if *engines != "" {
+		cfg.Engines = strings.Split(*engines, ",")
+	}
+	if *quick {
+		cfg.Rows = core.SizeS
+		cfg.WorkflowsPerType = 2
+		cfg.Interactions = 10
+		cfg.TRs = []time.Duration{2 * time.Millisecond, 12 * time.Millisecond, 40 * time.Millisecond}
+	}
+
+	run := func(n string) error {
+		start := time.Now()
+		var err error
+		switch n {
+		case "fig5":
+			_, err = experiments.Fig5(cfg)
+		case "fig6a":
+			_, err = experiments.Fig6a(cfg)
+		case "fig6b":
+			_, err = experiments.Fig6b(cfg)
+		case "fig6c":
+			_, err = experiments.Fig6c(cfg)
+		case "fig6d":
+			_, err = experiments.Fig6d(cfg)
+		case "fig6e":
+			_, err = experiments.Fig6e(cfg)
+		case "fig6f":
+			_, err = experiments.Fig6f(cfg)
+		case "exp4":
+			_, err = experiments.Exp4(cfg)
+		case "exp5":
+			_, err = experiments.Exp5(cfg)
+		case "prep":
+			_, err = experiments.Prep(cfg)
+		case "table1":
+			_, err = experiments.Table1(cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q", n)
+		}
+		if err == nil {
+			fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+		}
+		return err
+	}
+
+	if *name == "all" {
+		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1"} {
+			if err := run(n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	return run(*name)
+}

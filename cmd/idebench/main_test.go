@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"idebench/internal/datagen"
+	"idebench/internal/dataset"
+	"idebench/internal/workflow"
+)
+
+func TestCmdDatagenAndWorkloadgen(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "flights.csv")
+	if err := cmdDatagen([]string{
+		"-rows", "2000", "-seed-rows", "2000", "-seed", "3", "-out", csvPath, "-stats",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := dataset.ReadCSVFile(csvPath, "flights", datagen.FlightsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2000 {
+		t.Errorf("generated rows = %d", tbl.NumRows())
+	}
+
+	flowsPath := filepath.Join(dir, "flows.json")
+	if err := cmdWorkloadgen([]string{
+		"-data", csvPath, "-count", "1", "-interactions", "6", "-out", flowsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workflow.LoadFile(flowsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5 { // one per type
+		t.Errorf("workflows = %d, want 5", len(flows))
+	}
+}
+
+func TestCmdRunWithGeneratedWorkload(t *testing.T) {
+	dir := t.TempDir()
+	detailed := filepath.Join(dir, "detailed.csv")
+	if err := cmdRun([]string{
+		"-engine", "exactdb", "-rows", "10000", "-tr", "100ms", "-think", "0s",
+		"-count", "1", "-interactions", "5", "-detailed", detailed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(detailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("detailed report empty")
+	}
+}
+
+func TestCmdRunWithWorkflowFile(t *testing.T) {
+	dir := t.TempDir()
+	flowsPath := filepath.Join(dir, "flows.json")
+	if err := cmdWorkloadgen([]string{
+		"-rows", "5000", "-count", "1", "-interactions", "4", "-out", flowsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{
+		"-engine", "progressive", "-rows", "5000", "-tr", "50ms", "-think", "0s",
+		"-workflows", flowsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdView(t *testing.T) {
+	dir := t.TempDir()
+	flowsPath := filepath.Join(dir, "flows.json")
+	if err := cmdWorkloadgen([]string{
+		"-rows", "3000", "-count", "1", "-interactions", "4", "-out", flowsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdView([]string{"-workflows", flowsPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdView([]string{"-workflows", flowsPath, "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdView([]string{"-workflows", flowsPath, "-name", "nope"}); err == nil {
+		t.Error("missing workflow name should error")
+	}
+	if err := cmdView([]string{"-workflows", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	detailed := filepath.Join(dir, "detailed.csv")
+	if err := cmdRun([]string{
+		"-engine", "exactdb", "-rows", "5000", "-tr", "100ms", "-think", "0s",
+		"-count", "1", "-interactions", "4", "-detailed", detailed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-detailed", detailed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-detailed", detailed, "-by-type", "-effects=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-detailed", filepath.Join(dir, "missing.csv")}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCmdExpUnknown(t *testing.T) {
+	if err := cmdExp([]string{"-name", "bogus"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestCmdRunUnknownEngine(t *testing.T) {
+	if err := cmdRun([]string{"-engine", "bogus", "-rows", "1000"}); err == nil {
+		t.Error("unknown engine should error")
+	}
+}

@@ -1,0 +1,10 @@
+// Package idebench is a from-scratch Go reproduction of "IDEBench: A
+// Benchmark for Interactive Data Exploration" (Eichmann, Binnig, Kraska,
+// Zgraggen — SIGMOD 2020): a benchmark framework for database engines
+// serving interactive data exploration frontends, together with in-process
+// implementations of the four engine archetypes the paper evaluates.
+//
+// The root package only anchors the module and its benchmark suite
+// (bench_test.go); the implementation lives under internal/ and the
+// runnable entry points under cmd/idebench and examples/.
+package idebench

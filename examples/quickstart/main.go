@@ -1,0 +1,63 @@
+// Quickstart: generate a scaled flights dataset, generate a mixed
+// workload, run it against the progressive engine with a 12ms time
+// requirement, and print the summary report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	const rows = 100_000
+
+	fmt.Printf("generating %d flight tuples (copula-scaled synthetic seed)...\n", rows)
+	db, err := core.BuildData(rows, false, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("generating 2 mixed workflows of 12 interactions each...")
+	flows, err := core.GenerateWorkflows(db, 2, 12, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixed := core.MixedOnly(flows)
+
+	settings := core.DefaultSettings()
+	settings.DataSize = rows
+	settings.TimeRequirement = 12 * time.Millisecond
+	settings.ThinkTime = 4 * time.Millisecond
+
+	fmt.Println("preparing the progressive engine (IDEA analogue)...")
+	prepared, err := core.Prepare("progressive", db, settings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data preparation time: %v\n\n", prepared.PrepTime.Round(time.Microsecond))
+
+	records, err := prepared.Run(mixed, settings)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rowsOut := report.Summarize(records, report.GroupBy{Driver: true, TimeReq: true})
+	if err := report.RenderSummaries(os.Stdout, rowsOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, s := range rowsOut {
+		if err := report.RenderCDF(os.Stdout, s, 50, 8); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nran %d queries; see cmd/idebench for the full experiment suite\n", len(records))
+}

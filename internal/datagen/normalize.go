@@ -1,0 +1,154 @@
+package datagen
+
+import (
+	"fmt"
+
+	"idebench/internal/dataset"
+)
+
+// DimensionSpec describes one dimension table to split out of the
+// de-normalized fact table: the listed nominal attributes move into a new
+// dimension table (one row per distinct attribute combination) and the fact
+// table gains a quantitative FK column holding the dimension row index.
+type DimensionSpec struct {
+	// Name is the dimension table name.
+	Name string
+	// Attributes are the fact columns (all nominal) that move into the
+	// dimension; the combination of their values keys a dimension row.
+	Attributes []string
+	// FKColumn names the foreign-key column added to the fact table.
+	FKColumn string
+}
+
+// DefaultDimensions is the star schema used by the paper's Exp. 2: "the
+// fact table holds foreign keys to two dimension tables (airports and
+// carriers)".
+func DefaultDimensions() []DimensionSpec {
+	return []DimensionSpec{
+		{Name: "carriers", Attributes: []string{"carrier"}, FKColumn: "carrier_fk"},
+		{Name: "airports", Attributes: []string{"origin_airport", "origin_state"}, FKColumn: "origin_fk"},
+	}
+}
+
+// Normalize vertically partitions the fact table per the specs (paper
+// Sec. 4.2: "the data generator then vertically partitions the data into
+// multiple tables (normalization) based on a user-given schema
+// specification"). Columns not claimed by any spec stay in the fact table;
+// claimed columns are replaced by FK columns. Unclaimed column storage is
+// shared with the input table (tables are immutable).
+func Normalize(fact *dataset.Table, specs []DimensionSpec) (*dataset.Database, error) {
+	if len(specs) == 0 {
+		return &dataset.Database{Fact: fact}, nil
+	}
+	claimed := map[string]int{} // attribute -> spec index
+	for si, spec := range specs {
+		if spec.Name == "" || spec.FKColumn == "" || len(spec.Attributes) == 0 {
+			return nil, fmt.Errorf("datagen: dimension spec %d incomplete", si)
+		}
+		if len(spec.Attributes) > 4 {
+			return nil, fmt.Errorf("datagen: dimension %q: at most 4 attributes supported, got %d",
+				spec.Name, len(spec.Attributes))
+		}
+		if fact.Schema.FieldIndex(spec.FKColumn) >= 0 {
+			return nil, fmt.Errorf("datagen: FK column %q collides with a fact column", spec.FKColumn)
+		}
+		for _, a := range spec.Attributes {
+			f, ok := fact.Schema.Field(a)
+			if !ok {
+				return nil, fmt.Errorf("datagen: dimension %q: unknown attribute %q", spec.Name, a)
+			}
+			if f.Kind != dataset.Nominal {
+				return nil, fmt.Errorf("datagen: dimension %q: attribute %q is not nominal", spec.Name, a)
+			}
+			if _, dup := claimed[a]; dup {
+				return nil, fmt.Errorf("datagen: attribute %q claimed by two dimensions", a)
+			}
+			claimed[a] = si
+		}
+	}
+
+	n := fact.NumRows()
+	dims := make([]*dataset.Dimension, len(specs))
+	fks := make([][]float64, len(specs))
+
+	for si, spec := range specs {
+		cols := make([]*dataset.Column, len(spec.Attributes))
+		for ai, a := range spec.Attributes {
+			cols[ai] = fact.Column(a)
+		}
+		// Assign dense dimension row ids per distinct combination.
+		rowID := make(map[combKey]int)
+		var dimRows []combKey
+		fk := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var key combKey
+			for ai, c := range cols {
+				key.codes[ai] = c.Codes[i]
+			}
+			key.n = len(cols)
+			id, ok := rowID[key]
+			if !ok {
+				id = len(dimRows)
+				rowID[key] = id
+				dimRows = append(dimRows, key)
+			}
+			fk[i] = float64(id)
+		}
+		fks[si] = fk
+
+		// Build the dimension table, sharing dictionaries.
+		fields := make([]dataset.Field, len(spec.Attributes))
+		for ai, a := range spec.Attributes {
+			fields[ai] = dataset.Field{Name: a, Kind: dataset.Nominal}
+		}
+		schema, err := dataset.NewSchema(fields)
+		if err != nil {
+			return nil, err
+		}
+		db := dataset.NewBuilder(spec.Name, schema, len(dimRows))
+		for ai := range spec.Attributes {
+			db.SetDict(ai, cols[ai].Dict)
+		}
+		for _, key := range dimRows {
+			for ai := 0; ai < key.n; ai++ {
+				db.AppendCode(ai, key.codes[ai])
+			}
+		}
+		dimTable, err := db.Build()
+		if err != nil {
+			return nil, err
+		}
+		dims[si] = &dataset.Dimension{Table: dimTable, FKColumn: spec.FKColumn}
+	}
+
+	// Assemble the new fact table: unclaimed columns (shared storage) + FKs.
+	var fields []dataset.Field
+	var cols []*dataset.Column
+	for j, f := range fact.Schema.Fields {
+		if _, isClaimed := claimed[f.Name]; isClaimed {
+			continue
+		}
+		fields = append(fields, f)
+		cols = append(cols, fact.Columns[j])
+	}
+	for si, spec := range specs {
+		f := dataset.Field{Name: spec.FKColumn, Kind: dataset.Quantitative}
+		fields = append(fields, f)
+		cols = append(cols, &dataset.Column{Field: f, Nums: fks[si]})
+	}
+	schema, err := dataset.NewSchema(fields)
+	if err != nil {
+		return nil, err
+	}
+	newFact, err := dataset.NewTable(fact.Name, schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.Database{Fact: newFact, Dimensions: dims}, nil
+}
+
+// combKey is a fixed-size composite key for up to 4 dimension attributes.
+type combKey struct {
+	codes [4]uint32
+	n     int
+}

@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Field{
+		{Name: "carrier", Kind: Nominal},
+		{Name: "delay", Kind: Quantitative},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildSmallTable(t *testing.T) *Table {
+	t.Helper()
+	b := NewBuilder("flights", testSchema(t), 4)
+	for i, row := range []struct {
+		carrier string
+		delay   float64
+	}{
+		{"AA", 5}, {"UA", -2}, {"AA", 13.5}, {"DL", 0},
+	} {
+		_ = i
+		b.AppendString(0, row.carrier)
+		b.AppendNum(1, row.delay)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.FieldIndex("delay") != 1 {
+		t.Error("FieldIndex(delay) != 1")
+	}
+	if s.FieldIndex("nope") != -1 {
+		t.Error("missing field should return -1")
+	}
+	f, ok := s.Field("carrier")
+	if !ok || f.Kind != Nominal {
+		t.Error("Field(carrier) wrong")
+	}
+	if got := strings.Join(s.Names(), ","); got != "carrier,delay" {
+		t.Errorf("Names = %q", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema([]Field{{Name: ""}}); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := NewSchema([]Field{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate name should error")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on duplicates")
+		}
+	}()
+	MustSchema([]Field{{Name: "a"}, {Name: "a"}})
+}
+
+func TestKindString(t *testing.T) {
+	if Quantitative.String() != "quantitative" || Nominal.String() != "nominal" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := buildSmallTable(t)
+	if tbl.NumRows() != 4 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	c := tbl.Column("carrier")
+	if c == nil {
+		t.Fatal("carrier column missing")
+	}
+	if c.Dict.Len() != 3 {
+		t.Errorf("dict size = %d, want 3", c.Dict.Len())
+	}
+	if c.ValueString(0) != "AA" || c.ValueString(1) != "UA" {
+		t.Error("ValueString wrong")
+	}
+	if tbl.Column("delay").ValueString(2) != "13.5" {
+		t.Errorf("delay rendering: %q", tbl.Column("delay").ValueString(2))
+	}
+	if tbl.Column("delay").ValueString(3) != "0" {
+		t.Errorf("integer rendering: %q", tbl.Column("delay").ValueString(3))
+	}
+	if tbl.Column("missing") != nil {
+		t.Error("missing column should be nil")
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Code("x")
+	b := d.Code("y")
+	if a == b {
+		t.Error("distinct values share a code")
+	}
+	if d.Code("x") != a {
+		t.Error("re-interning changed the code")
+	}
+	if v, ok := d.Lookup("y"); !ok || v != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := d.Lookup("z"); ok {
+		t.Error("Lookup of absent value succeeded")
+	}
+	if d.Value(99) != "<code:99>" {
+		t.Error("out-of-range code should render a marker")
+	}
+	if len(d.Values()) != 2 {
+		t.Error("Values length wrong")
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	s := testSchema(t)
+	dict := NewDict()
+	good := []*Column{
+		{Field: s.Fields[0], Codes: []uint32{0}, Dict: dict},
+		{Field: s.Fields[1], Nums: []float64{1}},
+	}
+	if _, err := NewTable("t", s, good); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	// Ragged columns.
+	bad := []*Column{
+		{Field: s.Fields[0], Codes: []uint32{0, 1}, Dict: dict},
+		{Field: s.Fields[1], Nums: []float64{1}},
+	}
+	if _, err := NewTable("t", s, bad); err == nil {
+		t.Error("ragged table accepted")
+	}
+	// Wrong column count.
+	if _, err := NewTable("t", s, good[:1]); err == nil {
+		t.Error("column count mismatch accepted")
+	}
+	// Nominal without dict.
+	noDict := []*Column{
+		{Field: s.Fields[0], Codes: []uint32{0}},
+		{Field: s.Fields[1], Nums: []float64{1}},
+	}
+	if _, err := NewTable("t", s, noDict); err == nil {
+		t.Error("nominal column without dict accepted")
+	}
+	// Field mismatch.
+	swapped := []*Column{
+		{Field: s.Fields[1], Nums: []float64{1}},
+		{Field: s.Fields[0], Codes: []uint32{0}, Dict: dict},
+	}
+	if _, err := NewTable("t", s, swapped); err == nil {
+		t.Error("field order mismatch accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	b := NewBuilder("empty", testSchema(t), 0)
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 {
+		t.Errorf("empty table rows = %d", tbl.NumRows())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := buildSmallTable(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "flights", tbl.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), tbl.NumRows())
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		for j := range tbl.Columns {
+			if tbl.Columns[j].ValueString(i) != got.Columns[j].ValueString(i) {
+				t.Errorf("cell (%d,%d): %q != %q", i, j,
+					tbl.Columns[j].ValueString(i), got.Columns[j].ValueString(i))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		name, in string
+	}{
+		{"bad header count", "carrier\nAA\n"},
+		{"bad header name", "carrier,wrong\nAA,1\n"},
+		{"bad number", "carrier,delay\nAA,notanum\n"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "t", s); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// Property: CSV round trip preserves any generated table.
+func TestCSVRoundTripProperty(t *testing.T) {
+	s := testSchema(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		b := NewBuilder("t", s, n)
+		carriers := []string{"AA", "UA", "DL", "WN"}
+		for i := 0; i < n; i++ {
+			b.AppendString(0, carriers[rng.Intn(len(carriers))])
+			b.AppendNum(1, float64(rng.Intn(2000))/10-50)
+		}
+		tbl, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tbl); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, "t", s)
+		if err != nil {
+			return false
+		}
+		if got.NumRows() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Column("carrier").ValueString(i) != tbl.Column("carrier").ValueString(i) {
+				return false
+			}
+			if got.Column("delay").Nums[i] != tbl.Column("delay").Nums[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatabaseResolveColumn(t *testing.T) {
+	fact := buildSmallTable(t)
+	db := &Database{Fact: fact}
+	c, dim, fk, err := db.ResolveColumn("delay")
+	if err != nil || dim != nil || fk != nil || c == nil {
+		t.Error("fact column resolution failed")
+	}
+	if _, _, _, err := db.ResolveColumn("nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if db.IsNormalized() {
+		t.Error("db without dimensions reported normalized")
+	}
+}
+
+func TestDatabaseWithDimension(t *testing.T) {
+	// Fact table with FK column; dimension with an attribute.
+	factSchema := MustSchema([]Field{
+		{Name: "carrier_fk", Kind: Quantitative},
+		{Name: "delay", Kind: Quantitative},
+	})
+	fb := NewBuilder("fact", factSchema, 3)
+	fb.AppendNum(0, 0)
+	fb.AppendNum(1, 10)
+	fb.AppendNum(0, 1)
+	fb.AppendNum(1, 20)
+	fb.AppendNum(0, 0)
+	fb.AppendNum(1, 30)
+	fact, err := fb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimSchema := MustSchema([]Field{{Name: "carrier_name", Kind: Nominal}})
+	dbb := NewBuilder("carriers", dimSchema, 2)
+	dbb.AppendString(0, "AA")
+	dbb.AppendString(0, "UA")
+	dimTbl, err := dbb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &Database{Fact: fact, Dimensions: []*Dimension{{Table: dimTbl, FKColumn: "carrier_fk"}}}
+	if !db.IsNormalized() {
+		t.Error("db with dimensions should be normalized")
+	}
+	c, dim, fk, err := db.ResolveColumn("carrier_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || dim == nil || fk == nil {
+		t.Error("dimension resolution incomplete")
+	}
+	if db.TotalBytes() <= 0 {
+		t.Error("TotalBytes should be positive")
+	}
+	// Dimension with a bogus FK column.
+	bad := &Database{Fact: fact, Dimensions: []*Dimension{{Table: dimTbl, FKColumn: "ghost"}}}
+	if _, _, _, err := bad.ResolveColumn("carrier_name"); err == nil {
+		t.Error("missing FK column should error")
+	}
+}
+
+func TestBuilderSharedDict(t *testing.T) {
+	s := testSchema(t)
+	parent := NewDict()
+	parent.Code("AA")
+	parent.Code("UA")
+	b := NewBuilder("child", s, 1)
+	b.SetDict(0, parent)
+	b.AppendCode(0, 1)
+	b.AppendNum(1, 7)
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Column("carrier").ValueString(0) != "UA" {
+		t.Error("shared dictionary codes do not resolve")
+	}
+	if b.Dict(0) != parent {
+		t.Error("Dict accessor should return shared dict")
+	}
+}

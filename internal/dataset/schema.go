@@ -1,0 +1,104 @@
+// Package dataset implements the columnar storage substrate shared by all
+// IDEBench-Go engines: dictionary-encoded nominal columns, float64
+// quantitative columns, immutable tables, star-schema databases
+// (fact + dimension tables) and CSV import/export.
+//
+// All engines in internal/engine operate on the same dataset.Table; their
+// differences — blocking vs. progressive vs. sampled execution — are
+// execution-model differences, which is exactly the axis the paper measures.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the two attribute types the benchmark distinguishes
+// (paper Sec. 4.2/4.7: "nominal" vs "quantitative" bin ranges).
+type Kind uint8
+
+const (
+	// Quantitative attributes hold numeric values binned by width.
+	Quantitative Kind = iota
+	// Nominal attributes hold categorical values binned by identity.
+	Nominal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Quantitative:
+		return "quantitative"
+	case Nominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Field describes one attribute of a table.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of fields.
+type Schema struct {
+	Fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema and its name index. Duplicate field names are
+// rejected.
+func NewSchema(fields []Field) (*Schema, error) {
+	s := &Schema{Fields: fields, index: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, errors.New("dataset: empty field name")
+		}
+		if _, dup := s.index[f.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate field %q", f.Name)
+		}
+		s.index[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known field lists; it panics on
+// invalid input.
+func MustSchema(fields []Field) *Schema {
+	s, err := NewSchema(fields)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FieldIndex returns the position of the named field, or -1.
+func (s *Schema) FieldIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Field returns the named field.
+func (s *Schema) Field(name string) (Field, bool) {
+	i := s.FieldIndex(name)
+	if i < 0 {
+		return Field{}, false
+	}
+	return s.Fields[i], true
+}
+
+// Names returns the field names in schema order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.Fields) }

@@ -1,0 +1,22 @@
+package dataset
+
+// SelectRows materializes the given physical rows of t as a new table (the
+// "sample tables created offline" of AQP systems). Nominal columns share the
+// parent dictionary so codes remain comparable across the original and the
+// sample.
+func SelectRows(t *Table, rows []uint32) (*Table, error) {
+	b := NewBuilder(t.Name, t.Schema, len(rows))
+	for j, col := range t.Columns {
+		if col.Field.Kind == Nominal {
+			b.SetDict(j, col.Dict)
+			for _, r := range rows {
+				b.AppendCode(j, col.Codes[r])
+			}
+		} else {
+			for _, r := range rows {
+				b.AppendNum(j, col.Nums[r])
+			}
+		}
+	}
+	return b.Build()
+}

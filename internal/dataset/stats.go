@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// ColumnStats summarizes one column: range and moments for quantitative
+// attributes, cardinality and top values for nominal ones. The workload
+// generator and the datagen CLI use these to pick bin widths and to let
+// users sanity-check generated data against the seed.
+type ColumnStats struct {
+	Field Field
+	Rows  int
+
+	// Quantitative summary (zero for nominal columns).
+	Min, Max, Mean, Stddev float64
+
+	// Nominal summary (zero/nil for quantitative columns).
+	Cardinality int
+	// TopValues holds up to 5 most frequent values with their counts,
+	// descending.
+	TopValues []ValueCount
+}
+
+// ValueCount pairs a nominal value with its frequency.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Stats computes per-column summaries for the table.
+func Stats(t *Table) []ColumnStats {
+	out := make([]ColumnStats, len(t.Columns))
+	for i, col := range t.Columns {
+		s := ColumnStats{Field: col.Field, Rows: col.Len()}
+		if col.Field.Kind == Quantitative {
+			s.Min, s.Max, s.Mean, s.Stddev = numericSummary(col.Nums)
+		} else {
+			s.Cardinality, s.TopValues = nominalSummary(col)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func numericSummary(nums []float64) (min, max, mean, stddev float64) {
+	if len(nums) == 0 {
+		return 0, 0, 0, 0
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, v := range nums {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean = sum / float64(len(nums))
+	var m2 float64
+	for _, v := range nums {
+		m2 += (v - mean) * (v - mean)
+	}
+	if len(nums) > 1 {
+		stddev = math.Sqrt(m2 / float64(len(nums)-1))
+	}
+	return min, max, mean, stddev
+}
+
+func nominalSummary(col *Column) (int, []ValueCount) {
+	counts := make(map[uint32]int)
+	for _, c := range col.Codes {
+		counts[c]++
+	}
+	vcs := make([]ValueCount, 0, len(counts))
+	for code, n := range counts {
+		vcs = append(vcs, ValueCount{Value: col.Dict.Value(code), Count: n})
+	}
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].Count != vcs[j].Count {
+			return vcs[i].Count > vcs[j].Count
+		}
+		return vcs[i].Value < vcs[j].Value
+	})
+	card := len(vcs)
+	if len(vcs) > 5 {
+		vcs = vcs[:5]
+	}
+	return card, vcs
+}
+
+// RenderStats writes the summaries as an aligned table.
+func RenderStats(w io.Writer, stats []ColumnStats) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "column\tkind\trows\tmin\tmax\tmean\tstddev\tcardinality\ttop values")
+	for _, s := range stats {
+		if s.Field.Kind == Quantitative {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t\t\n",
+				s.Field.Name, s.Field.Kind, s.Rows, s.Min, s.Max, s.Mean, s.Stddev)
+			continue
+		}
+		top := ""
+		for i, vc := range s.TopValues {
+			if i > 0 {
+				top += " "
+			}
+			top += fmt.Sprintf("%s(%d)", vc.Value, vc.Count)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t\t\t\t\t%d\t%s\n",
+			s.Field.Name, s.Field.Kind, s.Rows, s.Cardinality, top)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStatsQuantitative(t *testing.T) {
+	tbl := buildSmallTable(t) // delays: 5, -2, 13.5, 0
+	stats := Stats(tbl)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d columns", len(stats))
+	}
+	var delay ColumnStats
+	for _, s := range stats {
+		if s.Field.Name == "delay" {
+			delay = s
+		}
+	}
+	if delay.Min != -2 || delay.Max != 13.5 {
+		t.Errorf("min/max = %v/%v", delay.Min, delay.Max)
+	}
+	wantMean := (5 - 2 + 13.5 + 0) / 4
+	if math.Abs(delay.Mean-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", delay.Mean, wantMean)
+	}
+	if delay.Stddev <= 0 {
+		t.Error("stddev should be positive")
+	}
+	if delay.Rows != 4 {
+		t.Errorf("rows = %d", delay.Rows)
+	}
+}
+
+func TestStatsNominal(t *testing.T) {
+	tbl := buildSmallTable(t) // carriers: AA, UA, AA, DL
+	var carrier ColumnStats
+	for _, s := range Stats(tbl) {
+		if s.Field.Name == "carrier" {
+			carrier = s
+		}
+	}
+	if carrier.Cardinality != 3 {
+		t.Errorf("cardinality = %d, want 3", carrier.Cardinality)
+	}
+	if len(carrier.TopValues) != 3 {
+		t.Fatalf("top values = %d", len(carrier.TopValues))
+	}
+	if carrier.TopValues[0].Value != "AA" || carrier.TopValues[0].Count != 2 {
+		t.Errorf("top value = %+v", carrier.TopValues[0])
+	}
+	// Ties break alphabetically.
+	if carrier.TopValues[1].Value != "DL" {
+		t.Errorf("tie-break wrong: %+v", carrier.TopValues[1])
+	}
+}
+
+func TestStatsTopValuesCapped(t *testing.T) {
+	s := testSchema(t)
+	b := NewBuilder("t", s, 10)
+	for _, c := range []string{"a", "b", "c", "d", "e", "f", "g", "a", "a", "b"} {
+		b.AppendString(0, c)
+		b.AppendNum(1, 1)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var carrier ColumnStats
+	for _, st := range Stats(tbl) {
+		if st.Field.Name == "carrier" {
+			carrier = st
+		}
+	}
+	if carrier.Cardinality != 7 {
+		t.Errorf("cardinality = %d", carrier.Cardinality)
+	}
+	if len(carrier.TopValues) != 5 {
+		t.Errorf("top values should cap at 5, got %d", len(carrier.TopValues))
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	tbl, err := NewBuilder("empty", testSchema(t), 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Stats(tbl)
+	for _, s := range stats {
+		if s.Rows != 0 {
+			t.Error("empty table stats should have zero rows")
+		}
+	}
+}
+
+func TestRenderStats(t *testing.T) {
+	tbl := buildSmallTable(t)
+	var buf bytes.Buffer
+	if err := RenderStats(&buf, Stats(tbl)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"column", "carrier", "delay", "AA(2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	tbl := buildSmallTable(t)
+	sub, err := SelectRows(tbl, []uint32{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumRows() != 2 {
+		t.Fatalf("rows = %d", sub.NumRows())
+	}
+	if sub.Column("carrier").ValueString(0) != "AA" || sub.Column("carrier").ValueString(1) != "AA" {
+		t.Error("selected carriers wrong")
+	}
+	if sub.Column("delay").Nums[1] != 13.5 {
+		t.Error("selected delays wrong")
+	}
+	// Dictionary is shared, not copied.
+	if sub.Column("carrier").Dict != tbl.Column("carrier").Dict {
+		t.Error("sample should share parent dictionary")
+	}
+	// Empty selection.
+	empty, err := SelectRows(tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 {
+		t.Error("empty selection should yield empty table")
+	}
+}

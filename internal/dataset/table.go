@@ -1,0 +1,243 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Column is one attribute's storage. Exactly one of Nums/Codes is non-nil,
+// depending on the field kind. Nominal values are dictionary-encoded: Codes
+// holds indices into Dict.
+type Column struct {
+	Field Field
+	Nums  []float64 // quantitative storage
+	Codes []uint32  // nominal storage (dictionary codes)
+	Dict  *Dict     // nominal dictionary, shared between derived tables
+}
+
+// Len returns the number of rows stored in the column.
+func (c *Column) Len() int {
+	if c.Field.Kind == Nominal {
+		return len(c.Codes)
+	}
+	return len(c.Nums)
+}
+
+// ValueString renders row i for reports and CSV export.
+func (c *Column) ValueString(i int) string {
+	if c.Field.Kind == Nominal {
+		return c.Dict.Value(c.Codes[i])
+	}
+	return formatFloat(c.Nums[i])
+}
+
+// Dict is an append-only string dictionary for a nominal column.
+type Dict struct {
+	values []string
+	index  map[string]uint32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]uint32)}
+}
+
+// Code interns s and returns its code.
+func (d *Dict) Code(s string) uint32 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := uint32(len(d.values))
+	d.values = append(d.values, s)
+	d.index[s] = c
+	return c
+}
+
+// Lookup returns the code for s without interning.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// Value returns the string for a code; out-of-range codes yield a marker
+// rather than panicking, because report rendering must never take the
+// benchmark down.
+func (d *Dict) Value(c uint32) string {
+	if int(c) >= len(d.values) {
+		return fmt.Sprintf("<code:%d>", c)
+	}
+	return d.values[c]
+}
+
+// Len returns the dictionary cardinality.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Values returns the dictionary contents in code order. The returned slice
+// is shared; callers must not modify it.
+func (d *Dict) Values() []string { return d.values }
+
+// Table is an immutable columnar table. All engines share Table values;
+// nothing mutates a table after construction, so concurrent scans need no
+// locking.
+type Table struct {
+	Name    string
+	Schema  *Schema
+	Columns []*Column
+	rows    int
+}
+
+// NewTable assembles a table from columns that must match the schema order
+// and agree on length.
+func NewTable(name string, schema *Schema, columns []*Column) (*Table, error) {
+	if len(columns) != schema.Len() {
+		return nil, fmt.Errorf("dataset: table %q: %d columns for %d fields", name, len(columns), schema.Len())
+	}
+	rows := -1
+	for i, c := range columns {
+		if c.Field != schema.Fields[i] {
+			return nil, fmt.Errorf("dataset: table %q: column %d field mismatch", name, i)
+		}
+		if rows == -1 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("dataset: table %q: ragged columns (%d vs %d rows)", name, rows, c.Len())
+		}
+		if c.Field.Kind == Nominal && c.Dict == nil {
+			return nil, fmt.Errorf("dataset: table %q: nominal column %q without dictionary", name, c.Field.Name)
+		}
+	}
+	if rows == -1 {
+		rows = 0
+	}
+	return &Table{Name: name, Schema: schema, Columns: columns, rows: rows}, nil
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	i := t.Schema.FieldIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return t.Columns[i]
+}
+
+// Builder accumulates rows for a new table. It is not safe for concurrent
+// use; generators build per-goroutine shards and merge them instead.
+type Builder struct {
+	name    string
+	schema  *Schema
+	columns []*Column
+}
+
+// NewBuilder prepares a builder with empty columns (capacity hint optional).
+func NewBuilder(name string, schema *Schema, capacity int) *Builder {
+	cols := make([]*Column, schema.Len())
+	for i, f := range schema.Fields {
+		c := &Column{Field: f}
+		if f.Kind == Nominal {
+			c.Codes = make([]uint32, 0, capacity)
+			c.Dict = NewDict()
+		} else {
+			c.Nums = make([]float64, 0, capacity)
+		}
+		cols[i] = c
+	}
+	return &Builder{name: name, schema: schema, columns: cols}
+}
+
+// AppendNum appends a quantitative value to column i.
+func (b *Builder) AppendNum(i int, v float64) {
+	b.columns[i].Nums = append(b.columns[i].Nums, v)
+}
+
+// AppendString appends (and interns) a nominal value to column i.
+func (b *Builder) AppendString(i int, s string) {
+	c := b.columns[i]
+	c.Codes = append(c.Codes, c.Dict.Code(s))
+}
+
+// AppendCode appends a pre-interned code to nominal column i. The caller is
+// responsible for the code being valid for the column's dictionary.
+func (b *Builder) AppendCode(i int, code uint32) {
+	c := b.columns[i]
+	c.Codes = append(c.Codes, code)
+}
+
+// SetDict replaces the dictionary of nominal column i; used when a derived
+// table shares its parent's dictionary so codes stay comparable.
+func (b *Builder) SetDict(i int, d *Dict) { b.columns[i].Dict = d }
+
+// Dict returns the dictionary of nominal column i.
+func (b *Builder) Dict(i int) *Dict { return b.columns[i].Dict }
+
+// Build finalizes the table.
+func (b *Builder) Build() (*Table, error) {
+	return NewTable(b.name, b.schema, b.columns)
+}
+
+// Database is a (possibly star-shaped) set of tables: one fact table plus
+// zero or more dimension tables joined via foreign-key columns in the fact
+// table. A de-normalized database has Dimensions == nil.
+type Database struct {
+	Fact       *Table
+	Dimensions []*Dimension
+}
+
+// Dimension describes one dimension table and the fact-side foreign key.
+// Rows in the dimension table are addressed positionally: the FK column in
+// the fact table stores the dimension row index, the common physical layout
+// after dictionary encoding (and what makes positional joins possible).
+type Dimension struct {
+	Table *Table
+	// FKColumn is the fact-table column holding dimension row indices.
+	FKColumn string
+}
+
+// NumRows returns the fact-table row count.
+func (db *Database) NumRows() int { return db.Fact.NumRows() }
+
+// IsNormalized reports whether the database uses a star schema.
+func (db *Database) IsNormalized() bool { return len(db.Dimensions) > 0 }
+
+// ResolveColumn finds the named attribute either in the fact table or in a
+// dimension table. For dimension attributes it returns the dimension and the
+// fact-side FK column used to reach it.
+func (db *Database) ResolveColumn(name string) (col *Column, dim *Dimension, fk *Column, err error) {
+	if c := db.Fact.Column(name); c != nil {
+		return c, nil, nil, nil
+	}
+	for _, d := range db.Dimensions {
+		if c := d.Table.Column(name); c != nil {
+			fkc := db.Fact.Column(d.FKColumn)
+			if fkc == nil {
+				return nil, nil, nil, fmt.Errorf("dataset: dimension %q: fact table lacks FK column %q", d.Table.Name, d.FKColumn)
+			}
+			return c, d, fkc, nil
+		}
+	}
+	return nil, nil, nil, fmt.Errorf("dataset: unknown column %q", name)
+}
+
+// TotalBytes estimates the resident size of all tables, used by the data
+// preparation report.
+func (db *Database) TotalBytes() int64 {
+	total := tableBytes(db.Fact)
+	for _, d := range db.Dimensions {
+		total += tableBytes(d.Table)
+	}
+	return total
+}
+
+func tableBytes(t *Table) int64 {
+	var b int64
+	for _, c := range t.Columns {
+		b += int64(len(c.Nums))*8 + int64(len(c.Codes))*4
+	}
+	return b
+}
+
+// ErrNoRows is returned by operations that require a non-empty table.
+var ErrNoRows = errors.New("dataset: table has no rows")

@@ -1,0 +1,221 @@
+// Package driver implements the benchmark driver (paper Sec. 4.4): it
+// replays workflows against a system adapter, maintains the visualization
+// graph, issues the concurrent queries each interaction triggers, enforces
+// the time requirement (cancelling overdue queries), sleeps the think time
+// between interactions, and evaluates every query against ground truth.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/groundtruth"
+	"idebench/internal/metrics"
+	"idebench/internal/query"
+	"idebench/internal/workflow"
+)
+
+// Config carries the benchmark settings of one run (paper Sec. 4.6).
+type Config struct {
+	// TimeRequirement is the per-query deadline; queries without a
+	// fetchable result at the deadline are cancelled and counted as
+	// violations.
+	TimeRequirement time.Duration
+	// ThinkTime separates consecutive interactions.
+	ThinkTime time.Duration
+	// DataSizeLabel annotates report rows (e.g. "500k").
+	DataSizeLabel string
+	// PrecomputeGroundTruth evaluates all ground truths in a replay prepass
+	// so reference scans do not compete with the engine for CPU during the
+	// timed run. Default true (set by Normalize).
+	PrecomputeGroundTruth *bool
+}
+
+func (c Config) precompute() bool {
+	return c.PrecomputeGroundTruth == nil || *c.PrecomputeGroundTruth
+}
+
+// Record is one row of the detailed report (paper Table 1).
+type Record struct {
+	ID            int                  `json:"id"`
+	InteractionID int                  `json:"interaction_id"`
+	VizName       string               `json:"viz_name"`
+	Driver        string               `json:"driver"`
+	DataSize      string               `json:"data_size"`
+	ThinkTimeMS   float64              `json:"think_time_ms"`
+	TimeReqMS     float64              `json:"time_req_ms"`
+	Workflow      string               `json:"workflow"`
+	WorkflowType  workflow.Type        `json:"workflow_type"`
+	StartTime     time.Time            `json:"start_time"`
+	EndTime       time.Time            `json:"end_time"`
+	BinDims       int                  `json:"bin_dims"`
+	BinningType   string               `json:"binning_type"`
+	AggType       string               `json:"agg_type"`
+	ConcurrentQs  int                  `json:"concurrent_queries"`
+	SQL           string               `json:"sql"`
+	Metrics       metrics.QueryMetrics `json:"metrics"`
+}
+
+// Runner replays workflows against one prepared engine.
+type Runner struct {
+	eng    engine.Engine
+	gt     *groundtruth.Cache
+	cfg    Config
+	nextID int
+}
+
+// New builds a runner. The engine must already be prepared for the same
+// database the ground-truth cache is bound to.
+func New(eng engine.Engine, gt *groundtruth.Cache, cfg Config) *Runner {
+	return &Runner{eng: eng, gt: gt, cfg: cfg}
+}
+
+// RunWorkflow replays one workflow and returns a record per executed query.
+func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if r.cfg.precompute() {
+		if err := r.warmGroundTruth(w); err != nil {
+			return nil, err
+		}
+	}
+
+	graph := workflow.NewGraph()
+	r.eng.WorkflowStart()
+	defer r.eng.WorkflowEnd()
+
+	var records []Record
+	for idx, in := range w.Interactions {
+		eff, err := graph.Apply(in)
+		if err != nil {
+			return nil, fmt.Errorf("driver: workflow %s interaction %d: %w", w.Name, idx, err)
+		}
+		if eff.NewLink != nil {
+			r.eng.LinkVizs(eff.NewLink[0], eff.NewLink[1])
+		}
+		if eff.Discarded != "" {
+			r.eng.DeleteViz(eff.Discarded)
+		}
+
+		recs, err := r.runQueries(w, idx, eff.Queries)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, recs...)
+
+		if r.cfg.ThinkTime > 0 && idx < len(w.Interactions)-1 {
+			time.Sleep(r.cfg.ThinkTime)
+		}
+	}
+	return records, nil
+}
+
+// warmGroundTruth dry-replays the workflow, computing every query's exact
+// reference before the timed run.
+func (r *Runner) warmGroundTruth(w *workflow.Workflow) error {
+	graph := workflow.NewGraph()
+	for idx, in := range w.Interactions {
+		eff, err := graph.Apply(in)
+		if err != nil {
+			return fmt.Errorf("driver: workflow %s interaction %d: %w", w.Name, idx, err)
+		}
+		for _, q := range eff.Queries {
+			if _, err := r.gt.Get(q); err != nil {
+				return fmt.Errorf("driver: ground truth for %s: %w", q.VizName, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runQueries launches all queries of one interaction simultaneously,
+// enforces the TR, and evaluates each result.
+func (r *Runner) runQueries(w *workflow.Workflow, interactionID int, qs []*query.Query) ([]Record, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	type running struct {
+		q     *query.Query
+		h     engine.Handle
+		start time.Time
+		err   error
+	}
+	rs := make([]running, len(qs))
+	for i, q := range qs {
+		rs[i].q = q
+		rs[i].start = time.Now()
+		h, err := r.eng.StartQuery(q)
+		if err != nil {
+			rs[i].err = err
+			continue
+		}
+		rs[i].h = h
+	}
+	deadline := time.Now().Add(r.cfg.TimeRequirement)
+
+	records := make([]Record, 0, len(qs))
+	for i := range rs {
+		ru := &rs[i]
+		if ru.err != nil {
+			return nil, fmt.Errorf("driver: start query for %s: %w", ru.q.VizName, ru.err)
+		}
+		// Wait until the query finishes or the shared deadline passes.
+		var res *query.Result
+		select {
+		case <-ru.h.Done():
+		case <-time.After(time.Until(deadline)):
+		}
+		res = ru.h.Snapshot()
+		ru.h.Cancel()
+		end := time.Now()
+
+		gt, err := r.gt.Get(ru.q)
+		if err != nil {
+			return nil, fmt.Errorf("driver: ground truth for %s: %w", ru.q.VizName, err)
+		}
+		var m metrics.QueryMetrics
+		if res == nil {
+			m = metrics.Violated(gt)
+		} else {
+			m = metrics.Evaluate(res, gt, false)
+		}
+
+		r.nextID++
+		records = append(records, Record{
+			ID:            r.nextID - 1,
+			InteractionID: interactionID,
+			VizName:       ru.q.VizName,
+			Driver:        r.eng.Name(),
+			DataSize:      r.cfg.DataSizeLabel,
+			ThinkTimeMS:   float64(r.cfg.ThinkTime) / float64(time.Millisecond),
+			TimeReqMS:     float64(r.cfg.TimeRequirement) / float64(time.Millisecond),
+			Workflow:      w.Name,
+			WorkflowType:  w.Type,
+			StartTime:     ru.start,
+			EndTime:       end,
+			BinDims:       ru.q.BinDims(),
+			BinningType:   ru.q.BinningType(),
+			AggType:       ru.q.AggType(),
+			ConcurrentQs:  len(qs),
+			SQL:           ru.q.ToSQL(),
+			Metrics:       m,
+		})
+	}
+	return records, nil
+}
+
+// RunWorkflows replays several workflows sequentially, concatenating
+// records.
+func (r *Runner) RunWorkflows(flows []*workflow.Workflow) ([]Record, error) {
+	var all []Record
+	for _, w := range flows {
+		recs, err := r.RunWorkflow(w)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	return all, nil
+}

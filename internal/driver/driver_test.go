@@ -1,0 +1,249 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/engine/exactdb"
+	"idebench/internal/engine/progressive"
+	"idebench/internal/enginetest"
+	"idebench/internal/groundtruth"
+	"idebench/internal/query"
+	"idebench/internal/workflow"
+)
+
+func vizSpec(name string) *workflow.VizSpec {
+	return &workflow.VizSpec{
+		Name:  name,
+		Table: "flights",
+		Bins:  []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs:  []query.Aggregate{{Func: query.Count}},
+	}
+}
+
+func simpleWorkflow() *workflow.Workflow {
+	return &workflow.Workflow{
+		Name: "test", Type: workflow.Mixed,
+		Interactions: []workflow.Interaction{
+			{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+			{Kind: workflow.KindCreateViz, Viz: "b", Spec: vizSpec("b")},
+			{Kind: workflow.KindLink, From: "a", To: "b"},
+			{Kind: workflow.KindSelect, Viz: "a", Predicate: &query.Predicate{
+				Field: "carrier", Op: query.OpIn, Values: []string{"AA"}}},
+			{Kind: workflow.KindDiscard, Viz: "b"},
+		},
+	}
+}
+
+func prepared(t *testing.T, e engine.Engine, rows int) (*groundtruth.Cache, engine.Engine) {
+	t.Helper()
+	db := enginetest.SmallDB(rows, 11)
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return groundtruth.New(db), e
+}
+
+func TestRunWorkflowRecords(t *testing.T) {
+	gt, e := prepared(t, exactdb.New(), 20000)
+	r := New(e, gt, Config{
+		TimeRequirement: 2 * time.Second,
+		ThinkTime:       time.Millisecond,
+		DataSizeLabel:   "20k",
+	})
+	recs, err := r.RunWorkflow(simpleWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// create(a)=1, create(b)=1, link refreshes b=1, select updates b=1,
+	// discard=0 → 4 records.
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.ID != i {
+			t.Errorf("record %d has ID %d", i, rec.ID)
+		}
+		if rec.Driver != "exactdb" || rec.DataSize != "20k" {
+			t.Error("record metadata wrong")
+		}
+		if rec.Metrics.TRViolated {
+			t.Errorf("record %d violated a 2s TR on 20k rows", i)
+		}
+		if rec.Metrics.MissingBins != 0 || rec.Metrics.RelErrAvg != 0 {
+			t.Errorf("exact engine should be perfect: %+v", rec.Metrics)
+		}
+		if rec.EndTime.Before(rec.StartTime) {
+			t.Error("end before start")
+		}
+		if rec.SQL == "" {
+			t.Error("record missing SQL rendering")
+		}
+	}
+	// The selection-triggered query must carry the filter.
+	last := recs[3]
+	if last.VizName != "b" || last.InteractionID != 3 {
+		t.Errorf("last record: %+v", last)
+	}
+}
+
+func TestTRViolationOnTinyDeadline(t *testing.T) {
+	gt, e := prepared(t, exactdb.New(), 400000)
+	r := New(e, gt, Config{
+		TimeRequirement: time.Nanosecond, // impossible deadline
+		DataSizeLabel:   "400k",
+	})
+	w := &workflow.Workflow{
+		Name: "tiny", Type: workflow.IndependentBrowsing,
+		Interactions: []workflow.Interaction{
+			{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+		},
+	}
+	recs, err := r.RunWorkflow(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatal("expected one record")
+	}
+	m := recs[0].Metrics
+	if !m.TRViolated || m.HasResult {
+		t.Errorf("blocking engine must violate a 1ns TR: %+v", m)
+	}
+	if m.MissingBins != 1 {
+		t.Errorf("violated query should miss all bins: %v", m.MissingBins)
+	}
+}
+
+func TestProgressiveNeverViolates(t *testing.T) {
+	gt, e := prepared(t, progressive.New(progressive.Config{ChunkRows: 256}), 400000)
+	r := New(e, gt, Config{
+		TimeRequirement: 5 * time.Millisecond,
+		DataSizeLabel:   "400k",
+	})
+	w := &workflow.Workflow{
+		Name: "prog", Type: workflow.IndependentBrowsing,
+		Interactions: []workflow.Interaction{
+			{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+		},
+	}
+	recs, err := r.RunWorkflow(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Metrics.TRViolated {
+		t.Error("progressive engine should answer any TR")
+	}
+	if !recs[0].Metrics.HasResult {
+		t.Error("progressive result missing")
+	}
+}
+
+func TestConcurrentQueriesRecorded(t *testing.T) {
+	gt, e := prepared(t, exactdb.New(), 5000)
+	r := New(e, gt, Config{TimeRequirement: 2 * time.Second})
+	w := &workflow.Workflow{
+		Name: "fanout", Type: workflow.OneToNLinking,
+		Interactions: []workflow.Interaction{
+			{Kind: workflow.KindCreateViz, Viz: "src", Spec: vizSpec("src")},
+			{Kind: workflow.KindCreateViz, Viz: "t1", Spec: vizSpec("t1")},
+			{Kind: workflow.KindCreateViz, Viz: "t2", Spec: vizSpec("t2")},
+			{Kind: workflow.KindLink, From: "src", To: "t1"},
+			{Kind: workflow.KindLink, From: "src", To: "t2"},
+			{Kind: workflow.KindSelect, Viz: "src", Predicate: &query.Predicate{
+				Field: "carrier", Op: query.OpIn, Values: []string{"UA"}}},
+		},
+	}
+	recs, err := r.RunWorkflow(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selection updates t1 and t2 concurrently.
+	var fanout []Record
+	for _, rec := range recs {
+		if rec.InteractionID == 5 {
+			fanout = append(fanout, rec)
+		}
+	}
+	if len(fanout) != 2 {
+		t.Fatalf("selection should trigger 2 queries, got %d", len(fanout))
+	}
+	for _, rec := range fanout {
+		if rec.ConcurrentQs != 2 {
+			t.Errorf("ConcurrentQs = %d, want 2", rec.ConcurrentQs)
+		}
+	}
+}
+
+func TestInvalidWorkflowRejected(t *testing.T) {
+	gt, e := prepared(t, exactdb.New(), 1000)
+	r := New(e, gt, Config{TimeRequirement: time.Second})
+	w := &workflow.Workflow{
+		Name: "bad", Type: workflow.Mixed,
+		Interactions: []workflow.Interaction{
+			{Kind: workflow.KindFilter, Viz: "ghost"},
+		},
+	}
+	if _, err := r.RunWorkflow(w); err == nil {
+		t.Error("invalid workflow should be rejected")
+	}
+}
+
+func TestRunWorkflowsConcatenates(t *testing.T) {
+	gt, e := prepared(t, exactdb.New(), 2000)
+	r := New(e, gt, Config{TimeRequirement: time.Second})
+	w1 := &workflow.Workflow{Name: "w1", Type: workflow.Mixed, Interactions: []workflow.Interaction{
+		{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+	}}
+	w2 := &workflow.Workflow{Name: "w2", Type: workflow.Mixed, Interactions: []workflow.Interaction{
+		{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+	}}
+	recs, err := r.RunWorkflows([]*workflow.Workflow{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Workflow != "w1" || recs[1].Workflow != "w2" {
+		t.Error("workflow names wrong")
+	}
+	if recs[1].ID <= recs[0].ID {
+		t.Error("IDs should increase across workflows")
+	}
+}
+
+func TestThinkTimeSeparatesInteractions(t *testing.T) {
+	gt, e := prepared(t, exactdb.New(), 1000)
+	think := 30 * time.Millisecond
+	r := New(e, gt, Config{TimeRequirement: 500 * time.Millisecond, ThinkTime: think})
+	w := &workflow.Workflow{Name: "tt", Type: workflow.Mixed, Interactions: []workflow.Interaction{
+		{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+		{Kind: workflow.KindCreateViz, Viz: "b", Spec: vizSpec("b")},
+	}}
+	start := time.Now()
+	if _, err := r.RunWorkflow(w); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < think {
+		t.Errorf("run took %v, should include %v think time", elapsed, think)
+	}
+}
+
+func TestGroundTruthPrecomputed(t *testing.T) {
+	db := enginetest.SmallDB(2000, 11)
+	e := exactdb.New()
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gt := groundtruth.New(db)
+	r := New(e, gt, Config{TimeRequirement: time.Second})
+	if _, err := r.RunWorkflow(simpleWorkflow()); err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() == 0 {
+		t.Error("ground truth cache should be populated")
+	}
+}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"fmt"
+
+	"idebench/internal/dataset"
+	"idebench/internal/query"
+)
+
+// Compiled is a query plan bound to a concrete database: closures that read
+// bin keys, aggregate inputs and filter verdicts straight from column
+// storage. Dimension attributes resolve through the fact table's FK column
+// (a positional join — the star-schema FK holds the dimension row index).
+//
+// A Compiled plan is immutable and safe for concurrent use by many scan
+// goroutines.
+type Compiled struct {
+	Query *query.Query
+	// NumRows is the fact-table row count.
+	NumRows int
+	// binGet[d] maps a physical row to the d-th bin key component.
+	binGet []func(row int) int64
+	// aggGet[a] reads the a-th aggregate's input (nil for COUNT).
+	aggGet []func(row int) float64
+	// filter reports whether a physical row passes all predicates
+	// (nil means match-all).
+	filter func(row int) bool
+	// BinDicts holds the dictionary for nominal binning dimensions (nil for
+	// quantitative), used to render bin labels in reports.
+	BinDicts []*dataset.Dict
+}
+
+// Compile validates q against db and builds the plan.
+func Compile(db *dataset.Database, q *query.Query) (*Compiled, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if db.Fact.Name != q.Table {
+		return nil, fmt.Errorf("%w: %q (prepared: %q)", ErrUnknownTable, q.Table, db.Fact.Name)
+	}
+	c := &Compiled{Query: q, NumRows: db.Fact.NumRows()}
+
+	for _, b := range q.Bins {
+		getter, dict, err := binAccessor(db, b)
+		if err != nil {
+			return nil, err
+		}
+		c.binGet = append(c.binGet, getter)
+		c.BinDicts = append(c.BinDicts, dict)
+	}
+	for _, a := range q.Aggs {
+		if a.Func == query.Count && a.Field == "" {
+			c.aggGet = append(c.aggGet, nil)
+			continue
+		}
+		getter, err := numAccessor(db, a.Field)
+		if err != nil {
+			return nil, fmt.Errorf("engine: aggregate %s: %w", a, err)
+		}
+		c.aggGet = append(c.aggGet, getter)
+	}
+	f, err := compileFilter(db, q.Filter)
+	if err != nil {
+		return nil, err
+	}
+	c.filter = f
+	return c, nil
+}
+
+// BinKey computes the bin key of a physical row.
+func (c *Compiled) BinKey(row int) query.BinKey {
+	k := query.BinKey{A: c.binGet[0](row)}
+	if len(c.binGet) > 1 {
+		k.B = c.binGet[1](row)
+	}
+	return k
+}
+
+// Matches reports whether a physical row passes the filter.
+func (c *Compiled) Matches(row int) bool {
+	if c.filter == nil {
+		return true
+	}
+	return c.filter(row)
+}
+
+// AggInput reads the aggregate input values of a row into dst (one slot per
+// aggregate; COUNT slots are left untouched). dst must have len == number of
+// aggregates.
+func (c *Compiled) AggInput(row int, dst []float64) {
+	for i, g := range c.aggGet {
+		if g != nil {
+			dst[i] = g(row)
+		}
+	}
+}
+
+// NumAggs returns the number of aggregates in the plan.
+func (c *Compiled) NumAggs() int { return len(c.aggGet) }
+
+// binAccessor builds the per-row bin-key component reader for one binning.
+func binAccessor(db *dataset.Database, b query.Binning) (func(int) int64, *dataset.Dict, error) {
+	col, _, fk, err := db.ResolveColumn(b.Field)
+	if err != nil {
+		return nil, nil, err
+	}
+	if col.Field.Kind != b.Kind {
+		return nil, nil, fmt.Errorf("engine: binning on %q declares %v but column is %v",
+			b.Field, b.Kind, col.Field.Kind)
+	}
+	switch {
+	case b.Kind == dataset.Nominal && fk == nil:
+		codes := col.Codes
+		return func(row int) int64 { return int64(codes[row]) }, col.Dict, nil
+	case b.Kind == dataset.Nominal:
+		codes, fkNums := col.Codes, fk.Nums
+		return func(row int) int64 { return int64(codes[int(fkNums[row])]) }, col.Dict, nil
+	case fk == nil:
+		nums, width, origin := col.Nums, b.Width, b.Origin
+		return func(row int) int64 { return binIdx(nums[row], width, origin) }, nil, nil
+	default:
+		nums, fkNums, width, origin := col.Nums, fk.Nums, b.Width, b.Origin
+		return func(row int) int64 { return binIdx(nums[int(fkNums[row])], width, origin) }, nil, nil
+	}
+}
+
+func binIdx(v, width, origin float64) int64 {
+	d := (v - origin) / width
+	i := int64(d)
+	if d < 0 && float64(i) != d {
+		i--
+	}
+	return i
+}
+
+// numAccessor builds a float64 reader for a quantitative attribute.
+func numAccessor(db *dataset.Database, field string) (func(int) float64, error) {
+	col, _, fk, err := db.ResolveColumn(field)
+	if err != nil {
+		return nil, err
+	}
+	if col.Field.Kind != dataset.Quantitative {
+		return nil, fmt.Errorf("engine: field %q is nominal, aggregates need quantitative input", field)
+	}
+	nums := col.Nums
+	if fk == nil {
+		return func(row int) float64 { return nums[row] }, nil
+	}
+	fkNums := fk.Nums
+	return func(row int) float64 { return nums[int(fkNums[row])] }, nil
+}
+
+// compileFilter builds the conjunction closure (nil for an empty filter).
+func compileFilter(db *dataset.Database, f query.Filter) (func(int) bool, error) {
+	if f.IsEmpty() {
+		return nil, nil
+	}
+	preds := make([]func(int) bool, 0, len(f.Predicates))
+	for _, p := range f.Predicates {
+		fn, err := compilePredicate(db, p)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, fn)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return func(row int) bool {
+		for _, p := range preds {
+			if !p(row) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func compilePredicate(db *dataset.Database, p query.Predicate) (func(int) bool, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	col, _, fk, err := db.ResolveColumn(p.Field)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Op {
+	case query.OpIn:
+		if col.Field.Kind != dataset.Nominal {
+			return nil, fmt.Errorf("engine: IN predicate on quantitative field %q", p.Field)
+		}
+		// Resolve values to codes; unknown values simply never match.
+		want := make(map[uint32]struct{}, len(p.Values))
+		for _, v := range p.Values {
+			if code, ok := col.Dict.Lookup(v); ok {
+				want[code] = struct{}{}
+			}
+		}
+		codes := col.Codes
+		if len(want) == 1 {
+			var only uint32
+			for c := range want {
+				only = c
+			}
+			if fk == nil {
+				return func(row int) bool { return codes[row] == only }, nil
+			}
+			fkNums := fk.Nums
+			return func(row int) bool { return codes[int(fkNums[row])] == only }, nil
+		}
+		if fk == nil {
+			return func(row int) bool { _, ok := want[codes[row]]; return ok }, nil
+		}
+		fkNums := fk.Nums
+		return func(row int) bool { _, ok := want[codes[int(fkNums[row])]]; return ok }, nil
+
+	case query.OpRange:
+		if col.Field.Kind != dataset.Quantitative {
+			return nil, fmt.Errorf("engine: range predicate on nominal field %q", p.Field)
+		}
+		nums, lo, hi := col.Nums, p.Lo, p.Hi
+		if fk == nil {
+			return func(row int) bool { v := nums[row]; return v >= lo && v < hi }, nil
+		}
+		fkNums := fk.Nums
+		return func(row int) bool { v := nums[int(fkNums[row])]; return v >= lo && v < hi }, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown predicate op %q", p.Op)
+	}
+}

@@ -1,0 +1,82 @@
+// Package engine defines the system-adapter interface of the benchmark
+// (paper Sec. 4.5) and the shared execution kernels — compiled accessors,
+// filters and group-by states — that the concrete engines under
+// internal/engine/... build their execution models from.
+package engine
+
+import (
+	"errors"
+	"runtime"
+
+	"idebench/internal/dataset"
+	"idebench/internal/query"
+)
+
+// Handle represents one in-flight query. The driver polls it once at the
+// time-requirement deadline; progressive engines may be polled at any time.
+type Handle interface {
+	// Snapshot returns the best result currently available, or nil when the
+	// engine has nothing to deliver yet (a blocking engine mid-scan).
+	Snapshot() *query.Result
+	// Done is closed when execution finishes (successfully or cancelled).
+	Done() <-chan struct{}
+	// Cancel stops execution as soon as possible. Idempotent; the paper's
+	// driver cancels every query whose run time exceeds the TR.
+	Cancel()
+}
+
+// Options carries the benchmark settings every engine needs at prepare time
+// (paper Sec. 4.6).
+type Options struct {
+	// Confidence is the confidence level for margins of error (default 0.95).
+	Confidence float64
+	// Seed drives all engine-internal randomness (permutations, samples).
+	Seed int64
+	// Parallelism caps worker goroutines for parallel engines; 0 means
+	// runtime.NumCPU().
+	Parallelism int
+}
+
+// Normalize fills defaults.
+func (o Options) Normalize() Options {
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Engine is the system-adapter interface (paper Listing 1). One Engine
+// instance serves one benchmark run; Prepare is called once per dataset and
+// its duration is the reported "data preparation time".
+type Engine interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Prepare ingests the database. Engines copy/derive whatever internal
+	// representation they need; the driver times this call.
+	Prepare(db *dataset.Database, opts Options) error
+	// StartQuery begins asynchronous execution and returns immediately.
+	StartQuery(q *query.Query) (Handle, error)
+	// LinkVizs hints that selections on viz `from` will re-query viz `to`
+	// (speculative engines exploit this; others ignore it).
+	LinkVizs(from, to string)
+	// DeleteViz tells the engine a visualization was discarded so it can
+	// free cached state.
+	DeleteViz(name string)
+	// WorkflowStart is called before a workflow begins.
+	WorkflowStart()
+	// WorkflowEnd is called after a workflow completes.
+	WorkflowEnd()
+}
+
+// ErrNotPrepared is returned by StartQuery before Prepare.
+var ErrNotPrepared = errors.New("engine: not prepared")
+
+// ErrUnknownTable is returned when a query references a table the prepared
+// database does not contain.
+var ErrUnknownTable = errors.New("engine: unknown table")

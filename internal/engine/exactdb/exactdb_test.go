@@ -1,0 +1,121 @@
+package exactdb
+
+import (
+	"testing"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/enginetest"
+	"idebench/internal/query"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Conformance(t, func() engine.Engine { return New() }, true)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "exactdb" {
+		t.Error("name wrong")
+	}
+}
+
+func TestExactMatchesGroundTruthOnNormalized(t *testing.T) {
+	db := enginetest.NormalizedDB(20000, 7)
+	e := New()
+	if err := e.Prepare(db, engine.Options{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins:    []query.Binning{{Field: "carrier", Kind: 1}},
+		Aggs: []query.Aggregate{
+			{Func: query.Count},
+			{Func: query.Avg, Field: "dep_delay"},
+		},
+	}
+	h, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	gt, err := enginetest.Exact(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.ResultsEqual(gt, res, 1e-9); err != nil {
+		t.Errorf("normalized join result mismatch: %v", err)
+	}
+	if !res.Complete {
+		t.Error("exact result should be complete")
+	}
+	if !res.FiniteMargins() {
+		t.Error("margins should be finite (zero)")
+	}
+}
+
+func TestCancelledQueryYieldsNothing(t *testing.T) {
+	db := enginetest.SmallDB(300000, 3)
+	e := New()
+	if err := e.Prepare(db, engine.Options{Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.AvgDelayByDistance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Cancel() // cancel immediately; blocking model must not publish partials
+	select {
+	case <-h.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancel did not stop the query")
+	}
+	if h.Snapshot() != nil {
+		t.Error("cancelled blocking query should have no result")
+	}
+}
+
+func TestParallelismOne(t *testing.T) {
+	db := enginetest.SmallDB(10000, 5)
+	e := New()
+	if err := e.Prepare(db, engine.Options{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	gt, _ := enginetest.Exact(db, enginetest.CountByCarrier())
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrepareCopiesData(t *testing.T) {
+	db := enginetest.SmallDB(100, 11)
+	e := New()
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's storage must not affect the engine's copy.
+	orig := db.Fact.Column("dep_delay").Nums[0]
+	db.Fact.Column("dep_delay").Nums[0] = 1e9
+	q := &query.Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins:    []query.Binning{{Field: "dep_delay", Kind: 0, Width: 1e12}},
+		Aggs:    []query.Aggregate{{Func: query.Max, Field: "dep_delay"}},
+	}
+	h, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 10*time.Second)
+	for _, bv := range res.Bins {
+		if bv.Values[0] >= 1e9 {
+			t.Error("engine saw caller mutation: data not copied")
+		}
+	}
+	db.Fact.Column("dep_delay").Nums[0] = orig
+}

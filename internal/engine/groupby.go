@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"math"
+
+	"idebench/internal/query"
+	"idebench/internal/stats"
+)
+
+// Accum is the per-bin accumulator: row count, per-aggregate running
+// moments (Welford) and min/max. It contains everything any engine needs to
+// produce exact values, scaled estimates, and CLT margins.
+type Accum struct {
+	N    int64
+	W    []stats.Welford // one per aggregate; unused slots stay zero
+	Mins []float64
+	Maxs []float64
+}
+
+func newAccum(numAggs int) *Accum {
+	a := &Accum{
+		W:    make([]stats.Welford, numAggs),
+		Mins: make([]float64, numAggs),
+		Maxs: make([]float64, numAggs),
+	}
+	for i := range a.Mins {
+		a.Mins[i] = math.Inf(1)
+		a.Maxs[i] = math.Inf(-1)
+	}
+	return a
+}
+
+// GroupState is a group-by hash table for one query execution (or one
+// execution fragment). It is not safe for concurrent use; parallel scans
+// keep one GroupState per worker and Merge them.
+type GroupState struct {
+	plan    *Compiled
+	Groups  map[query.BinKey]*Accum
+	scratch []float64
+}
+
+// NewGroupState allocates an empty state for the plan.
+func NewGroupState(plan *Compiled) *GroupState {
+	return &GroupState{
+		plan:    plan,
+		Groups:  make(map[query.BinKey]*Accum),
+		scratch: make([]float64, plan.NumAggs()),
+	}
+}
+
+// observe folds a single matching row.
+func (g *GroupState) observe(row int) {
+	key := g.plan.BinKey(row)
+	acc, ok := g.Groups[key]
+	if !ok {
+		acc = newAccum(g.plan.NumAggs())
+		g.Groups[key] = acc
+	}
+	acc.N++
+	g.plan.AggInput(row, g.scratch)
+	for i, a := range g.plan.Query.Aggs {
+		switch a.Func {
+		case query.Count:
+			// N is the count; nothing more to track.
+		case query.Min:
+			if v := g.scratch[i]; v < acc.Mins[i] {
+				acc.Mins[i] = v
+			}
+		case query.Max:
+			if v := g.scratch[i]; v > acc.Maxs[i] {
+				acc.Maxs[i] = v
+			}
+		default: // Sum, Avg
+			acc.W[i].Add(g.scratch[i])
+		}
+	}
+}
+
+// ScanRange folds physical rows [lo, hi) that match the filter.
+func (g *GroupState) ScanRange(lo, hi int) {
+	for row := lo; row < hi; row++ {
+		if g.plan.Matches(row) {
+			g.observe(row)
+		}
+	}
+}
+
+// ScanRows folds an explicit list of physical row indices (a permutation
+// chunk or a sample).
+func (g *GroupState) ScanRows(rows []uint32) {
+	for _, r := range rows {
+		row := int(r)
+		if g.plan.Matches(row) {
+			g.observe(row)
+		}
+	}
+}
+
+// Merge folds another state (same plan) into g.
+func (g *GroupState) Merge(o *GroupState) {
+	for key, oa := range o.Groups {
+		acc, ok := g.Groups[key]
+		if !ok {
+			acc = newAccum(g.plan.NumAggs())
+			g.Groups[key] = acc
+		}
+		acc.N += oa.N
+		for i := range acc.W {
+			acc.W[i].Merge(oa.W[i])
+			if oa.Mins[i] < acc.Mins[i] {
+				acc.Mins[i] = oa.Mins[i]
+			}
+			if oa.Maxs[i] > acc.Maxs[i] {
+				acc.Maxs[i] = oa.Maxs[i]
+			}
+		}
+	}
+}
+
+// NumGroups returns the current number of bins.
+func (g *GroupState) NumGroups() int { return len(g.Groups) }
+
+// SnapshotExact renders the state as a complete, exact result (margins 0).
+// Blocking engines use this after a full scan.
+func (g *GroupState) SnapshotExact() *query.Result {
+	res := query.NewResult()
+	res.TotalRows = int64(g.plan.NumRows)
+	res.RowsSeen = int64(g.plan.NumRows)
+	res.Complete = true
+	aggs := g.plan.Query.Aggs
+	for key, acc := range g.Groups {
+		bv := &query.BinValue{
+			Values:  make([]float64, len(aggs)),
+			Margins: make([]float64, len(aggs)),
+		}
+		for i, a := range aggs {
+			switch a.Func {
+			case query.Count:
+				bv.Values[i] = float64(acc.N)
+			case query.Sum:
+				bv.Values[i] = acc.W[i].Sum()
+			case query.Avg:
+				bv.Values[i] = acc.W[i].Mean()
+			case query.Min:
+				bv.Values[i] = acc.Mins[i]
+			case query.Max:
+				bv.Values[i] = acc.Maxs[i]
+			}
+		}
+		res.Bins[key] = bv
+	}
+	return res
+}
+
+// SnapshotScaled renders the state as an estimate from a uniform random
+// sample of rowsSeen rows out of populationRows, with CLT margins at the
+// z critical value. weight scales beyond the uniform factor for stratified
+// engines (weight = N_h / n_h per stratum; pass 0 to use
+// populationRows/rowsSeen).
+//
+// Estimators (per bin g, sample size m, population N):
+//
+//	COUNT:  N·(n_g/m),          margin = z·N·sqrt(p̂(1-p̂)/m)
+//	SUM:    N·(Σ_g x)/m,        margin = z·N·sqrt(Var(x·1_g)/m)
+//	AVG:    mean_g(x),          margin = z·sqrt(Var_g(x)/n_g)
+//	MIN/MAX: sample min/max (biased; no margin reported)
+func (g *GroupState) SnapshotScaled(rowsSeen, populationRows int64, weight, z float64) *query.Result {
+	res := query.NewResult()
+	res.TotalRows = populationRows
+	res.RowsSeen = rowsSeen
+	res.Complete = rowsSeen >= populationRows && weight == 0
+	if rowsSeen == 0 {
+		return res
+	}
+	m := float64(rowsSeen)
+	n := float64(populationRows)
+	scale := n / m
+	if weight > 0 {
+		scale = weight
+	}
+	aggs := g.plan.Query.Aggs
+	for key, acc := range g.Groups {
+		bv := &query.BinValue{
+			Values:  make([]float64, len(aggs)),
+			Margins: make([]float64, len(aggs)),
+		}
+		for i, a := range aggs {
+			switch a.Func {
+			case query.Count:
+				bv.Values[i] = float64(acc.N) * scale
+				bv.Margins[i] = stats.FractionCI(acc.N, rowsSeen, m*scale, z)
+			case query.Sum:
+				sum := acc.W[i].Sum()
+				bv.Values[i] = sum * scale
+				// Var over all m rows of z_i = x_i·1[i∈bin]:
+				// Σz² = Σ_g x², z̄ = Σ_g x / m.
+				zbar := sum / m
+				varz := (acc.W[i].SumSquares() - m*zbar*zbar) / math.Max(m-1, 1)
+				if varz < 0 {
+					varz = 0
+				}
+				bv.Margins[i] = z * m * scale * math.Sqrt(varz/m)
+			case query.Avg:
+				bv.Values[i] = acc.W[i].Mean()
+				bv.Margins[i] = acc.W[i].MeanCI(z)
+			case query.Min:
+				bv.Values[i] = acc.Mins[i]
+			case query.Max:
+				bv.Values[i] = acc.Maxs[i]
+			}
+		}
+		res.Bins[key] = bv
+	}
+	if res.Complete {
+		for _, bv := range res.Bins {
+			for i := range bv.Margins {
+				bv.Margins[i] = 0
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"idebench/internal/query"
+)
+
+// AsyncHandle is the Handle implementation shared by all engines. Execution
+// goroutines either Publish result snapshots into it (blocking and
+// report-interval engines) or install a SnapshotFunc that materializes the
+// current estimate on demand (fully progressive engines).
+type AsyncHandle struct {
+	mu        sync.RWMutex
+	result    *query.Result
+	snapFn    func() *query.Result
+	done      chan struct{}
+	doneOnce  sync.Once
+	cancelled atomic.Bool
+}
+
+// NewAsyncHandle returns a handle with no result yet.
+func NewAsyncHandle() *AsyncHandle {
+	return &AsyncHandle{done: make(chan struct{})}
+}
+
+// Publish stores a result snapshot for subsequent Snapshot calls. The
+// caller must hand over ownership (pass a clone if it keeps mutating).
+func (h *AsyncHandle) Publish(r *query.Result) {
+	h.mu.Lock()
+	h.result = r
+	h.mu.Unlock()
+}
+
+// SetSnapshotFunc makes Snapshot compute results on demand; used by
+// progressive engines where any poll should reflect all rows seen so far.
+func (h *AsyncHandle) SetSnapshotFunc(fn func() *query.Result) {
+	h.mu.Lock()
+	h.snapFn = fn
+	h.mu.Unlock()
+}
+
+// Snapshot implements Handle.
+func (h *AsyncHandle) Snapshot() *query.Result {
+	h.mu.RLock()
+	fn, res := h.snapFn, h.result
+	h.mu.RUnlock()
+	if fn != nil {
+		return fn()
+	}
+	return res
+}
+
+// Done implements Handle.
+func (h *AsyncHandle) Done() <-chan struct{} { return h.done }
+
+// Finish marks execution complete; idempotent.
+func (h *AsyncHandle) Finish() {
+	h.doneOnce.Do(func() { close(h.done) })
+}
+
+// Cancel implements Handle. It requests the execution goroutine to stop;
+// the goroutine observes Cancelled and calls Finish.
+func (h *AsyncHandle) Cancel() { h.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel was called. Scan loops poll this between
+// chunks so cancellation latency is bounded by the chunk cost.
+func (h *AsyncHandle) Cancelled() bool { return h.cancelled.Load() }
+
+var _ Handle = (*AsyncHandle)(nil)

@@ -1,0 +1,133 @@
+// Package idelayer implements the paper's "System Y" analogue: a commercial
+// IDE frontend layer that delegates query execution to a DBMS backend
+// (MonetDB in Exp. 5) and adds a per-query rendering/marshalling overhead of
+// 1–2 seconds ("System Y renders and updates the visualizations ... roughly
+// at the same speed as when one uses MonetDB directly, with an added delay
+// of about 1-2s per query"). The paper found no evidence of a speculative
+// pre-fetching layer, so none is modelled.
+package idelayer
+
+import (
+	"sync"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/query"
+)
+
+// Config tunes the wrapper.
+type Config struct {
+	// RenderDelay is the per-query overhead before a backend result becomes
+	// visible. Default 6ms (≈1.5s at the paper's scale, 250× scaled).
+	RenderDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RenderDelay <= 0 {
+		c.RenderDelay = 6 * time.Millisecond
+	}
+	return c
+}
+
+// Engine wraps a backend engine and delays result visibility.
+type Engine struct {
+	cfg     Config
+	backend engine.Engine
+}
+
+// New wraps backend; a nil backend panics at Prepare, not here, so
+// construction stays infallible.
+func New(backend engine.Engine, cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), backend: backend}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "idelayer(" + e.backend.Name() + ")" }
+
+// Prepare implements engine.Engine by delegating to the backend.
+func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
+	return e.backend.Prepare(db, opts)
+}
+
+// StartQuery delegates to the backend and wraps the handle so the result
+// (and completion) surface only after the render delay has elapsed on top
+// of backend completion.
+func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
+	inner, err := e.backend.StartQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	h := &delayedHandle{
+		inner:  inner,
+		done:   make(chan struct{}),
+		cancel: make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		select {
+		case <-inner.Done():
+		case <-h.cancel:
+			return
+		}
+		select {
+		case <-time.After(e.cfg.RenderDelay):
+		case <-h.cancel:
+			return
+		}
+		h.mu.Lock()
+		h.visible = true
+		h.mu.Unlock()
+	}()
+	return h, nil
+}
+
+// LinkVizs implements engine.Engine.
+func (e *Engine) LinkVizs(from, to string) { e.backend.LinkVizs(from, to) }
+
+// DeleteViz implements engine.Engine.
+func (e *Engine) DeleteViz(name string) { e.backend.DeleteViz(name) }
+
+// WorkflowStart implements engine.Engine.
+func (e *Engine) WorkflowStart() { e.backend.WorkflowStart() }
+
+// WorkflowEnd implements engine.Engine.
+func (e *Engine) WorkflowEnd() { e.backend.WorkflowEnd() }
+
+var _ engine.Engine = (*Engine)(nil)
+
+// delayedHandle hides the backend result until the render delay passed.
+type delayedHandle struct {
+	inner engine.Handle
+
+	mu      sync.Mutex
+	visible bool
+	done    chan struct{}
+
+	cancelOnce sync.Once
+	cancel     chan struct{}
+}
+
+// Snapshot implements engine.Handle: nothing is visible until the render
+// delay after backend completion (cancellation short-circuits the delay so
+// benchmark runs do not accumulate stragglers).
+func (h *delayedHandle) Snapshot() *query.Result {
+	h.mu.Lock()
+	v := h.visible
+	h.mu.Unlock()
+	if !v {
+		return nil
+	}
+	return h.inner.Snapshot()
+}
+
+// Done implements engine.Handle.
+func (h *delayedHandle) Done() <-chan struct{} { return h.done }
+
+// Cancel implements engine.Handle.
+func (h *delayedHandle) Cancel() {
+	h.cancelOnce.Do(func() { close(h.cancel) })
+	h.inner.Cancel()
+}
+
+var _ engine.Handle = (*delayedHandle)(nil)

@@ -1,0 +1,95 @@
+package idelayer
+
+import (
+	"testing"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/engine/exactdb"
+	"idebench/internal/enginetest"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Conformance(t, func() engine.Engine {
+		return New(exactdb.New(), Config{RenderDelay: time.Millisecond})
+	}, true)
+}
+
+func TestName(t *testing.T) {
+	e := New(exactdb.New(), Config{})
+	if e.Name() != "idelayer(exactdb)" {
+		t.Errorf("name = %q", e.Name())
+	}
+}
+
+func TestRenderDelayHidesResult(t *testing.T) {
+	db := enginetest.SmallDB(5000, 3)
+	delay := 80 * time.Millisecond
+	e := New(exactdb.New(), Config{RenderDelay: delay})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortly after the backend finishes (small table → fast) the result
+	// must still be hidden by the render delay.
+	time.Sleep(delay / 4)
+	if h.Snapshot() != nil {
+		t.Error("result visible before render delay elapsed")
+	}
+	res := enginetest.WaitResult(t, h, 10*time.Second)
+	if res == nil {
+		t.Fatal("no result after render delay")
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("completed after %v, render delay is %v", elapsed, delay)
+	}
+	gt, _ := enginetest.Exact(db, enginetest.CountByCarrier())
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Errorf("wrapped result mismatch: %v", err)
+	}
+}
+
+func TestCancelShortCircuitsDelay(t *testing.T) {
+	db := enginetest.SmallDB(5000, 5)
+	e := New(exactdb.New(), Config{RenderDelay: 10 * time.Second})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	h.Cancel()
+	select {
+	case <-h.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not short-circuit the render delay")
+	}
+	if h.Snapshot() != nil {
+		t.Error("cancelled render should expose no result")
+	}
+}
+
+func TestDefaultRenderDelay(t *testing.T) {
+	if (Config{}).withDefaults().RenderDelay != 6*time.Millisecond {
+		t.Error("default render delay wrong")
+	}
+}
+
+func TestDelegation(t *testing.T) {
+	db := enginetest.SmallDB(1000, 7)
+	e := New(exactdb.New(), Config{RenderDelay: time.Millisecond})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// These must all pass through without panics.
+	e.WorkflowStart()
+	e.LinkVizs("a", "b")
+	e.DeleteViz("a")
+	e.WorkflowEnd()
+}

@@ -1,0 +1,249 @@
+// Package onlinedb implements the paper's approXimateDB/XDB analogue: a
+// PostgreSQL-based system with wander-join online aggregation. Three
+// properties of XDB shape its benchmark profile and are modelled here:
+//
+//  1. Online aggregation supports only COUNT and SUM with a single
+//     aggregate per query; AVG, MIN/MAX and multi-aggregate queries fall
+//     back to a regular blocking scan (paper Sec. 5.2: "it does not provide
+//     online support for AVG nor for multiple aggregates in a single
+//     query... any query that cannot be executed online will fall back to a
+//     regular Postgres query").
+//  2. Intermediate results are retrieved at a fixed report interval, not at
+//     arbitrary poll times.
+//  3. Execution is row-at-a-time over a Postgres-style executor, which we
+//     model with a per-row tuple-materialization overhead; this makes both
+//     the online path and the blocking fallback markedly slower than the
+//     columnar engines, as in the paper.
+//
+// On a normalized star schema the online path resolves dimension attributes
+// per sampled fact row (the single-walk wander join of a star schema), so
+// online queries keep working at the same rate regardless of normalization —
+// the effect Exp. 2 (Fig. 6e) measures.
+package onlinedb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/query"
+	"idebench/internal/stats"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// ReportInterval is how often the online path publishes an intermediate
+	// estimate. Default 1ms (the paper's XDB report interval, scaled).
+	ReportInterval time.Duration
+	// TupleOverhead is the per-row executor overhead in abstract work units
+	// (see tupleWork); it calibrates the row-at-a-time execution model to
+	// roughly 2-3× the cost of the columnar kernels, mirroring the gap
+	// between a row store and a column store on aggregation scans.
+	// Default 64.
+	TupleOverhead int
+	// ChunkRows is the scan granularity between cancellation checks.
+	// Default 2048.
+	ChunkRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = time.Millisecond
+	}
+	if c.TupleOverhead <= 0 {
+		c.TupleOverhead = 64
+	}
+	if c.ChunkRows <= 0 {
+		c.ChunkRows = 2048
+	}
+	return c
+}
+
+// Engine is the online-aggregation engine with blocking fallback.
+type Engine struct {
+	cfg Config
+
+	mu   sync.RWMutex
+	db   *dataset.Database
+	z    float64
+	perm []uint32
+}
+
+// New returns an unprepared engine.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg.withDefaults()} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "onlinedb" }
+
+// Prepare ingests the database. XDB's load is by far the slowest of the
+// paper's systems (130 min for 500M rows: COPY plus primary-key build); we
+// model it as a row-at-a-time ingest pass with tuple overhead plus the
+// permutation build used for online sampling.
+func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
+	opts = opts.Normalize()
+	z, err := stats.ZScore(opts.Confidence)
+	if err != nil {
+		return fmt.Errorf("onlinedb: %w", err)
+	}
+	// Row-at-a-time ingest: touch every cell the way a heap-tuple insert
+	// would, paying the executor overhead per row (and per dimension row).
+	ingestTable(db.Fact, e.cfg.TupleOverhead)
+	for _, d := range db.Dimensions {
+		ingestTable(d.Table, e.cfg.TupleOverhead)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 29))
+	perm := stats.Permutation(rng, db.Fact.NumRows())
+
+	e.mu.Lock()
+	e.db = db
+	e.z = z
+	e.perm = perm
+	e.mu.Unlock()
+	return nil
+}
+
+// SupportsOnline reports whether q can run as online aggregation: exactly
+// one aggregate, COUNT or SUM.
+func SupportsOnline(q *query.Query) bool {
+	if len(q.Aggs) != 1 {
+		return false
+	}
+	switch q.Aggs[0].Func {
+	case query.Count, query.Sum:
+		return true
+	}
+	return false
+}
+
+// StartQuery implements engine.Engine.
+func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
+	e.mu.RLock()
+	db, z, perm := e.db, e.z, e.perm
+	e.mu.RUnlock()
+	if db == nil {
+		return nil, engine.ErrNotPrepared
+	}
+	plan, err := engine.Compile(db, q)
+	if err != nil {
+		return nil, err
+	}
+	h := engine.NewAsyncHandle()
+	if SupportsOnline(q) {
+		go e.runOnline(plan, h, perm, z)
+	} else {
+		go e.runBlocking(plan, h)
+	}
+	return h, nil
+}
+
+// runOnline executes wander-join style online aggregation: single-threaded
+// row-at-a-time sampling in permutation order, publishing a scaled estimate
+// with margins at every report interval.
+func (e *Engine) runOnline(plan *engine.Compiled, h *engine.AsyncHandle, perm []uint32, z float64) {
+	defer h.Finish()
+	gs := engine.NewGroupState(plan)
+	n := len(perm)
+	total := int64(plan.NumRows)
+	nextReport := time.Now().Add(e.cfg.ReportInterval)
+	pos := 0
+	for pos < n {
+		if h.Cancelled() {
+			return
+		}
+		hi := pos + e.cfg.ChunkRows
+		if hi > n {
+			hi = n
+		}
+		scanRowsWithOverhead(gs, plan, perm[pos:hi], e.cfg.TupleOverhead)
+		pos = hi
+		if now := time.Now(); now.After(nextReport) {
+			h.Publish(gs.SnapshotScaled(int64(pos), total, 0, z))
+			nextReport = now.Add(e.cfg.ReportInterval)
+		}
+	}
+	h.Publish(gs.SnapshotExact())
+}
+
+// runBlocking is the Postgres fallback: a single-threaded full scan with
+// tuple overhead; no result exists until it completes.
+func (e *Engine) runBlocking(plan *engine.Compiled, h *engine.AsyncHandle) {
+	defer h.Finish()
+	gs := engine.NewGroupState(plan)
+	n := plan.NumRows
+	for lo := 0; lo < n; lo += e.cfg.ChunkRows {
+		if h.Cancelled() {
+			return
+		}
+		hi := lo + e.cfg.ChunkRows
+		if hi > n {
+			hi = n
+		}
+		scanRangeWithOverhead(gs, plan, lo, hi, e.cfg.TupleOverhead)
+	}
+	if h.Cancelled() {
+		return
+	}
+	h.Publish(gs.SnapshotExact())
+}
+
+// LinkVizs implements engine.Engine; XDB has no speculative layer.
+func (e *Engine) LinkVizs(from, to string) {}
+
+// DeleteViz implements engine.Engine.
+func (e *Engine) DeleteViz(name string) {}
+
+// WorkflowStart implements engine.Engine.
+func (e *Engine) WorkflowStart() {}
+
+// WorkflowEnd implements engine.Engine.
+func (e *Engine) WorkflowEnd() {}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// tupleSink defeats dead-code elimination of the overhead loop; updated
+// atomically because scans run on multiple goroutines.
+var tupleSink atomic.Uint64
+
+// tupleWork models the per-tuple executor cost of a row store: header
+// decoding, MVCC visibility checks and tuple deformation. k iterations of a
+// simple mix keep the cost deterministic and architecture-independent.
+func tupleWork(row int, k int) uint64 {
+	v := uint64(row) | 1
+	for i := 0; i < k; i++ {
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+	}
+	return v
+}
+
+func scanRowsWithOverhead(gs *engine.GroupState, plan *engine.Compiled, rows []uint32, overhead int) {
+	var acc uint64
+	for _, r := range rows {
+		acc += tupleWork(int(r), overhead)
+	}
+	tupleSink.Add(acc)
+	gs.ScanRows(rows)
+}
+
+func scanRangeWithOverhead(gs *engine.GroupState, plan *engine.Compiled, lo, hi, overhead int) {
+	var acc uint64
+	for r := lo; r < hi; r++ {
+		acc += tupleWork(r, overhead)
+	}
+	tupleSink.Add(acc)
+	gs.ScanRange(lo, hi)
+}
+
+// ingestTable simulates the row-at-a-time load + primary key build.
+func ingestTable(t *dataset.Table, overhead int) {
+	var acc uint64
+	for i := 0; i < t.NumRows(); i++ {
+		acc += tupleWork(i, overhead+8)
+	}
+	tupleSink.Add(acc)
+}

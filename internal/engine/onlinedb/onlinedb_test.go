@@ -1,0 +1,186 @@
+package onlinedb
+
+import (
+	"testing"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/enginetest"
+	"idebench/internal/query"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Conformance(t, func() engine.Engine { return New(Config{}) }, true)
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "onlinedb" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSupportsOnline(t *testing.T) {
+	count := enginetest.CountByCarrier()
+	if !SupportsOnline(count) {
+		t.Error("single COUNT should be online")
+	}
+	sum := enginetest.CountByCarrier()
+	sum.Aggs = []query.Aggregate{{Func: query.Sum, Field: "distance"}}
+	if !SupportsOnline(sum) {
+		t.Error("single SUM should be online")
+	}
+	avg := enginetest.AvgDelayByDistance()
+	if SupportsOnline(avg) {
+		t.Error("AVG must fall back to blocking (XDB limitation)")
+	}
+	multi := enginetest.CountByCarrier()
+	multi.Aggs = append(multi.Aggs, query.Aggregate{Func: query.Sum, Field: "distance"})
+	if SupportsOnline(multi) {
+		t.Error("multi-aggregate must fall back to blocking")
+	}
+	mn := enginetest.CountByCarrier()
+	mn.Aggs = []query.Aggregate{{Func: query.Min, Field: "distance"}}
+	if SupportsOnline(mn) {
+		t.Error("MIN must fall back to blocking")
+	}
+}
+
+func TestOnlineQueryPublishesIntermediateReports(t *testing.T) {
+	db := enginetest.SmallDB(400000, 3)
+	e := New(Config{ReportInterval: 200 * time.Microsecond})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch for an intermediate (incomplete) result before completion.
+	sawPartial := false
+	for {
+		select {
+		case <-h.Done():
+			goto done
+		default:
+		}
+		if snap := h.Snapshot(); snap != nil && !snap.Complete && snap.RowsSeen > 0 {
+			sawPartial = true
+			if !snap.FiniteMargins() {
+				t.Error("online report should carry finite margins")
+			}
+			goto done
+		}
+	}
+done:
+	h.Cancel()
+	<-h.Done()
+	if !sawPartial {
+		// Final result still proves the path works; only warn when the
+		// machine raced past all report intervals.
+		t.Log("no intermediate report observed (machine too fast); final-only")
+	}
+}
+
+func TestBlockingFallbackDeliversNothingEarly(t *testing.T) {
+	db := enginetest.SmallDB(400000, 7)
+	e := New(Config{})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.AvgDelayByDistance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-h.Done():
+		// Finished before we sampled it; acceptable on fast machines.
+	default:
+		if h.Snapshot() != nil {
+			t.Error("blocking fallback must not expose partial results")
+		}
+	}
+	res := enginetest.WaitResult(t, h, 60*time.Second)
+	gt, _ := enginetest.Exact(db, enginetest.AvgDelayByDistance())
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Errorf("fallback result mismatch: %v", err)
+	}
+}
+
+func TestOnlineCompleteIsExact(t *testing.T) {
+	db := enginetest.SmallDB(100000, 9)
+	e := New(Config{})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 60*time.Second)
+	gt, _ := enginetest.Exact(db, enginetest.CountByCarrier())
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Errorf("completed online result mismatch: %v", err)
+	}
+	if !res.Complete {
+		t.Error("full-scan online result should be complete")
+	}
+}
+
+func TestOnlineJoinOnNormalizedSchema(t *testing.T) {
+	db := enginetest.NormalizedDB(150000, 11)
+	e := New(Config{})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins:    []query.Binning{{Field: "carrier", Kind: 1}}, // dimension attribute
+		Aggs:    []query.Aggregate{{Func: query.Count}},
+	}
+	if !SupportsOnline(q) {
+		t.Fatal("count query should be online")
+	}
+	h, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 60*time.Second)
+	gt, _ := enginetest.Exact(db, q)
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Errorf("online join mismatch: %v", err)
+	}
+}
+
+func TestRowAtATimeIsSlowerThanColumnar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	db := enginetest.SmallDB(300000, 13)
+	plan, err := engine.Compile(db, enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columnar scan.
+	gs := engine.NewGroupState(plan)
+	start := time.Now()
+	gs.ScanRange(0, plan.NumRows)
+	columnar := time.Since(start)
+
+	// Row-at-a-time scan with tuple overhead.
+	gs2 := engine.NewGroupState(plan)
+	start = time.Now()
+	scanRangeWithOverhead(gs2, plan, 0, plan.NumRows, Config{}.withDefaults().TupleOverhead)
+	rowAtATime := time.Since(start)
+
+	if rowAtATime < 3*columnar/2 {
+		t.Errorf("tuple overhead too small: columnar %v vs row-at-a-time %v", columnar, rowAtATime)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ReportInterval != time.Millisecond || c.TupleOverhead != 64 || c.ChunkRows != 2048 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}

@@ -1,0 +1,360 @@
+// Package progressive implements the paper's IDEA analogue: a fully
+// progressive online-aggregation engine. Data is scanned in a fixed random
+// permutation so that any prefix is a uniform sample; a query's result can
+// be polled at any time and carries CLT confidence margins. Completed and
+// partial per-query states are cached by query signature and reused when the
+// same query is issued again (Galakatos et al., "Revisiting Reuse for
+// Approximate Query Processing"), and an experimental extension
+// speculatively executes the queries every possible single-bin selection on
+// a linked source visualization would trigger (paper Sec. 5.4 / Exp. 3).
+package progressive
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/query"
+	"idebench/internal/stats"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// ChunkRows is the number of permuted rows folded between snapshot
+	// opportunities (and cancellation checks). Default 4096.
+	ChunkRows int
+	// Speculate enables the think-time speculation extension.
+	Speculate bool
+	// MaxSpeculations caps how many single-bin selections are speculated per
+	// link (the source visualization may have hundreds of bins). Default 64.
+	MaxSpeculations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkRows <= 0 {
+		c.ChunkRows = 4096
+	}
+	if c.MaxSpeculations <= 0 {
+		c.MaxSpeculations = 64
+	}
+	return c
+}
+
+// Engine is the progressive engine.
+type Engine struct {
+	cfg Config
+
+	mu         sync.Mutex
+	db         *dataset.Database
+	opts       engine.Options
+	z          float64
+	perm       []uint32
+	states     map[string]*execState
+	vizQueries map[string]*query.Query
+	spec       *speculator
+
+	// foreground counts in-flight StartQuery executions; the speculator
+	// yields while it is non-zero so speculation only consumes think time,
+	// never query time (IDEA's scheduler gives user queries priority).
+	foreground atomic.Int64
+}
+
+// New returns an unprepared engine.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg.withDefaults()} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "progressive" }
+
+// Prepare implements engine.Engine. IDEA ingests the raw data without
+// pre-processing beyond loading; here that is one row permutation (the
+// online-sampling order). Normalized schemas are rejected — the paper
+// excludes IDEA from the join experiment because it does not support joins.
+func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
+	if db.IsNormalized() {
+		return fmt.Errorf("progressive: joins (normalized schemas) are not supported")
+	}
+	opts = opts.Normalize()
+	z, err := stats.ZScore(opts.Confidence)
+	if err != nil {
+		return fmt.Errorf("progressive: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := stats.Permutation(rng, db.Fact.NumRows())
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.db = db
+	e.opts = opts
+	e.z = z
+	e.perm = perm
+	e.states = make(map[string]*execState)
+	e.vizQueries = make(map[string]*query.Query)
+	return nil
+}
+
+// StartQuery implements engine.Engine. If a cached state for the same query
+// signature exists (from reuse or speculation) execution resumes from it,
+// otherwise a fresh state starts from the beginning of the permutation.
+func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
+	e.mu.Lock()
+	if e.db == nil {
+		e.mu.Unlock()
+		return nil, engine.ErrNotPrepared
+	}
+	st, err := e.stateLocked(q)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	qc := *q
+	e.vizQueries[q.VizName] = &qc
+	z, perm, chunk := e.z, e.perm, e.cfg.ChunkRows
+	e.mu.Unlock()
+
+	h := engine.NewAsyncHandle()
+	h.SetSnapshotFunc(func() *query.Result { return st.snapshot(z) })
+	e.foreground.Add(1)
+	go func() {
+		defer e.foreground.Add(-1)
+		defer h.Finish()
+		for !h.Cancelled() {
+			if done := st.advance(perm, chunk); done {
+				return
+			}
+		}
+	}()
+	return h, nil
+}
+
+// stateLocked returns the cached state for q's signature, creating it if
+// needed. Caller holds e.mu.
+func (e *Engine) stateLocked(q *query.Query) (*execState, error) {
+	sig := q.Signature()
+	if st, ok := e.states[sig]; ok {
+		return st, nil
+	}
+	plan, err := engine.Compile(e.db, q)
+	if err != nil {
+		return nil, err
+	}
+	st := newExecState(plan)
+	e.states[sig] = st
+	return st, nil
+}
+
+// LinkVizs implements engine.Engine. With speculation enabled, establishing
+// a link triggers background execution of the queries each single-bin
+// selection on the source would cause on the target, exploiting think time.
+func (e *Engine) LinkVizs(from, to string) {
+	if !e.cfg.Speculate {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	srcQ := e.vizQueries[from]
+	dstQ := e.vizQueries[to]
+	if srcQ == nil || dstQ == nil {
+		return
+	}
+	srcState, ok := e.states[srcQ.Signature()]
+	if !ok {
+		return
+	}
+	srcSnap := srcState.snapshot(e.z)
+	srcBin := srcQ.Bins[0]
+	dict := srcState.plan.BinDicts[0]
+
+	var targets []*execState
+	for _, key := range srcSnap.SortedKeys() {
+		if len(targets) >= e.cfg.MaxSpeculations {
+			break
+		}
+		pred := query.SelectionPredicate(srcBin, key.A, dict)
+		specQ := *dstQ
+		specQ.Filter = dstQ.Filter.And(pred)
+		st, err := e.stateLocked(&specQ)
+		if err != nil {
+			continue
+		}
+		targets = append(targets, st)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	if e.spec == nil {
+		e.spec = newSpeculator(e.perm, e.cfg.ChunkRows, &e.foreground)
+	}
+	e.spec.setTargets(targets)
+}
+
+// DeleteViz implements engine.Engine.
+func (e *Engine) DeleteViz(name string) {
+	e.mu.Lock()
+	delete(e.vizQueries, name)
+	e.mu.Unlock()
+}
+
+// WorkflowStart implements engine.Engine: caches are per exploration
+// session, so each workflow starts cold.
+func (e *Engine) WorkflowStart() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spec != nil {
+		e.spec.stop()
+		e.spec = nil
+	}
+	if e.db != nil {
+		e.states = make(map[string]*execState)
+		e.vizQueries = make(map[string]*query.Query)
+	}
+}
+
+// WorkflowEnd implements engine.Engine.
+func (e *Engine) WorkflowEnd() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spec != nil {
+		e.spec.stop()
+		e.spec = nil
+	}
+}
+
+// StateProgress reports the scan progress of the cached state for q, used
+// by tests and the speculation example to observe reuse.
+func (e *Engine) StateProgress(q *query.Query) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.states[q.Signature()]
+	if !ok {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(e.perm) == 0 {
+		return 0
+	}
+	return float64(st.pos) / float64(len(e.perm))
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// execState is the shared, resumable execution state of one query
+// signature. Multiple workers (foreground queries and the speculator) may
+// advance the same state; the mutex serializes them and pos guarantees no
+// row is folded twice.
+type execState struct {
+	mu   sync.Mutex
+	plan *engine.Compiled
+	gs   *engine.GroupState
+	pos  int
+}
+
+func newExecState(plan *engine.Compiled) *execState {
+	return &execState{plan: plan, gs: engine.NewGroupState(plan)}
+}
+
+// advance folds the next chunk of the permutation; it reports whether the
+// scan is complete.
+func (s *execState) advance(perm []uint32, chunk int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(perm) {
+		return true
+	}
+	hi := s.pos + chunk
+	if hi > len(perm) {
+		hi = len(perm)
+	}
+	s.gs.ScanRows(perm[s.pos:hi])
+	s.pos = hi
+	return s.pos >= len(perm)
+}
+
+// snapshot renders the current estimate with margins at critical value z.
+func (s *execState) snapshot(z float64) *query.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= s.plan.NumRows {
+		return s.gs.SnapshotExact()
+	}
+	return s.gs.SnapshotScaled(int64(s.pos), int64(s.plan.NumRows), 0, z)
+}
+
+// speculator advances a set of states round-robin on one background
+// goroutine until stopped or all targets complete. One goroutine keeps the
+// CPU cost of speculation bounded and predictable, and it yields whenever a
+// foreground query is executing so speculation consumes only think time.
+type speculator struct {
+	mu         sync.Mutex
+	targets    []*execState
+	stopCh     chan struct{}
+	once       sync.Once
+	foreground *atomic.Int64
+}
+
+func newSpeculator(perm []uint32, chunk int, foreground *atomic.Int64) *speculator {
+	sp := &speculator{stopCh: make(chan struct{}), foreground: foreground}
+	go sp.loop(perm, chunk)
+	return sp
+}
+
+func (sp *speculator) setTargets(ts []*execState) {
+	sp.mu.Lock()
+	sp.targets = ts
+	sp.mu.Unlock()
+}
+
+func (sp *speculator) stop() { sp.once.Do(func() { close(sp.stopCh) }) }
+
+func (sp *speculator) loop(perm []uint32, chunk int) {
+	for {
+		select {
+		case <-sp.stopCh:
+			return
+		default:
+		}
+		if sp.foreground.Load() > 0 {
+			// A user query is running: stay out of its way.
+			select {
+			case <-sp.stopCh:
+				return
+			case <-time.After(50 * time.Microsecond):
+			}
+			continue
+		}
+		sp.mu.Lock()
+		ts := sp.targets
+		sp.mu.Unlock()
+		if len(ts) == 0 {
+			// No work yet; yield briefly without burning a core.
+			select {
+			case <-sp.stopCh:
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+			continue
+		}
+		allDone := true
+		for _, st := range ts {
+			select {
+			case <-sp.stopCh:
+				return
+			default:
+			}
+			if sp.foreground.Load() > 0 {
+				allDone = false
+				break
+			}
+			if !st.advance(perm, chunk) {
+				allDone = false
+			}
+		}
+		if allDone {
+			return
+		}
+	}
+}

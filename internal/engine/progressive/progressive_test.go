@@ -1,0 +1,245 @@
+package progressive
+
+import (
+	"testing"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/enginetest"
+	"idebench/internal/query"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Conformance(t, func() engine.Engine { return New(Config{}) }, true)
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "progressive" {
+		t.Error("name wrong")
+	}
+}
+
+func TestRejectsNormalizedSchema(t *testing.T) {
+	db := enginetest.NormalizedDB(100, 1)
+	if err := New(Config{}).Prepare(db, engine.Options{}); err == nil {
+		t.Error("progressive should reject normalized schemas (IDEA does not support joins)")
+	}
+}
+
+func TestPartialSnapshotsImprove(t *testing.T) {
+	db := enginetest.SmallDB(500000, 13)
+	e := New(Config{ChunkRows: 1024})
+	if err := e.Prepare(db, engine.Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll immediately: should get a (possibly empty) snapshot without error.
+	first := h.Snapshot()
+	if first == nil {
+		t.Fatal("progressive engine must always answer polls")
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	if !res.Complete {
+		t.Error("finished progressive query should be complete")
+	}
+	if res.RowsSeen < first.RowsSeen {
+		t.Error("progress went backwards")
+	}
+	gt, _ := enginetest.Exact(db, enginetest.CountByCarrier())
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Errorf("completed progressive result should be exact: %v", err)
+	}
+}
+
+func TestPartialEstimateIsUnbiasedish(t *testing.T) {
+	db := enginetest.SmallDB(200000, 17)
+	e := New(Config{ChunkRows: 512})
+	if err := e.Prepare(db, engine.Options{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grab an early snapshot, then cancel.
+	var snap *query.Result
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap = h.Snapshot()
+		if snap != nil && snap.RowsSeen > 1000 && !snap.Complete {
+			break
+		}
+	}
+	h.Cancel()
+	<-h.Done()
+	if snap == nil || snap.RowsSeen == 0 {
+		t.Skip("machine too fast to catch a partial snapshot")
+	}
+	gt, _ := enginetest.Exact(db, enginetest.CountByCarrier())
+	// Estimates should be within 25% of truth with >1000 random rows.
+	if err := enginetest.ResultsEqual(gt, snap, 0.25); err != nil {
+		t.Errorf("partial estimate too far off: %v", err)
+	}
+	if !snap.FiniteMargins() {
+		t.Error("partial snapshot must carry finite margins")
+	}
+}
+
+func TestResultReuseWithinWorkflow(t *testing.T) {
+	db := enginetest.SmallDB(300000, 19)
+	e := New(Config{})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	q := enginetest.CountByCarrier()
+	h1, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Done()
+	if p := e.StateProgress(q); p != 1 {
+		t.Fatalf("state progress = %v, want 1", p)
+	}
+	// Re-issuing the same query must complete instantly from cache.
+	start := time.Now()
+	h2, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h2.Done()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("reuse took %v, expected near-instant", elapsed)
+	}
+	res := h2.Snapshot()
+	if res == nil || !res.Complete {
+		t.Error("reused result should be complete")
+	}
+
+	// WorkflowStart clears the cache.
+	e.WorkflowStart()
+	if p := e.StateProgress(q); p != 0 {
+		t.Errorf("cache survived WorkflowStart: progress %v", p)
+	}
+	e.WorkflowEnd()
+}
+
+func TestSpeculationWarmsLinkedQueries(t *testing.T) {
+	db := enginetest.SmallDB(400000, 23)
+	e := New(Config{Speculate: true, ChunkRows: 2048})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+
+	// Source: count by carrier. Target: avg delay by distance.
+	src := enginetest.CountByCarrier()
+	dst := enginetest.AvgDelayByDistance()
+	h1, _ := e.StartQuery(src)
+	<-h1.Done()
+	h2, _ := e.StartQuery(dst)
+	<-h2.Done()
+
+	e.LinkVizs(src.VizName, dst.VizName)
+	time.Sleep(100 * time.Millisecond) // think time: speculation runs
+
+	// The query a selection of carrier "AA" would trigger:
+	dict := db.Fact.Column("carrier").Dict
+	code, _ := dict.Lookup("AA")
+	sel := query.SelectionPredicate(src.Bins[0], int64(code), dict)
+	selQ := *dst
+	selQ.Filter = dst.Filter.And(sel)
+
+	if p := e.StateProgress(&selQ); p <= 0 {
+		t.Error("speculation did not warm the selection query")
+	}
+
+	// Issuing the actual query picks up the speculative state.
+	h3, err := e.StartQuery(&selQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h3, 30*time.Second)
+	gt, _ := enginetest.Exact(db, &selQ)
+	// Tolerance: permuted accumulation order shifts float sums in the last bits.
+	if err := enginetest.ResultsEqual(gt, res, 1e-9); err != nil {
+		t.Errorf("speculatively warmed query wrong: %v", err)
+	}
+}
+
+func TestSpeculationDisabledByDefault(t *testing.T) {
+	db := enginetest.SmallDB(50000, 29)
+	e := New(Config{})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+	src := enginetest.CountByCarrier()
+	dst := enginetest.AvgDelayByDistance()
+	h1, _ := e.StartQuery(src)
+	<-h1.Done()
+	h2, _ := e.StartQuery(dst)
+	<-h2.Done()
+	e.LinkVizs(src.VizName, dst.VizName)
+	time.Sleep(20 * time.Millisecond)
+
+	dict := db.Fact.Column("carrier").Dict
+	code, _ := dict.Lookup("AA")
+	selQ := *dst
+	selQ.Filter = dst.Filter.And(query.SelectionPredicate(src.Bins[0], int64(code), dict))
+	if p := e.StateProgress(&selQ); p != 0 {
+		t.Error("speculation ran despite being disabled")
+	}
+}
+
+func TestDeleteVizForgetsQuery(t *testing.T) {
+	db := enginetest.SmallDB(10000, 31)
+	e := New(Config{Speculate: true})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+	src := enginetest.CountByCarrier()
+	h, _ := e.StartQuery(src)
+	<-h.Done()
+	e.DeleteViz(src.VizName)
+	// Linking a deleted viz must be a no-op (no panic, no speculation).
+	e.LinkVizs(src.VizName, "ghost")
+}
+
+func TestMinMaxAggProgressive(t *testing.T) {
+	db := enginetest.SmallDB(50000, 37)
+	e := New(Config{})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins:    []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs: []query.Aggregate{
+			{Func: query.Min, Field: "dep_delay"},
+			{Func: query.Max, Field: "dep_delay"},
+		},
+	}
+	h, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	gt, _ := enginetest.Exact(db, q)
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Errorf("min/max mismatch: %v", err)
+	}
+}

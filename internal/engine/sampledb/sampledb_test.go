@@ -1,0 +1,177 @@
+package sampledb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/enginetest"
+	"idebench/internal/query"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Conformance(t, func() engine.Engine { return New(Config{}) }, false)
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "sampledb" {
+		t.Error("name wrong")
+	}
+}
+
+func TestRejectsNormalizedSchema(t *testing.T) {
+	db := enginetest.NormalizedDB(100, 1)
+	if err := New(Config{}).Prepare(db, engine.Options{}); err == nil {
+		t.Error("sampledb should reject normalized schemas (System X works on de-normalized data)")
+	}
+}
+
+func TestSampleSizeMatchesRate(t *testing.T) {
+	db := enginetest.SmallDB(100000, 5)
+	e := New(Config{SampleRate: 0.05})
+	if err := e.Prepare(db, engine.Options{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got := e.SampleRows()
+	if math.Abs(float64(got)-5000) > 500 {
+		t.Errorf("sample rows = %d, want ~5000", got)
+	}
+}
+
+func TestStratificationKeepsRareGroups(t *testing.T) {
+	// Build a table where one carrier has only 3 of 50000 rows; a 1%
+	// uniform sample would miss it ~60% of the time, stratification never.
+	schema := dataset.MustSchema([]dataset.Field{
+		{Name: "carrier", Kind: dataset.Nominal},
+		{Name: "delay", Kind: dataset.Quantitative},
+	})
+	b := dataset.NewBuilder("flights", schema, 50000)
+	for i := 0; i < 50000; i++ {
+		if i < 3 {
+			b.AppendString(0, "RARE")
+		} else if i%2 == 0 {
+			b.AppendString(0, "AA")
+		} else {
+			b.AppendString(0, "UA")
+		}
+		b.AppendNum(1, float64(i%100))
+	}
+	fact, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &dataset.Database{Fact: fact}
+	e := New(Config{SampleRate: 0.01})
+	if err := e.Prepare(db, engine.Options{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins:    []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs:    []query.Aggregate{{Func: query.Count}},
+	}
+	h, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	dict := fact.Column("carrier").Dict
+	rare, _ := dict.Lookup("RARE")
+	if _, ok := res.Bins[query.BinKey{A: int64(rare)}]; !ok {
+		t.Error("stratified sample lost the rare carrier")
+	}
+}
+
+func TestQualityConstantAcrossPolls(t *testing.T) {
+	// The sample is fixed offline: re-running the same query returns the
+	// same estimate every time (paper: quality constant across TRs).
+	db := enginetest.SmallDB(50000, 21)
+	e := New(Config{SampleRate: 0.1})
+	if err := e.Prepare(db, engine.Options{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	q := enginetest.CountByCarrier()
+	h1, _ := e.StartQuery(q)
+	r1 := enginetest.WaitResult(t, h1, 30*time.Second)
+	h2, _ := e.StartQuery(q)
+	r2 := enginetest.WaitResult(t, h2, 30*time.Second)
+	if err := enginetest.ResultsEqual(r1, r2, 0); err != nil {
+		t.Errorf("offline-sample estimates should be deterministic: %v", err)
+	}
+	if r1.Complete {
+		t.Error("sample-based estimate must not claim to be exact")
+	}
+	if !r1.FiniteMargins() {
+		t.Error("margins should be finite")
+	}
+	// Margins must be positive for a genuine sample.
+	for _, bv := range r1.Bins {
+		if bv.Margins[0] <= 0 {
+			t.Error("count margins should be positive for sampled estimates")
+		}
+	}
+}
+
+func TestEstimatesScaleToPopulation(t *testing.T) {
+	db := enginetest.SmallDB(80000, 25)
+	e := New(Config{SampleRate: 0.1})
+	if err := e.Prepare(db, engine.Options{Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	q := enginetest.CountByCarrier()
+	h, _ := e.StartQuery(q)
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	var total float64
+	for _, bv := range res.Bins {
+		total += bv.Values[0]
+	}
+	if math.Abs(total-80000) > 0.02*80000 {
+		t.Errorf("scaled total = %v, want ~80000", total)
+	}
+}
+
+func TestUniformFallbackWithoutStrataColumn(t *testing.T) {
+	schema := dataset.MustSchema([]dataset.Field{
+		{Name: "x", Kind: dataset.Quantitative},
+	})
+	b := dataset.NewBuilder("flights", schema, 10000)
+	for i := 0; i < 10000; i++ {
+		b.AppendNum(0, float64(i))
+	}
+	fact, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{SampleRate: 0.02})
+	if err := e.Prepare(&dataset.Database{Fact: fact}, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SampleRows(); math.Abs(float64(got)-200) > 50 {
+		t.Errorf("uniform fallback sample = %d, want ~200", got)
+	}
+}
+
+func TestEmptyTableRejected(t *testing.T) {
+	schema := dataset.MustSchema([]dataset.Field{{Name: "x", Kind: dataset.Quantitative}})
+	fact, err := dataset.NewBuilder("flights", schema, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(Config{}).Prepare(&dataset.Database{Fact: fact}, engine.Options{}); err == nil {
+		t.Error("empty table should be rejected")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.SampleRate != 0.10 || c.StrataColumn != "carrier" {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	c2 := Config{SampleRate: 1.5}.withDefaults()
+	if c2.SampleRate != 0.10 {
+		t.Error("out-of-range rate should fall back to default")
+	}
+}

@@ -1,0 +1,111 @@
+package sqldb
+
+import (
+	"database/sql"
+	"testing"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/enginetest"
+	"idebench/internal/query"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Conformance(t, func() engine.Engine { return NewSQLMem() }, true)
+}
+
+func TestName(t *testing.T) {
+	if NewSQLMem().Name() != "sqldb" {
+		t.Error("name wrong")
+	}
+}
+
+func TestMatchesGroundTruth2D(t *testing.T) {
+	db := enginetest.SmallDB(25000, 3)
+	e := NewSQLMem()
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins: []query.Binning{
+			{Field: "carrier", Kind: dataset.Nominal},
+			{Field: "distance", Kind: dataset.Quantitative, Width: 500},
+		},
+		Aggs: []query.Aggregate{
+			{Func: query.Count},
+			{Func: query.Avg, Field: "arr_delay"},
+		},
+		Filter: query.Filter{Predicates: []query.Predicate{
+			{Field: "origin_state", Op: query.OpIn, Values: []string{"CA", "TX"}},
+		}},
+	}
+	h, err := e.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	gt, err := enginetest.Exact(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.ResultsEqual(gt, res, 1e-9); err != nil {
+		t.Errorf("sql round trip mismatch: %v", err)
+	}
+	if !res.Complete {
+		t.Error("SQL result should be complete")
+	}
+}
+
+func TestCancelledQueryDeliversNothing(t *testing.T) {
+	db := enginetest.SmallDB(400000, 5)
+	e := NewSQLMem()
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.AvgDelayByDistance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Cancel()
+	select {
+	case <-h.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancel did not finish the query")
+	}
+	if h.Snapshot() != nil {
+		t.Error("cancelled SQL query should deliver nothing")
+	}
+}
+
+func TestBrokenBackend(t *testing.T) {
+	e := New(func(db *dataset.Database) (*sql.DB, error) {
+		return sql.Open("sqlmem", "nonexistent-dsn")
+	})
+	db := enginetest.SmallDB(100, 7)
+	if err := e.Prepare(db, engine.Options{}); err == nil {
+		t.Error("unreachable backend should fail Prepare")
+	}
+}
+
+func TestDriverTRSemantics(t *testing.T) {
+	// The SQL adapter behaves like a blocking engine under the benchmark
+	// driver: an impossible TR yields a violation, a generous one an exact
+	// result.
+	db := enginetest.SmallDB(50000, 9)
+	e := NewSQLMem()
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	gt, _ := enginetest.Exact(db, enginetest.CountByCarrier())
+	if err := enginetest.ResultsEqual(gt, res, 0); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"idebench/internal/query"
+)
+
+// randomResult builds a result with n bins and one aggregate.
+func randomResult(rng *rand.Rand, n int, margins bool) *query.Result {
+	r := query.NewResult()
+	for i := 0; i < n; i++ {
+		k := query.BinKey{A: rng.Int63n(50), B: rng.Int63n(3)}
+		bv := &query.BinValue{
+			Values:  []float64{rng.NormFloat64() * 100},
+			Margins: []float64{0},
+		}
+		if margins {
+			bv.Margins[0] = rng.Float64() * 20
+		}
+		r.Bins[k] = bv
+	}
+	return r
+}
+
+// Property: metric bounds hold for arbitrary result/ground-truth pairs.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		res := randomResult(rng, rng.Intn(30), true)
+		gt := randomResult(rng, rng.Intn(30), false)
+		m := Evaluate(res, gt, false)
+
+		if m.MissingBins < 0 || m.MissingBins > 1 {
+			return false
+		}
+		if !math.IsNaN(m.SMAPE) && (m.SMAPE < 0 || m.SMAPE > 1+1e-12) {
+			return false
+		}
+		if !math.IsNaN(m.CosineDistance) && (m.CosineDistance < 0 || m.CosineDistance > 2+1e-12) {
+			return false
+		}
+		if !math.IsNaN(m.RelErrAvg) && m.RelErrAvg < 0 {
+			return false
+		}
+		if m.OutOfMargin < 0 || m.OutOfMargin > len(res.Bins) {
+			return false
+		}
+		if m.BinsDelivered != len(res.Bins) || m.BinsInGT != len(gt.Bins) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluating a result against itself is perfect.
+func TestSelfEvaluationPerfectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gt := randomResult(rng, 1+rng.Intn(30), false)
+		m := Evaluate(gt.Clone(), gt, false)
+		if m.MissingBins != 0 {
+			return false
+		}
+		if !math.IsNaN(m.RelErrAvg) && m.RelErrAvg > 1e-12 {
+			return false
+		}
+		if !math.IsNaN(m.SMAPE) && m.SMAPE > 1e-12 {
+			return false
+		}
+		return m.CosineDistance < 1e-9 && m.OutOfMargin == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing bins from the delivered result increases (or keeps)
+// missing bins, never decreases it.
+func TestMissingBinsMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gt := randomResult(rng, 5+rng.Intn(20), false)
+		full := gt.Clone()
+		partial := gt.Clone()
+		// Drop a random subset from partial.
+		for k := range partial.Bins {
+			if rng.Float64() < 0.5 {
+				delete(partial.Bins, k)
+			}
+		}
+		mFull := Evaluate(full, gt, false)
+		mPartial := Evaluate(partial, gt, false)
+		return mPartial.MissingBins >= mFull.MissingBins-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling the delivered values scales bias linearly.
+func TestBiasScalesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gt := randomResult(rng, 3+rng.Intn(10), false)
+		scaled := gt.Clone()
+		factor := 0.5 + rng.Float64()
+		var gtSum float64
+		for _, bv := range scaled.Bins {
+			gtSum += bv.Values[0]
+			bv.Values[0] *= factor
+		}
+		if math.Abs(gtSum) < 1e-6 {
+			return true // bias undefined near zero totals
+		}
+		m := Evaluate(scaled, gt, false)
+		return math.Abs(m.Bias-factor) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

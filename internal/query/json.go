@@ -1,0 +1,65 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// resultJSON is the wire representation of a Result: bin keys become
+// explicit arrays because JSON objects cannot key on structs. This is the
+// format a remote system adapter (paper Sec. 4.5) would write results back
+// to the driver in.
+type resultJSON struct {
+	Bins      []binJSON `json:"bins"`
+	RowsSeen  int64     `json:"rows_seen"`
+	TotalRows int64     `json:"total_rows"`
+	Complete  bool      `json:"complete"`
+}
+
+type binJSON struct {
+	Key     [2]int64  `json:"key"`
+	Values  []float64 `json:"values"`
+	Margins []float64 `json:"margins"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic bin order.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Bins:      make([]binJSON, 0, len(r.Bins)),
+		RowsSeen:  r.RowsSeen,
+		TotalRows: r.TotalRows,
+		Complete:  r.Complete,
+	}
+	for _, k := range r.SortedKeys() {
+		bv := r.Bins[k]
+		out.Bins = append(out.Bins, binJSON{
+			Key:     [2]int64{k.A, k.B},
+			Values:  bv.Values,
+			Margins: bv.Margins,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("query: decode result: %w", err)
+	}
+	r.Bins = make(map[BinKey]*BinValue, len(in.Bins))
+	r.RowsSeen = in.RowsSeen
+	r.TotalRows = in.TotalRows
+	r.Complete = in.Complete
+	for _, b := range in.Bins {
+		if len(b.Margins) != len(b.Values) {
+			return fmt.Errorf("query: bin %v has %d margins for %d values",
+				b.Key, len(b.Margins), len(b.Values))
+		}
+		r.Bins[BinKey{A: b.Key[0], B: b.Key[1]}] = &BinValue{
+			Values:  b.Values,
+			Margins: b.Margins,
+		}
+	}
+	return nil
+}

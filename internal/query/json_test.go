@@ -1,0 +1,144 @@
+package query
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"idebench/internal/dataset"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := NewResult()
+	r.RowsSeen = 100
+	r.TotalRows = 1000
+	r.Bins[BinKey{A: 3, B: -1}] = &BinValue{Values: []float64{1.5, 2}, Margins: []float64{0.1, 0}}
+	r.Bins[BinKey{A: 0}] = &BinValue{Values: []float64{7}, Margins: []float64{0}}
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RowsSeen != 100 || got.TotalRows != 1000 || got.Complete {
+		t.Error("metadata lost")
+	}
+	if len(got.Bins) != 2 {
+		t.Fatalf("bins = %d", len(got.Bins))
+	}
+	bv := got.Bins[BinKey{A: 3, B: -1}]
+	if bv == nil || bv.Values[0] != 1.5 || bv.Margins[0] != 0.1 {
+		t.Errorf("bin values mangled: %+v", bv)
+	}
+}
+
+func TestResultJSONDeterministic(t *testing.T) {
+	r := NewResult()
+	for i := int64(0); i < 20; i++ {
+		r.Bins[BinKey{A: i % 5, B: i}] = &BinValue{Values: []float64{float64(i)}, Margins: []float64{0}}
+	}
+	a, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("marshaling should be deterministic")
+	}
+}
+
+func TestResultJSONRejectsRaggedMargins(t *testing.T) {
+	in := `{"bins":[{"key":[0,0],"values":[1,2],"margins":[0]}],"rows_seen":1,"total_rows":1,"complete":true}`
+	var r Result
+	if err := json.Unmarshal([]byte(in), &r); err == nil {
+		t.Error("ragged margins should be rejected")
+	}
+	if err := json.Unmarshal([]byte("not json"), &r); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+// Property: any randomly built result survives a JSON round trip.
+func TestResultJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResult()
+		r.RowsSeen = rng.Int63n(1000)
+		r.TotalRows = r.RowsSeen + rng.Int63n(1000)
+		r.Complete = rng.Intn(2) == 0
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			k := BinKey{A: rng.Int63n(20) - 10, B: rng.Int63n(20) - 10}
+			na := 1 + rng.Intn(3)
+			bv := &BinValue{Values: make([]float64, na), Margins: make([]float64, na)}
+			for j := range bv.Values {
+				bv.Values[j] = rng.NormFloat64() * 100
+				bv.Margins[j] = rng.Float64() * 10
+			}
+			r.Bins[k] = bv
+		}
+		data, err := json.Marshal(r)
+		if err != nil {
+			return false
+		}
+		var got Result
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		if len(got.Bins) != len(r.Bins) || got.RowsSeen != r.RowsSeen ||
+			got.TotalRows != r.TotalRows || got.Complete != r.Complete {
+			return false
+		}
+		for k, bv := range r.Bins {
+			gv, ok := got.Bins[k]
+			if !ok || len(gv.Values) != len(bv.Values) {
+				return false
+			}
+			for j := range bv.Values {
+				if gv.Values[j] != bv.Values[j] || gv.Margins[j] != bv.Margins[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	q := &Query{
+		VizName: "v",
+		Table:   "flights",
+		Bins: []Binning{
+			{Field: "dep_delay", Kind: dataset.Quantitative, Width: 10, Origin: -60},
+			{Field: "carrier", Kind: dataset.Nominal},
+		},
+		Aggs: []Aggregate{{Func: Avg, Field: "arr_delay"}},
+		Filter: Filter{Predicates: []Predicate{
+			{Field: "carrier", Op: OpIn, Values: []string{"AA"}},
+		}},
+	}
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Query
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Signature() != q.Signature() {
+		t.Error("query signature changed across JSON round trip")
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("decoded query invalid: %v", err)
+	}
+}

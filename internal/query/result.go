@@ -1,0 +1,116 @@
+package query
+
+import (
+	"math"
+	"sort"
+)
+
+// BinKey identifies one bin of a (1D or 2D) binned aggregation. For nominal
+// dimensions the component is the dictionary code; for quantitative
+// dimensions it is the bin index. The second component is 0 for 1D queries.
+type BinKey struct {
+	A, B int64
+}
+
+// Less orders keys lexicographically, giving deterministic report output.
+func (k BinKey) Less(o BinKey) bool {
+	if k.A != o.A {
+		return k.A < o.A
+	}
+	return k.B < o.B
+}
+
+// BinValue holds the aggregate outputs of one bin: one value (and one
+// margin-of-error half-width) per aggregate in the query. A margin of 0
+// means the value is exact; progressive/approximate engines report positive
+// margins at the configured confidence level.
+type BinValue struct {
+	Values  []float64
+	Margins []float64
+}
+
+// Result is what an engine hands back for a query: a set of bins, plus
+// progress metadata. Blocking engines return Complete results only;
+// progressive engines return any number of partial snapshots.
+type Result struct {
+	// Bins maps bin keys to aggregate values.
+	Bins map[BinKey]*BinValue
+	// RowsSeen is how many (fact-table) rows contributed.
+	RowsSeen int64
+	// TotalRows is the table size the query ran against.
+	TotalRows int64
+	// Complete reports whether the result is exact (all rows processed, or
+	// an exact engine finished).
+	Complete bool
+}
+
+// NewResult allocates an empty result.
+func NewResult() *Result {
+	return &Result{Bins: make(map[BinKey]*BinValue)}
+}
+
+// Progress returns the fraction of rows processed, in [0,1].
+func (r *Result) Progress() float64 {
+	if r.Complete {
+		return 1
+	}
+	if r.TotalRows == 0 {
+		return 0
+	}
+	p := float64(r.RowsSeen) / float64(r.TotalRows)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// SortedKeys returns the bin keys in deterministic order.
+func (r *Result) SortedKeys() []BinKey {
+	keys := make([]BinKey, 0, len(r.Bins))
+	for k := range r.Bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+// Clone deep-copies the result so engines can keep mutating their internal
+// state after handing a snapshot to the driver.
+func (r *Result) Clone() *Result {
+	out := &Result{
+		Bins:      make(map[BinKey]*BinValue, len(r.Bins)),
+		RowsSeen:  r.RowsSeen,
+		TotalRows: r.TotalRows,
+		Complete:  r.Complete,
+	}
+	for k, v := range r.Bins {
+		nv := &BinValue{
+			Values:  append([]float64(nil), v.Values...),
+			Margins: append([]float64(nil), v.Margins...),
+		}
+		out.Bins[k] = nv
+	}
+	return out
+}
+
+// ValueAt returns aggregate agg of bin k and whether the bin exists.
+func (r *Result) ValueAt(k BinKey, agg int) (float64, bool) {
+	bv, ok := r.Bins[k]
+	if !ok || agg >= len(bv.Values) {
+		return 0, false
+	}
+	return bv.Values[agg], true
+}
+
+// FiniteMargins reports whether every margin in the result is finite; used
+// by tests to assert approximate engines always deliver usable intervals.
+func (r *Result) FiniteMargins() bool {
+	for _, bv := range r.Bins {
+		for _, m := range bv.Margins {
+			if math.IsInf(m, 0) || math.IsNaN(m) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"idebench/internal/dataset"
+)
+
+// ToSQL renders the query as the SQL the benchmark driver would send to a
+// SQL system adapter (paper Fig. 4). Quantitative binnings render as
+// FLOOR((field - origin)/width) expressions; nominal binnings group by the
+// raw column. The output is for adapters and reports; the in-process engines
+// execute the structured Query directly.
+func (q *Query) ToSQL() string {
+	var sel, group []string
+	for i, b := range q.Bins {
+		alias := fmt.Sprintf("bin%d", i)
+		var expr string
+		if b.Kind == dataset.Quantitative {
+			if b.Origin != 0 {
+				expr = fmt.Sprintf("FLOOR((%s - %s)/%s)", b.Field, trimFloat(b.Origin), trimFloat(b.Width))
+			} else {
+				expr = fmt.Sprintf("FLOOR(%s/%s)", b.Field, trimFloat(b.Width))
+			}
+		} else {
+			expr = b.Field
+		}
+		sel = append(sel, fmt.Sprintf("%s AS %s", expr, alias))
+		group = append(group, alias)
+	}
+	for _, a := range q.Aggs {
+		sel = append(sel, a.String())
+	}
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(strings.Join(sel, ", "))
+	sb.WriteString(" FROM ")
+	sb.WriteString(q.Table)
+	if where := q.Filter.ToSQL(); where != "" {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(where)
+	}
+	sb.WriteString(" GROUP BY ")
+	sb.WriteString(strings.Join(group, ", "))
+	return sb.String()
+}
+
+// ToSQL renders the filter as a SQL WHERE clause body ("" when empty).
+func (f Filter) ToSQL() string {
+	if f.IsEmpty() {
+		return ""
+	}
+	parts := make([]string, len(f.Predicates))
+	for i, p := range f.Predicates {
+		parts[i] = p.ToSQL()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// ToSQL renders one predicate.
+func (p Predicate) ToSQL() string {
+	switch p.Op {
+	case OpIn:
+		if len(p.Values) == 1 {
+			return fmt.Sprintf("%s = '%s'", p.Field, escapeSQL(p.Values[0]))
+		}
+		quoted := make([]string, len(p.Values))
+		for i, v := range p.Values {
+			quoted[i] = "'" + escapeSQL(v) + "'"
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Field, strings.Join(quoted, ", "))
+	case OpRange:
+		return fmt.Sprintf("(%s >= %s AND %s < %s)", p.Field, trimFloat(p.Lo), p.Field, trimFloat(p.Hi))
+	default:
+		return fmt.Sprintf("/* unknown op %q */ TRUE", string(p.Op))
+	}
+}
+
+func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

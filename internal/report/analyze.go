@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"idebench/internal/driver"
+)
+
+// Factor names one dimension of the Exp.-4 "other effects" analysis
+// (paper Sec. 5.5): bin dimensionality, binning types, aggregate types,
+// concurrency, and filter specificity.
+type Factor string
+
+// The analyzed factors.
+const (
+	FactorBinDims     Factor = "bin_dims"
+	FactorBinningType Factor = "binning_type"
+	FactorAggType     Factor = "agg_type"
+	FactorConcurrency Factor = "concurrent_queries"
+	FactorSelectivity Factor = "filter_predicates"
+)
+
+// AllFactors lists the factors in report order.
+var AllFactors = []Factor{
+	FactorBinDims, FactorBinningType, FactorAggType, FactorConcurrency, FactorSelectivity,
+}
+
+// EffectRow aggregates the records sharing one factor level.
+type EffectRow struct {
+	Factor  Factor
+	Level   string
+	Queries int
+	// TRViolatedPct and MeanMRE measure whether the level shifts
+	// performance; the paper found no significant effect for any factor
+	// except filter specificity.
+	TRViolatedPct  float64
+	MeanMRE        float64
+	MeanMissing    float64
+	MeanCosineDist float64
+}
+
+// Analyze groups records by each factor's levels. Filter specificity is
+// approximated by the number of filter predicates in the SQL (0, 1, 2, 3+),
+// which tracks how narrow the selected sub-population is.
+func Analyze(records []driver.Record) []EffectRow {
+	var rows []EffectRow
+	for _, f := range AllFactors {
+		levels := map[string][]driver.Record{}
+		for _, r := range records {
+			levels[level(f, r)] = append(levels[level(f, r)], r)
+		}
+		names := make([]string, 0, len(levels))
+		for n := range levels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rows = append(rows, effectRow(f, n, levels[n]))
+		}
+	}
+	return rows
+}
+
+func level(f Factor, r driver.Record) string {
+	switch f {
+	case FactorBinDims:
+		return fmt.Sprintf("%dD", r.BinDims)
+	case FactorBinningType:
+		return r.BinningType
+	case FactorAggType:
+		return r.AggType
+	case FactorConcurrency:
+		if r.ConcurrentQs >= 3 {
+			return "3+"
+		}
+		return fmt.Sprintf("%d", r.ConcurrentQs)
+	case FactorSelectivity:
+		n := strings.Count(r.SQL, " AND ") // predicates beyond the first
+		if !strings.Contains(r.SQL, "WHERE") {
+			return "0 predicates"
+		}
+		switch {
+		case n == 0:
+			return "1 predicate"
+		case n == 1:
+			return "2 predicates"
+		default:
+			return "3+ predicates"
+		}
+	}
+	return "?"
+}
+
+func effectRow(f Factor, lvl string, recs []driver.Record) EffectRow {
+	row := EffectRow{Factor: f, Level: lvl, Queries: len(recs)}
+	var violated int
+	var mres, missing, cosines []float64
+	for _, r := range recs {
+		if r.Metrics.TRViolated {
+			violated++
+		}
+		missing = append(missing, r.Metrics.MissingBins)
+		if r.Metrics.HasResult && !math.IsNaN(r.Metrics.RelErrAvg) {
+			mres = append(mres, r.Metrics.RelErrAvg)
+		}
+		if r.Metrics.HasResult && !math.IsNaN(r.Metrics.CosineDistance) {
+			cosines = append(cosines, r.Metrics.CosineDistance)
+		}
+	}
+	row.TRViolatedPct = 100 * float64(violated) / float64(len(recs))
+	row.MeanMRE = mean(mres)
+	row.MeanMissing = mean(missing)
+	row.MeanCosineDist = mean(cosines)
+	return row
+}
+
+// RenderEffects writes the Exp.-4 analysis as an aligned table.
+func RenderEffects(w io.Writer, rows []EffectRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "factor\tlevel\tqueries\ttr_violated%\tmean_mre\tmean_missing\tmean_cosine")
+	var prev Factor
+	for _, r := range rows {
+		if r.Factor != prev && prev != "" {
+			fmt.Fprintln(tw, "\t\t\t\t\t\t")
+		}
+		prev = r.Factor
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%s\t%s\t%s\n",
+			r.Factor, r.Level, r.Queries, r.TRViolatedPct,
+			fmtNaN(r.MeanMRE), fmtNaN(r.MeanMissing), fmtNaN(r.MeanCosineDist))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,155 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"idebench/internal/driver"
+)
+
+// RenderSummaries writes an aligned text table of summaries, the console
+// form of the paper's Fig. 5 summary report.
+func RenderSummaries(w io.Writer, rows []Summary) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "driver\tsize\ttype\ttr(ms)\tthink(ms)\tqueries\ttr_violated%\tmissing_bins%\tarea_above_cdf%\tmedian_margin\tmean_cosine")
+	for _, s := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
+			orDash(s.Key.Driver), orDash(s.Key.DataSize), orDash(string(s.Key.WorkflowType)),
+			numOrDash(s.Key.TimeReqMS), numOrDash(s.Key.ThinkTimeMS),
+			s.Queries, s.TRViolatedPct, s.MissingBinsPct, s.AreaAboveCurvePct,
+			fmtNaN(s.MedianMargin), fmtNaN(s.MeanCosine))
+	}
+	return tw.Flush()
+}
+
+// RenderCDF draws an ASCII rendition of the MRE CDF truncated at 100%
+// error, the plot embedded in the paper's summary report.
+func RenderCDF(w io.Writer, s Summary, width, height int) error {
+	if width < 10 {
+		width = 40
+	}
+	if height < 4 {
+		height = 8
+	}
+	fmt.Fprintf(w, "MRE CDF — %s (tr=%gms, %d queries, area above curve %.1f%%)\n",
+		s.Key.Driver, s.Key.TimeReqMS, s.Queries, s.AreaAboveCurvePct)
+	if len(s.MREs) == 0 {
+		_, err := fmt.Fprintln(w, "  (no delivered results)")
+		return err
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		x := float64(c) / float64(width-1)
+		y := s.CDF(x)
+		row := int(math.Round(float64(height-1) * (1 - y)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][c] = '*'
+	}
+	for r, line := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = "1.0 | "
+		case height - 1:
+			label = "0.0 | "
+		default:
+			label = "    | "
+		}
+		fmt.Fprintf(w, "%s%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "      0%%%serr=100%%\n", strings.Repeat("-", width-10))
+	return nil
+}
+
+// DetailedHeader lists the detailed report's CSV columns (paper Table 1).
+var DetailedHeader = []string{
+	"id", "interaction", "viz_name", "driver", "data_size", "think_time",
+	"time_req", "workflow", "start_time", "end_time", "tr_violated",
+	"bin_dims", "binning_type", "agg_type", "bins_ofm", "bins_delivered",
+	"bins_in_gt", "rel_error_avg", "rel_error_stdev", "missing_bins",
+	"cosine_distance", "margin_avg", "margin_stdev", "bias", "smape",
+	"concurrent_queries", "sql",
+}
+
+// WriteDetailedCSV streams records as the detailed per-query report.
+func WriteDetailedCSV(w io.Writer, records []driver.Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(DetailedHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		m := r.Metrics
+		row := []string{
+			strconv.Itoa(r.ID),
+			strconv.Itoa(r.InteractionID),
+			r.VizName,
+			r.Driver,
+			r.DataSize,
+			fmtMS(r.ThinkTimeMS),
+			fmtMS(r.TimeReqMS),
+			r.Workflow,
+			strconv.FormatInt(r.StartTime.UnixMilli(), 10),
+			strconv.FormatInt(r.EndTime.UnixMilli(), 10),
+			strconv.FormatBool(m.TRViolated),
+			strconv.Itoa(r.BinDims),
+			r.BinningType,
+			r.AggType,
+			strconv.Itoa(m.OutOfMargin),
+			strconv.Itoa(m.BinsDelivered),
+			strconv.Itoa(m.BinsInGT),
+			fmtNaN(m.RelErrAvg),
+			fmtNaN(m.RelErrStdev),
+			fmtNaN(m.MissingBins),
+			fmtNaN(m.CosineDistance),
+			fmtNaN(m.MarginAvg),
+			fmtNaN(m.MarginStdev),
+			fmtNaN(m.Bias),
+			fmtNaN(m.SMAPE),
+			strconv.Itoa(r.ConcurrentQs),
+			r.SQL,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtNaN(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+func fmtMS(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func numOrDash(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

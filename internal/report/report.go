@@ -1,0 +1,235 @@
+// Package report aggregates driver records into the two artifacts the
+// benchmark emits (paper Sec. 4.8): an aggregated summary report (TR
+// violations, missing bins, the CDF of mean relative errors with its
+// area-above-curve, margins, cosine distance) and a detailed per-query CSV
+// report (paper Table 1). It also contains the "other effects" analyzer
+// used by Exp. 4.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"idebench/internal/driver"
+	"idebench/internal/workflow"
+)
+
+// Key identifies one summary group. Zero-valued fields were collapsed
+// (aggregated over).
+type Key struct {
+	Driver       string
+	TimeReqMS    float64
+	WorkflowType workflow.Type
+	DataSize     string
+	ThinkTimeMS  float64
+}
+
+// GroupBy selects which record fields become part of the summary key.
+type GroupBy struct {
+	Driver       bool
+	TimeReq      bool
+	WorkflowType bool
+	DataSize     bool
+	ThinkTime    bool
+}
+
+// key projects a record onto the grouping fields.
+func (g GroupBy) key(r driver.Record) Key {
+	var k Key
+	if g.Driver {
+		k.Driver = r.Driver
+	}
+	if g.TimeReq {
+		k.TimeReqMS = r.TimeReqMS
+	}
+	if g.WorkflowType {
+		k.WorkflowType = r.WorkflowType
+	}
+	if g.DataSize {
+		k.DataSize = r.DataSize
+	}
+	if g.ThinkTime {
+		k.ThinkTimeMS = r.ThinkTimeMS
+	}
+	return k
+}
+
+// Summary aggregates the records of one group (paper Fig. 5 row).
+type Summary struct {
+	Key     Key
+	Queries int
+
+	// TRViolatedPct is the percentage of queries violating the TR.
+	TRViolatedPct float64
+	// MissingBinsPct is the mean missing-bin ratio (violated queries count
+	// as 100% missing), as a percentage.
+	MissingBinsPct float64
+
+	// MREs holds the mean relative errors of all non-violating queries,
+	// sorted ascending (the CDF's sample).
+	MREs []float64
+	// AreaAboveCurvePct is the area above the MRE CDF truncated at 100%
+	// error: E[min(MRE, 1)]·100. Smaller is better (paper Fig. 5: "the
+	// greater the proportion of small errors, the smaller the area above
+	// the curve").
+	AreaAboveCurvePct float64
+
+	// MedianMargin is the median of per-query mean relative margins.
+	MedianMargin float64
+	// MeanCosine is the mean cosine distance of delivered results.
+	MeanCosine float64
+	// MedianCosine is the median cosine distance.
+	MedianCosine float64
+	// MeanBias averages the per-query bias (delivered/true totals).
+	MeanBias float64
+	// MeanSMAPE averages the per-query symmetric mean absolute percentage
+	// errors (the paper's proposed alternative to the relative error,
+	// defined at true value 0 and bounded in [0,1]).
+	MeanSMAPE float64
+	// OutOfMarginPct is the share of delivered (bin, agg) elements outside
+	// their reported confidence interval.
+	OutOfMarginPct float64
+}
+
+// Summarize groups records and aggregates each group, sorted by key for
+// deterministic output.
+func Summarize(records []driver.Record, g GroupBy) []Summary {
+	groups := map[Key][]driver.Record{}
+	for _, r := range records {
+		k := g.key(r)
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]Key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	out := make([]Summary, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, aggregate(k, groups[k]))
+	}
+	return out
+}
+
+func keyLess(a, b Key) bool {
+	if a.Driver != b.Driver {
+		return a.Driver < b.Driver
+	}
+	if a.DataSize != b.DataSize {
+		return a.DataSize < b.DataSize
+	}
+	if a.WorkflowType != b.WorkflowType {
+		return a.WorkflowType < b.WorkflowType
+	}
+	if a.TimeReqMS != b.TimeReqMS {
+		return a.TimeReqMS < b.TimeReqMS
+	}
+	return a.ThinkTimeMS < b.ThinkTimeMS
+}
+
+func aggregate(k Key, recs []driver.Record) Summary {
+	s := Summary{Key: k, Queries: len(recs)}
+	var violated int
+	var missingSum float64
+	var margins, cosines, biases, smapes []float64
+	var outOfMargin, delivered int
+	for _, r := range recs {
+		m := r.Metrics
+		if m.TRViolated {
+			violated++
+		}
+		missingSum += m.MissingBins
+		if m.HasResult {
+			if !math.IsNaN(m.RelErrAvg) {
+				s.MREs = append(s.MREs, m.RelErrAvg)
+			}
+			if !math.IsNaN(m.MarginAvg) {
+				margins = append(margins, m.MarginAvg)
+			}
+			if !math.IsNaN(m.CosineDistance) {
+				cosines = append(cosines, m.CosineDistance)
+			}
+			if !math.IsNaN(m.Bias) {
+				biases = append(biases, m.Bias)
+			}
+			if !math.IsNaN(m.SMAPE) {
+				smapes = append(smapes, m.SMAPE)
+			}
+			outOfMargin += m.OutOfMargin
+			delivered += m.BinsDelivered
+		}
+	}
+	n := float64(len(recs))
+	s.TRViolatedPct = 100 * float64(violated) / n
+	s.MissingBinsPct = 100 * missingSum / n
+	sort.Float64s(s.MREs)
+	s.AreaAboveCurvePct = 100 * meanTruncated(s.MREs, 1)
+	s.MedianMargin = median(margins)
+	s.MeanCosine = mean(cosines)
+	s.MedianCosine = median(cosines)
+	s.MeanBias = mean(biases)
+	s.MeanSMAPE = mean(smapes)
+	if delivered > 0 {
+		s.OutOfMarginPct = 100 * float64(outOfMargin) / float64(delivered)
+	}
+	return s
+}
+
+// CDF evaluates the MRE CDF at x: the fraction of non-violating queries
+// with mean relative error <= x.
+func (s *Summary) CDF(x float64) float64 {
+	if len(s.MREs) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(s.MREs, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(s.MREs))
+}
+
+// meanTruncated computes E[min(X, limit)] — exactly the area above the CDF
+// curve on [0, limit] divided by limit (here limit=1 so they coincide).
+func meanTruncated(xs []float64, limit float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x > limit {
+			x = limit
+		}
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s tr=%gms type=%s size=%s think=%gms: queries=%d violated=%.1f%% missing=%.1f%% aac=%.1f%% margin~%.3f cos=%.3f",
+		s.Key.Driver, s.Key.TimeReqMS, s.Key.WorkflowType, s.Key.DataSize, s.Key.ThinkTimeMS,
+		s.Queries, s.TRViolatedPct, s.MissingBinsPct, s.AreaAboveCurvePct, s.MedianMargin, s.MeanCosine)
+}

@@ -1,0 +1,243 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"idebench/internal/driver"
+	"idebench/internal/metrics"
+	"idebench/internal/workflow"
+)
+
+func rec(drv string, trMS float64, typ workflow.Type, m metrics.QueryMetrics) driver.Record {
+	return driver.Record{
+		Driver:       drv,
+		TimeReqMS:    trMS,
+		WorkflowType: typ,
+		DataSize:     "1m",
+		StartTime:    time.Unix(0, 0),
+		EndTime:      time.Unix(1, 0),
+		BinDims:      1,
+		BinningType:  "nominal",
+		AggType:      "count",
+		ConcurrentQs: 1,
+		SQL:          "SELECT carrier, COUNT(*) FROM flights GROUP BY carrier",
+		Metrics:      m,
+	}
+}
+
+func ok(mre float64) metrics.QueryMetrics {
+	return metrics.QueryMetrics{
+		HasResult:      true,
+		RelErrAvg:      mre,
+		MarginAvg:      mre / 2,
+		CosineDistance: mre / 10,
+		Bias:           1,
+		BinsDelivered:  10,
+		BinsInGT:       10,
+	}
+}
+
+func violated() metrics.QueryMetrics {
+	return metrics.QueryMetrics{
+		TRViolated:     true,
+		MissingBins:    1,
+		RelErrAvg:      math.NaN(),
+		MarginAvg:      math.NaN(),
+		CosineDistance: math.NaN(),
+		Bias:           math.NaN(),
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	records := []driver.Record{
+		rec("a", 10, workflow.Mixed, ok(0.1)),
+		rec("a", 10, workflow.Mixed, ok(0.3)),
+		rec("a", 10, workflow.Mixed, violated()),
+		rec("a", 10, workflow.Mixed, ok(2.5)), // truncated at 1 in AAC
+	}
+	rows := Summarize(records, GroupBy{Driver: true, TimeReq: true})
+	if len(rows) != 1 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	s := rows[0]
+	if s.Queries != 4 {
+		t.Errorf("queries = %d", s.Queries)
+	}
+	if s.TRViolatedPct != 25 {
+		t.Errorf("violated = %v", s.TRViolatedPct)
+	}
+	// Missing: violated query contributes 1, others 0 → 25%.
+	if s.MissingBinsPct != 25 {
+		t.Errorf("missing = %v", s.MissingBinsPct)
+	}
+	// AAC: mean(min(mre,1)) over {0.1, 0.3, 1.0} → 46.67%.
+	want := 100 * (0.1 + 0.3 + 1.0) / 3
+	if math.Abs(s.AreaAboveCurvePct-want) > 1e-9 {
+		t.Errorf("AAC = %v, want %v", s.AreaAboveCurvePct, want)
+	}
+	// Median margin of {0.05, 0.15, 1.25}.
+	if math.Abs(s.MedianMargin-0.15) > 1e-12 {
+		t.Errorf("median margin = %v", s.MedianMargin)
+	}
+}
+
+func TestSummarizeGrouping(t *testing.T) {
+	records := []driver.Record{
+		rec("a", 10, workflow.Mixed, ok(0.1)),
+		rec("a", 20, workflow.Mixed, ok(0.1)),
+		rec("b", 10, workflow.SequentialLinking, ok(0.1)),
+	}
+	rows := Summarize(records, GroupBy{Driver: true, TimeReq: true})
+	if len(rows) != 3 {
+		t.Errorf("driver×tr groups = %d, want 3", len(rows))
+	}
+	rows = Summarize(records, GroupBy{Driver: true})
+	if len(rows) != 2 {
+		t.Errorf("driver groups = %d, want 2", len(rows))
+	}
+	rows = Summarize(records, GroupBy{WorkflowType: true})
+	if len(rows) != 2 {
+		t.Errorf("type groups = %d, want 2", len(rows))
+	}
+	// Deterministic ordering.
+	rows = Summarize(records, GroupBy{Driver: true, TimeReq: true})
+	if rows[0].Key.Driver != "a" || rows[0].Key.TimeReqMS != 10 {
+		t.Error("rows not sorted")
+	}
+}
+
+func TestCDFEvaluation(t *testing.T) {
+	records := []driver.Record{
+		rec("a", 10, workflow.Mixed, ok(0.1)),
+		rec("a", 10, workflow.Mixed, ok(0.2)),
+		rec("a", 10, workflow.Mixed, ok(0.4)),
+		rec("a", 10, workflow.Mixed, ok(0.8)),
+	}
+	s := Summarize(records, GroupBy{Driver: true})[0]
+	cases := []struct{ x, want float64 }{
+		{0.05, 0}, {0.1, 0.25}, {0.3, 0.5}, {0.9, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	empty := Summary{}
+	if empty.CDF(0.5) != 0 {
+		t.Error("empty CDF should be 0")
+	}
+}
+
+func TestRenderSummaries(t *testing.T) {
+	records := []driver.Record{rec("exact", 10, workflow.Mixed, ok(0.1))}
+	rows := Summarize(records, GroupBy{Driver: true, TimeReq: true})
+	var buf bytes.Buffer
+	if err := RenderSummaries(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"driver", "exact", "tr_violated%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	records := []driver.Record{
+		rec("exact", 10, workflow.Mixed, ok(0.0)),
+		rec("exact", 10, workflow.Mixed, ok(0.5)),
+	}
+	s := Summarize(records, GroupBy{Driver: true, TimeReq: true})[0]
+	var buf bytes.Buffer
+	if err := RenderCDF(&buf, s, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("CDF plot has no curve")
+	}
+	// Empty summary renders a note, not a panic.
+	var buf2 bytes.Buffer
+	if err := RenderCDF(&buf2, Summary{}, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "no delivered results") {
+		t.Error("empty CDF note missing")
+	}
+}
+
+func TestWriteDetailedCSV(t *testing.T) {
+	records := []driver.Record{
+		rec("exact", 10, workflow.Mixed, ok(0.1)),
+		rec("exact", 10, workflow.Mixed, violated()),
+	}
+	var buf bytes.Buffer
+	if err := WriteDetailedCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,interaction,viz_name") {
+		t.Errorf("header wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Error("violated row should contain tr_violated=true")
+	}
+	// NaN fields render empty, CSV remains parseable.
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN leaked into CSV")
+	}
+}
+
+func TestAnalyzeFactors(t *testing.T) {
+	r1 := rec("a", 10, workflow.Mixed, ok(0.1))
+	r2 := rec("a", 10, workflow.Mixed, ok(0.2))
+	r2.BinDims = 2
+	r2.BinningType = "quantitative quantitative"
+	r2.ConcurrentQs = 4
+	r2.SQL = "SELECT ... WHERE a = 'x' AND b = 'y' AND (c >= 0 AND c < 1) GROUP BY ..."
+	rows := Analyze([]driver.Record{r1, r2})
+	if len(rows) == 0 {
+		t.Fatal("no analysis rows")
+	}
+	byFactor := map[Factor][]EffectRow{}
+	for _, r := range rows {
+		byFactor[r.Factor] = append(byFactor[r.Factor], r)
+	}
+	if len(byFactor[FactorBinDims]) != 2 {
+		t.Errorf("bin_dims levels = %d, want 2", len(byFactor[FactorBinDims]))
+	}
+	if len(byFactor[FactorConcurrency]) != 2 {
+		t.Errorf("concurrency levels = %d, want 2", len(byFactor[FactorConcurrency]))
+	}
+	// Selectivity levels: r1 has no WHERE → "0 predicates"; r2 has 3.
+	var sel []string
+	for _, r := range byFactor[FactorSelectivity] {
+		sel = append(sel, r.Level)
+	}
+	joined := strings.Join(sel, ",")
+	if !strings.Contains(joined, "0 predicates") || !strings.Contains(joined, "3+ predicates") {
+		t.Errorf("selectivity levels wrong: %v", sel)
+	}
+
+	var buf bytes.Buffer
+	if err := RenderEffects(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bin_dims") {
+		t.Error("effects table missing factor")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Key: Key{Driver: "x", TimeReqMS: 5}, Queries: 3}
+	if !strings.Contains(s.String(), "x") {
+		t.Error("String() missing driver")
+	}
+}

@@ -1,0 +1,466 @@
+// Package sqlmem is an in-process SQL database exposed through the standard
+// database/sql/driver interfaces. It executes exactly the aggregation
+// dialect the benchmark driver emits (paper Fig. 4, query.ToSQL): binned
+// GROUP BY aggregations with conjunctive WHERE clauses, evaluated on the
+// shared columnar kernels.
+//
+// Together with internal/engine/sqldb it closes the loop the paper's
+// architecture describes: the benchmark driver renders a visualization
+// specification to SQL text, ships it through database/sql, and a SQL
+// system executes it — the integration path a user would take to benchmark
+// PostgreSQL, MonetDB or any other driver-backed system.
+package sqlmem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"idebench/internal/dataset"
+	"idebench/internal/query"
+)
+
+// Parse translates a SQL string of the supported dialect into a
+// query.Query bound to the given database's schema:
+//
+//	SELECT <bin> [, <bin>] , <agg> [, <agg>...]
+//	FROM <table>
+//	[WHERE <pred> [AND <pred>...]]
+//	GROUP BY bin0 [, bin1]
+//
+//	bin  := FLOOR(field/width) AS binN
+//	      | FLOOR((field - origin)/width) AS binN
+//	      | field AS binN
+//	agg  := COUNT(*) | AVG(f) | SUM(f) | MIN(f) | MAX(f)
+//	pred := field = 'v' | field IN ('a' [, 'b'...])
+//	      | (field >= lo AND field < hi)
+func Parse(sql string, db *dataset.Database) (*query.Query, error) {
+	p := &parser{toks: tokenize(sql), db: db}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, fmt.Errorf("sqlmem: %w (in %q)", err, sql)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("sqlmem: parsed query invalid: %w", err)
+	}
+	return q, nil
+}
+
+// --- tokenizer ---------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single-char: ( ) , / = * < >
+	tokOp    // multi-char: >= <=
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func tokenize(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String()})
+			i = j + 1
+		case unicode.IsDigit(c) || c == '.':
+			j := i
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.' ||
+				s[j] == 'e' || s[j] == 'E' ||
+				((s[j] == '+' || s[j] == '-') && j > i && (s[j-1] == 'e' || s[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		case c == '>' || c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPunct, string(c)})
+				i++
+			}
+		default:
+			toks = append(toks, token{tokPunct, string(c)})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+// --- parser ------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+	db   *dataset.Database
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectIdent(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(ch string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != ch {
+		return fmt.Errorf("expected %q, got %q", ch, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptIdent(kw string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(ch string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == ch {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// number parses an optionally negated numeric literal.
+func (p *parser) number() (float64, error) {
+	neg := false
+	for p.acceptPunct("-") {
+		neg = !neg
+	}
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", t.text, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseSelect() (*query.Query, error) {
+	if err := p.expectIdent("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{VizName: "sql"}
+
+	// Select list: bins (with AS binN) and aggregates, in any order; the
+	// driver emits bins first.
+	for {
+		if err := p.parseSelectItem(q); err != nil {
+			return nil, err
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if err := p.expectIdent("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("expected table name, got %q", t.text)
+	}
+	q.Table = t.text
+
+	if p.acceptIdent("WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Filter.Predicates = append(q.Filter.Predicates, pred)
+			if !p.acceptIdent("AND") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectIdent("GROUP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("BY"); err != nil {
+		return nil, err
+	}
+	// Group-by aliases must reference the parsed bins in order.
+	n := 0
+	for {
+		t := p.next()
+		if t.kind != tokIdent || t.text != fmt.Sprintf("bin%d", n) {
+			return nil, fmt.Errorf("expected bin%d in GROUP BY, got %q", n, t.text)
+		}
+		n++
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if n != len(q.Bins) {
+		return nil, fmt.Errorf("GROUP BY lists %d bins, SELECT defines %d", n, len(q.Bins))
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem(q *query.Query) error {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return fmt.Errorf("expected select item, got %q", t.text)
+	}
+	upper := strings.ToUpper(t.text)
+	switch upper {
+	case "FLOOR":
+		b, err := p.parseFloorBin()
+		if err != nil {
+			return err
+		}
+		q.Bins = append(q.Bins, b)
+		return nil
+	case "COUNT", "AVG", "SUM", "MIN", "MAX":
+		a, err := p.parseAggregate()
+		if err != nil {
+			return err
+		}
+		q.Aggs = append(q.Aggs, a)
+		return nil
+	default:
+		// Nominal binning: `field AS binN`.
+		p.next()
+		if err := p.expectIdent("AS"); err != nil {
+			return err
+		}
+		alias := p.next()
+		if alias.kind != tokIdent || !strings.HasPrefix(alias.text, "bin") {
+			return fmt.Errorf("expected bin alias, got %q", alias.text)
+		}
+		kind, err := p.fieldKind(t.text)
+		if err != nil {
+			return err
+		}
+		if kind != dataset.Nominal {
+			return fmt.Errorf("bare binning on quantitative field %q", t.text)
+		}
+		q.Bins = append(q.Bins, query.Binning{Field: t.text, Kind: dataset.Nominal})
+		return nil
+	}
+}
+
+// parseFloorBin handles FLOOR(field/width) and FLOOR((field - origin)/width).
+func (p *parser) parseFloorBin() (query.Binning, error) {
+	var b query.Binning
+	p.next() // FLOOR
+	if err := p.expectPunct("("); err != nil {
+		return b, err
+	}
+	if p.acceptPunct("(") {
+		f := p.next()
+		if f.kind != tokIdent {
+			return b, fmt.Errorf("expected field in FLOOR, got %q", f.text)
+		}
+		b.Field = f.text
+		if err := p.expectPunct("-"); err != nil {
+			return b, err
+		}
+		origin, err := p.number()
+		if err != nil {
+			return b, err
+		}
+		b.Origin = origin
+		if err := p.expectPunct(")"); err != nil {
+			return b, err
+		}
+	} else {
+		f := p.next()
+		if f.kind != tokIdent {
+			return b, fmt.Errorf("expected field in FLOOR, got %q", f.text)
+		}
+		b.Field = f.text
+	}
+	if err := p.expectPunct("/"); err != nil {
+		return b, err
+	}
+	width, err := p.number()
+	if err != nil {
+		return b, err
+	}
+	b.Width = width
+	if err := p.expectPunct(")"); err != nil {
+		return b, err
+	}
+	if err := p.expectIdent("AS"); err != nil {
+		return b, err
+	}
+	alias := p.next()
+	if alias.kind != tokIdent || !strings.HasPrefix(alias.text, "bin") {
+		return b, fmt.Errorf("expected bin alias, got %q", alias.text)
+	}
+	b.Kind = dataset.Quantitative
+	return b, nil
+}
+
+func (p *parser) parseAggregate() (query.Aggregate, error) {
+	var a query.Aggregate
+	fn := p.next()
+	a.Func = query.AggFunc(strings.ToLower(fn.text))
+	if err := p.expectPunct("("); err != nil {
+		return a, err
+	}
+	if p.acceptPunct("*") {
+		if a.Func != query.Count {
+			return a, fmt.Errorf("%s(*) is not supported", fn.text)
+		}
+	} else {
+		f := p.next()
+		if f.kind != tokIdent {
+			return a, fmt.Errorf("expected aggregate field, got %q", f.text)
+		}
+		a.Field = f.text
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func (p *parser) parsePredicate() (query.Predicate, error) {
+	var pr query.Predicate
+	// Range predicate: (field >= lo AND field < hi)
+	if p.acceptPunct("(") {
+		f := p.next()
+		if f.kind != tokIdent {
+			return pr, fmt.Errorf("expected field in range predicate, got %q", f.text)
+		}
+		pr.Field = f.text
+		pr.Op = query.OpRange
+		t := p.next()
+		if t.kind != tokOp || t.text != ">=" {
+			return pr, fmt.Errorf("expected >= in range predicate, got %q", t.text)
+		}
+		lo, err := p.number()
+		if err != nil {
+			return pr, err
+		}
+		pr.Lo = lo
+		if err := p.expectIdent("AND"); err != nil {
+			return pr, err
+		}
+		f2 := p.next()
+		if f2.kind != tokIdent || f2.text != pr.Field {
+			return pr, fmt.Errorf("range predicate on mismatched fields %q / %q", pr.Field, f2.text)
+		}
+		if err := p.expectPunct("<"); err != nil {
+			return pr, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return pr, err
+		}
+		pr.Hi = hi
+		if err := p.expectPunct(")"); err != nil {
+			return pr, err
+		}
+		return pr, nil
+	}
+
+	f := p.next()
+	if f.kind != tokIdent {
+		return pr, fmt.Errorf("expected field in predicate, got %q", f.text)
+	}
+	pr.Field = f.text
+	switch {
+	case p.acceptPunct("="):
+		v := p.next()
+		if v.kind != tokString {
+			return pr, fmt.Errorf("expected string literal, got %q", v.text)
+		}
+		pr.Op = query.OpIn
+		pr.Values = []string{v.text}
+	case p.acceptIdent("IN"):
+		if err := p.expectPunct("("); err != nil {
+			return pr, err
+		}
+		pr.Op = query.OpIn
+		for {
+			v := p.next()
+			if v.kind != tokString {
+				return pr, fmt.Errorf("expected string literal in IN list, got %q", v.text)
+			}
+			pr.Values = append(pr.Values, v.text)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return pr, err
+		}
+	default:
+		return pr, fmt.Errorf("unsupported predicate operator after %q", pr.Field)
+	}
+	return pr, nil
+}
+
+// fieldKind resolves a column's kind from the database schema.
+func (p *parser) fieldKind(name string) (dataset.Kind, error) {
+	col, _, _, err := p.db.ResolveColumn(name)
+	if err != nil {
+		return 0, err
+	}
+	return col.Field.Kind, nil
+}

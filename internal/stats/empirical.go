@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EmpiricalCDF is the empirical distribution of a numeric sample. The data
+// scaler uses its Quantile (inverse CDF) to map correlated uniforms back to
+// the seed's marginal distribution, preserving attribute shapes.
+type EmpiricalCDF struct {
+	sorted []float64
+}
+
+// NewEmpiricalCDF builds an empirical CDF from a sample. The input slice is
+// copied; it returns an error for an empty sample.
+func NewEmpiricalCDF(sample []float64) (*EmpiricalCDF, error) {
+	if len(sample) == 0 {
+		return nil, errors.New("stats: empirical CDF of empty sample")
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &EmpiricalCDF{sorted: s}, nil
+}
+
+// Quantile returns the p-quantile using linear interpolation between order
+// statistics. p is clamped to [0,1].
+func (e *EmpiricalCDF) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return e.sorted[n-1]
+	}
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// CDF returns the fraction of sample values <= x.
+func (e *EmpiricalCDF) CDF(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Min returns the smallest observed value.
+func (e *EmpiricalCDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observed value.
+func (e *EmpiricalCDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Len returns the sample size.
+func (e *EmpiricalCDF) Len() int { return len(e.sorted) }
+
+// DiscreteCDF maps correlated uniforms onto a fixed set of category codes
+// with given empirical frequencies. Categories are assigned contiguous
+// probability mass in code order, so copula correlation carries over to an
+// ordinal correlation between nominal attributes — the same behaviour the
+// IDEBench Python generator exhibits for dictionary-encoded columns.
+type DiscreteCDF struct {
+	cum   []float64 // cumulative probability per code, last element == 1
+	codes []uint32
+}
+
+// NewDiscreteCDF builds a discrete inverse CDF from per-code counts.
+// counts[i] is the frequency of codes[i]; zero-count codes are retained with
+// zero mass. It returns an error when all counts are zero.
+func NewDiscreteCDF(codes []uint32, counts []int) (*DiscreteCDF, error) {
+	if len(codes) != len(counts) || len(codes) == 0 {
+		return nil, errors.New("stats: discrete CDF requires matching non-empty codes/counts")
+	}
+	var total float64
+	for _, c := range counts {
+		if c < 0 {
+			return nil, errors.New("stats: negative count")
+		}
+		total += float64(c)
+	}
+	if total == 0 {
+		return nil, errors.New("stats: all counts zero")
+	}
+	cum := make([]float64, len(counts))
+	var run float64
+	for i, c := range counts {
+		run += float64(c) / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1 // guard against rounding drift
+	cs := make([]uint32, len(codes))
+	copy(cs, codes)
+	return &DiscreteCDF{cum: cum, codes: cs}, nil
+}
+
+// Quantile maps u in [0,1] to a category code.
+func (d *DiscreteCDF) Quantile(u float64) uint32 {
+	idx := sort.SearchFloat64s(d.cum, u)
+	if idx >= len(d.codes) {
+		idx = len(d.codes) - 1
+	}
+	return d.codes[idx]
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpiricalCDFQuantile(t *testing.T) {
+	e, err := NewEmpiricalCDF([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 5 || e.Len() != 5 {
+		t.Error("Min/Max/Len wrong")
+	}
+}
+
+func TestEmpiricalCDFEmpty(t *testing.T) {
+	if _, err := NewEmpiricalCDF(nil); err == nil {
+		t.Error("expected error for empty sample")
+	}
+}
+
+func TestEmpiricalCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, _ := NewEmpiricalCDF(in)
+	in[0] = 100
+	if e.Max() == 100 {
+		t.Error("CDF aliased caller slice")
+	}
+}
+
+// Property: Quantile is monotone in p.
+func TestEmpiricalQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.NormFloat64() * 10
+		}
+		e, err := NewEmpiricalCDF(sample)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := e.Quantile(p)
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: values produced by Quantile stay within [Min, Max].
+func TestEmpiricalQuantileBounds(t *testing.T) {
+	f := func(vals []float64, p float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		e, err := NewEmpiricalCDF(vals)
+		if err != nil {
+			return false
+		}
+		q := e.Quantile(math.Mod(math.Abs(p), 1))
+		return q >= e.Min()-1e-9 && q <= e.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalCDFFunction(t *testing.T) {
+	e, _ := NewEmpiricalCDF([]float64{1, 2, 3, 4})
+	if got := e.CDF(2.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(2.5) = %v, want 0.5", got)
+	}
+	if got := e.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := e.CDF(10); got != 1 {
+		t.Errorf("CDF(10) = %v, want 1", got)
+	}
+}
+
+func TestDiscreteCDF(t *testing.T) {
+	d, err := NewDiscreteCDF([]uint32{0, 1, 2}, []int{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Quantile(0.1); got != 0 {
+		t.Errorf("Quantile(0.1) = %v, want 0", got)
+	}
+	if got := d.Quantile(0.4); got != 1 {
+		t.Errorf("Quantile(0.4) = %v, want 1", got)
+	}
+	if got := d.Quantile(0.9); got != 2 {
+		t.Errorf("Quantile(0.9) = %v, want 2", got)
+	}
+	if got := d.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+}
+
+func TestDiscreteCDFErrors(t *testing.T) {
+	if _, err := NewDiscreteCDF(nil, nil); err == nil {
+		t.Error("expected error for empty")
+	}
+	if _, err := NewDiscreteCDF([]uint32{0}, []int{0}); err == nil {
+		t.Error("expected error for all-zero counts")
+	}
+	if _, err := NewDiscreteCDF([]uint32{0}, []int{-1}); err == nil {
+		t.Error("expected error for negative count")
+	}
+	if _, err := NewDiscreteCDF([]uint32{0, 1}, []int{1}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}
+
+// Property: drawing many uniforms through DiscreteCDF reproduces frequencies.
+func TestDiscreteCDFFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := []int{100, 300, 600}
+	d, err := NewDiscreteCDF([]uint32{5, 6, 7}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint32]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		got[d.Quantile(rng.Float64())]++
+	}
+	wantFrac := []float64{0.1, 0.3, 0.6}
+	for i, code := range []uint32{5, 6, 7} {
+		frac := float64(got[code]) / n
+		if math.Abs(frac-wantFrac[i]) > 0.02 {
+			t.Errorf("code %d frequency %v, want ~%v", code, frac, wantFrac[i])
+		}
+	}
+}
+
+func TestEmpiricalSortedOrderPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = rng.Float64()
+	}
+	e, _ := NewEmpiricalCDF(sample)
+	if !sort.Float64sAreSorted(e.sorted) {
+		t.Error("internal sample not sorted")
+	}
+}

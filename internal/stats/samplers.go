@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws integers in [0, n) with P(k) ∝ 1/(k+1)^s. The seed generator
+// uses it for airport and carrier popularity, which are heavily skewed in
+// the real flights data. Unlike math/rand.Zipf it allows s <= 1 and is
+// reproducible from the caller's *rand.Rand.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf precomputes the cumulative mass for n categories with exponent s.
+// It returns an error for n <= 0 or s < 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: zipf needs n > 0")
+	}
+	if s < 0 {
+		return nil, errors.New("stats: zipf needs s >= 0")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	cum[n-1] = 1
+	return &Zipf{cum: cum}, nil
+}
+
+// Draw samples one category index using rng.
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ReservoirSample returns k indices drawn uniformly without replacement
+// from [0, n) using Vitter's algorithm R. If k >= n it returns all indices.
+func ReservoirSample(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	res := make([]int, k)
+	for i := 0; i < k; i++ {
+		res[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			res[j] = i
+		}
+	}
+	return res
+}
+
+// Permutation returns a random permutation of [0,n) as uint32 indices; the
+// progressive engine scans rows in this order so that any prefix is a
+// uniform random sample.
+func Permutation(rng *rand.Rand, n int) []uint32 {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

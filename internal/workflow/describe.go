@@ -1,0 +1,82 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a workflow as human-readable text: the interaction
+// sequence with the queries each step triggers, and the final link graph.
+// It is the non-interactive equivalent of the paper's workflow viewer
+// ("Once generated, they can be inspected with an interactive viewer").
+func Describe(w *Workflow) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workflow %q (type %s, %d interactions)\n", w.Name, w.Type, len(w.Interactions))
+	g := NewGraph()
+	for i, in := range w.Interactions {
+		eff, err := g.Apply(in)
+		if err != nil {
+			return "", fmt.Errorf("workflow: describe %s[%d]: %w", w.Name, i, err)
+		}
+		fmt.Fprintf(&sb, "%3d. %s\n", i, describeInteraction(in))
+		for _, q := range eff.Queries {
+			fmt.Fprintf(&sb, "       -> [%s] %s\n", q.VizName, q.ToSQL())
+		}
+	}
+	links := g.Links()
+	if len(links) > 0 {
+		sb.WriteString("final link graph:\n")
+		for _, l := range links {
+			fmt.Fprintf(&sb, "  %s --> %s\n", l[0], l[1])
+		}
+	}
+	fmt.Fprintf(&sb, "live visualizations: %s\n", strings.Join(g.VizNames(), ", "))
+	return sb.String(), nil
+}
+
+func describeInteraction(in Interaction) string {
+	switch in.Kind {
+	case KindCreateViz:
+		bins := make([]string, len(in.Spec.Bins))
+		for i, b := range in.Spec.Bins {
+			bins[i] = b.Field
+		}
+		aggs := make([]string, len(in.Spec.Aggs))
+		for i, a := range in.Spec.Aggs {
+			aggs[i] = a.String()
+		}
+		return fmt.Sprintf("create %s: %s by %s", in.Viz,
+			strings.Join(aggs, ", "), strings.Join(bins, " × "))
+	case KindFilter:
+		return fmt.Sprintf("filter %s where %s", in.Viz, in.Predicate.ToSQL())
+	case KindSelect:
+		return fmt.Sprintf("select on %s: %s", in.Viz, in.Predicate.ToSQL())
+	case KindLink:
+		return fmt.Sprintf("link %s --> %s", in.From, in.To)
+	case KindDiscard:
+		return fmt.Sprintf("discard %s", in.Viz)
+	default:
+		return fmt.Sprintf("unknown interaction %q", in.Kind)
+	}
+}
+
+// DOT renders the workflow's final visualization graph in Graphviz DOT
+// format for external tooling.
+func DOT(w *Workflow) (string, error) {
+	g := NewGraph()
+	for i, in := range w.Interactions {
+		if _, err := g.Apply(in); err != nil {
+			return "", fmt.Errorf("workflow: dot %s[%d]: %w", w.Name, i, err)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", w.Name)
+	for _, v := range g.VizNames() {
+		fmt.Fprintf(&sb, "  %q;\n", v)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", l[0], l[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,84 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"idebench/internal/query"
+)
+
+func describeFixture() *Workflow {
+	return &Workflow{
+		Name: "demo", Type: OneToNLinking,
+		Interactions: []Interaction{
+			create("src"),
+			create("dst"),
+			{Kind: KindLink, From: "src", To: "dst"},
+			{Kind: KindFilter, Viz: "src", Predicate: &query.Predicate{
+				Field: "dep_delay", Op: query.OpRange, Lo: 0, Hi: 60}},
+			{Kind: KindSelect, Viz: "src", Predicate: &query.Predicate{
+				Field: "carrier", Op: query.OpIn, Values: []string{"AA"}}},
+			{Kind: KindDiscard, Viz: "dst"},
+		},
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out, err := Describe(describeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`workflow "demo"`,
+		"create src",
+		"link src --> dst",
+		"filter src where",
+		"select on src",
+		"discard dst",
+		"SELECT",   // triggered queries rendered as SQL
+		"-> [dst]", // the link refresh targets dst
+		"live visualizations: src",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeInvalidWorkflow(t *testing.T) {
+	w := &Workflow{Name: "bad", Interactions: []Interaction{
+		{Kind: KindFilter, Viz: "ghost"},
+	}}
+	if _, err := Describe(w); err == nil {
+		t.Error("invalid workflow should fail to describe")
+	}
+	if _, err := DOT(w); err == nil {
+		t.Error("invalid workflow should fail to render as DOT")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	w := &Workflow{
+		Name: "g", Type: OneToNLinking,
+		Interactions: []Interaction{
+			create("a"),
+			create("b"),
+			{Kind: KindLink, From: "a", To: "b"},
+		},
+	}
+	out, err := DOT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`digraph "g"`, `"a" -> "b";`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeInteractionUnknownKind(t *testing.T) {
+	if got := describeInteraction(Interaction{Kind: "zoom"}); !strings.Contains(got, "unknown") {
+		t.Errorf("unknown kind rendering: %q", got)
+	}
+}

@@ -1,0 +1,240 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"idebench/internal/query"
+)
+
+// Graph is the live visualization dependency graph the benchmark driver
+// maintains while replaying a workflow (paper Sec. 2.2: dashboards are
+// "dependency graphs of visualization and filter objects; changing
+// properties of either object may require all dependent visualizations to
+// update, which on the database-level leads to multiple concurrent
+// queries").
+type Graph struct {
+	vizs map[string]*vizState
+}
+
+type vizState struct {
+	spec VizSpec
+	// ownFilter accumulates explicit Filter interactions on this viz.
+	ownFilter query.Filter
+	// selection is the current brush on this viz; it propagates to linked
+	// targets, not to the viz itself.
+	selection *query.Predicate
+	// out lists target viz names (this viz is their source).
+	out []string
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{vizs: make(map[string]*vizState)}
+}
+
+// NumVizs returns the number of live visualizations.
+func (g *Graph) NumVizs() int { return len(g.vizs) }
+
+// VizNames returns the live viz names, sorted for determinism.
+func (g *Graph) VizNames() []string {
+	names := make([]string, 0, len(g.vizs))
+	for n := range g.vizs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Links returns all (from, to) link pairs, deterministically ordered.
+func (g *Graph) Links() [][2]string {
+	var out [][2]string
+	for _, from := range g.VizNames() {
+		for _, to := range g.vizs[from].out {
+			out = append(out, [2]string{from, to})
+		}
+	}
+	return out
+}
+
+// Effect describes what one interaction requires from the engine: the
+// queries to run concurrently, plus link/discard notifications.
+type Effect struct {
+	// Queries to start simultaneously (one per visualization to update).
+	Queries []*query.Query
+	// NewLink is set for link interactions (engine hint).
+	NewLink *[2]string
+	// Discarded is set for discard interactions.
+	Discarded string
+}
+
+// Apply folds one interaction into the graph and returns its effect.
+func (g *Graph) Apply(in Interaction) (*Effect, error) {
+	switch in.Kind {
+	case KindCreateViz:
+		if in.Spec == nil {
+			return nil, fmt.Errorf("workflow: create without spec")
+		}
+		if _, exists := g.vizs[in.Viz]; exists {
+			return nil, fmt.Errorf("workflow: viz %q already exists", in.Viz)
+		}
+		g.vizs[in.Viz] = &vizState{spec: *in.Spec}
+		return &Effect{Queries: []*query.Query{g.queryFor(in.Viz)}}, nil
+
+	case KindFilter:
+		v, ok := g.vizs[in.Viz]
+		if !ok {
+			return nil, fmt.Errorf("workflow: filter on unknown viz %q", in.Viz)
+		}
+		if in.Predicate == nil {
+			return nil, fmt.Errorf("workflow: filter without predicate")
+		}
+		v.ownFilter = v.ownFilter.And(*in.Predicate)
+		// The filtered viz updates, and so do all transitive targets
+		// (their effective filters include this viz's data subset only via
+		// selections; a pure filter still updates the viz itself and
+		// downstream vizs re-query because their source changed).
+		affected := g.downstream(in.Viz, true)
+		return &Effect{Queries: g.queriesFor(affected)}, nil
+
+	case KindSelect:
+		v, ok := g.vizs[in.Viz]
+		if !ok {
+			return nil, fmt.Errorf("workflow: select on unknown viz %q", in.Viz)
+		}
+		if in.Predicate == nil {
+			return nil, fmt.Errorf("workflow: select without predicate")
+		}
+		p := *in.Predicate
+		v.selection = &p
+		// Selection updates linked targets only.
+		affected := g.downstream(in.Viz, false)
+		return &Effect{Queries: g.queriesFor(affected)}, nil
+
+	case KindLink:
+		from, ok := g.vizs[in.From]
+		if !ok {
+			return nil, fmt.Errorf("workflow: link from unknown viz %q", in.From)
+		}
+		if _, ok := g.vizs[in.To]; !ok {
+			return nil, fmt.Errorf("workflow: link to unknown viz %q", in.To)
+		}
+		for _, t := range from.out {
+			if t == in.To {
+				return nil, fmt.Errorf("workflow: duplicate link %q->%q", in.From, in.To)
+			}
+		}
+		from.out = append(from.out, in.To)
+		// The target (and its own targets) refresh under the new lineage.
+		affected := g.downstream(in.To, true)
+		return &Effect{
+			Queries: g.queriesFor(affected),
+			NewLink: &[2]string{in.From, in.To},
+		}, nil
+
+	case KindDiscard:
+		if _, ok := g.vizs[in.Viz]; !ok {
+			return nil, fmt.Errorf("workflow: discard of unknown viz %q", in.Viz)
+		}
+		delete(g.vizs, in.Viz)
+		for _, v := range g.vizs {
+			out := v.out[:0]
+			for _, t := range v.out {
+				if t != in.Viz {
+					out = append(out, t)
+				}
+			}
+			v.out = out
+		}
+		return &Effect{Discarded: in.Viz}, nil
+
+	default:
+		return nil, fmt.Errorf("workflow: unknown interaction kind %q", in.Kind)
+	}
+}
+
+// downstream collects the names reachable from start via links, optionally
+// including start itself, in deterministic BFS order.
+func (g *Graph) downstream(start string, includeStart bool) []string {
+	seen := map[string]bool{start: true}
+	order := []string{}
+	if includeStart {
+		order = append(order, start)
+	}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		v, ok := g.vizs[cur]
+		if !ok {
+			continue
+		}
+		targets := append([]string(nil), v.out...)
+		sort.Strings(targets)
+		for _, t := range targets {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			order = append(order, t)
+			queue = append(queue, t)
+		}
+	}
+	return order
+}
+
+// upstreamSelections collects the selection predicates of all transitive
+// sources of viz (cycle-safe).
+func (g *Graph) upstreamSelections(viz string) []query.Predicate {
+	// Build reverse edges on the fly (graphs are tiny).
+	var preds []query.Predicate
+	seen := map[string]bool{viz: true}
+	queue := []string{viz}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, srcName := range g.VizNames() {
+			src := g.vizs[srcName]
+			for _, t := range src.out {
+				if t != cur || seen[srcName] {
+					continue
+				}
+				seen[srcName] = true
+				if src.selection != nil {
+					preds = append(preds, *src.selection)
+				}
+				queue = append(queue, srcName)
+			}
+		}
+	}
+	return preds
+}
+
+// queryFor materializes viz's query under its effective filter: its own
+// filter conjoined with every upstream selection.
+func (g *Graph) queryFor(viz string) *query.Query {
+	v := g.vizs[viz]
+	f := v.ownFilter
+	for _, p := range g.upstreamSelections(viz) {
+		f = f.And(p)
+	}
+	return v.spec.Query(f)
+}
+
+// queriesFor materializes queries for several vizs.
+func (g *Graph) queriesFor(names []string) []*query.Query {
+	qs := make([]*query.Query, 0, len(names))
+	for _, n := range names {
+		qs = append(qs, g.queryFor(n))
+	}
+	return qs
+}
+
+// QueryFor exposes the effective query of a live viz (used by the driver
+// for ground-truth bookkeeping and by tests).
+func (g *Graph) QueryFor(viz string) (*query.Query, error) {
+	if _, ok := g.vizs[viz]; !ok {
+		return nil, fmt.Errorf("workflow: unknown viz %q", viz)
+	}
+	return g.queryFor(viz), nil
+}

@@ -1,0 +1,187 @@
+// Package workflow models the benchmark's unit of work (paper Sec. 4.3):
+// sequences of user interactions — creating visualizations, filtering,
+// selecting, linking and discarding — together with the visualization
+// dependency graph that turns one interaction into the set of concurrent
+// queries the database must answer. A Markov-chain generator produces
+// workflows of the paper's four types plus the mixed type.
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"idebench/internal/query"
+)
+
+// Type enumerates the workflow types (paper Fig. 3).
+type Type string
+
+// The four interaction patterns observed in user studies, plus "mixed".
+const (
+	IndependentBrowsing Type = "independent"
+	SequentialLinking   Type = "sequential"
+	OneToNLinking       Type = "1n"
+	NToOneLinking       Type = "n1"
+	Mixed               Type = "mixed"
+)
+
+// AllTypes lists the four pure workflow types (the default configuration
+// additionally runs Mixed).
+var AllTypes = []Type{IndependentBrowsing, SequentialLinking, OneToNLinking, NToOneLinking}
+
+// Valid reports whether t is a known workflow type.
+func (t Type) Valid() bool {
+	switch t {
+	case IndependentBrowsing, SequentialLinking, OneToNLinking, NToOneLinking, Mixed:
+		return true
+	}
+	return false
+}
+
+// InteractionKind enumerates user interactions.
+type InteractionKind string
+
+// Interaction kinds (paper Sec. 4.3: "creating a visualization ...,
+// filtering/selecting ..., linking visualizations ..., and discarding").
+const (
+	KindCreateViz InteractionKind = "create"
+	KindFilter    InteractionKind = "filter"
+	KindSelect    InteractionKind = "select"
+	KindLink      InteractionKind = "link"
+	KindDiscard   InteractionKind = "discard"
+)
+
+// VizSpec describes a visualization: its data source, binning and
+// aggregates. It is the unit the benchmark translates to queries.
+type VizSpec struct {
+	Name  string            `json:"name"`
+	Table string            `json:"table"`
+	Bins  []query.Binning   `json:"bins"`
+	Aggs  []query.Aggregate `json:"aggs"`
+}
+
+// Interaction is one step of a workflow.
+type Interaction struct {
+	Kind InteractionKind `json:"kind"`
+	// Viz is the target visualization (create/filter/select/discard).
+	Viz string `json:"viz,omitempty"`
+	// Spec is the visualization definition (create only).
+	Spec *VizSpec `json:"spec,omitempty"`
+	// Predicate carries the filter or selection predicate.
+	Predicate *query.Predicate `json:"predicate,omitempty"`
+	// From/To name the link endpoints (link only).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+}
+
+// Workflow is a named sequence of interactions.
+type Workflow struct {
+	Name         string        `json:"name"`
+	Type         Type          `json:"type"`
+	Interactions []Interaction `json:"interactions"`
+}
+
+// Validate checks structural soundness: vizs are created before use, links
+// reference existing vizs, specs are valid queries.
+func (w *Workflow) Validate() error {
+	live := map[string]bool{}
+	for i, in := range w.Interactions {
+		switch in.Kind {
+		case KindCreateViz:
+			if in.Spec == nil || in.Viz == "" {
+				return fmt.Errorf("workflow %s[%d]: create without spec/name", w.Name, i)
+			}
+			if live[in.Viz] {
+				return fmt.Errorf("workflow %s[%d]: viz %q already exists", w.Name, i, in.Viz)
+			}
+			q := in.Spec.Query(query.Filter{})
+			if err := q.Validate(); err != nil {
+				return fmt.Errorf("workflow %s[%d]: %w", w.Name, i, err)
+			}
+			live[in.Viz] = true
+		case KindFilter, KindSelect:
+			if !live[in.Viz] {
+				return fmt.Errorf("workflow %s[%d]: %s on unknown viz %q", w.Name, i, in.Kind, in.Viz)
+			}
+			if in.Predicate == nil {
+				return fmt.Errorf("workflow %s[%d]: %s without predicate", w.Name, i, in.Kind)
+			}
+			if err := in.Predicate.Validate(); err != nil {
+				return fmt.Errorf("workflow %s[%d]: %w", w.Name, i, err)
+			}
+		case KindLink:
+			if !live[in.From] || !live[in.To] {
+				return fmt.Errorf("workflow %s[%d]: link between unknown vizs %q->%q", w.Name, i, in.From, in.To)
+			}
+			if in.From == in.To {
+				return fmt.Errorf("workflow %s[%d]: self-link on %q", w.Name, i, in.From)
+			}
+		case KindDiscard:
+			if !live[in.Viz] {
+				return fmt.Errorf("workflow %s[%d]: discard of unknown viz %q", w.Name, i, in.Viz)
+			}
+			delete(live, in.Viz)
+		default:
+			return fmt.Errorf("workflow %s[%d]: unknown interaction kind %q", w.Name, i, in.Kind)
+		}
+	}
+	return nil
+}
+
+// Query materializes the executable query for this viz under an effective
+// filter.
+func (s *VizSpec) Query(filter query.Filter) *query.Query {
+	return &query.Query{
+		VizName: s.Name,
+		Table:   s.Table,
+		Bins:    append([]query.Binning(nil), s.Bins...),
+		Aggs:    append([]query.Aggregate(nil), s.Aggs...),
+		Filter:  filter,
+	}
+}
+
+// WriteJSON streams workflows as indented JSON.
+func WriteJSON(w io.Writer, flows []*Workflow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flows)
+}
+
+// ReadJSON loads workflows written by WriteJSON and validates each.
+func ReadJSON(r io.Reader) ([]*Workflow, error) {
+	var flows []*Workflow
+	if err := json.NewDecoder(r).Decode(&flows); err != nil {
+		return nil, fmt.Errorf("workflow: decode: %w", err)
+	}
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return flows, nil
+}
+
+// SaveFile writes workflows to a JSON file.
+func SaveFile(path string, flows []*Workflow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, flows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads workflows from a JSON file.
+func LoadFile(path string) ([]*Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

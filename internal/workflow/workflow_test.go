@@ -1,0 +1,308 @@
+package workflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"idebench/internal/dataset"
+	"idebench/internal/query"
+)
+
+func spec(name string) *VizSpec {
+	return &VizSpec{
+		Name:  name,
+		Table: "flights",
+		Bins:  []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs:  []query.Aggregate{{Func: query.Count}},
+	}
+}
+
+func create(name string) Interaction {
+	return Interaction{Kind: KindCreateViz, Viz: name, Spec: spec(name)}
+}
+
+func TestTypeValid(t *testing.T) {
+	for _, typ := range append(append([]Type(nil), AllTypes...), Mixed) {
+		if !typ.Valid() {
+			t.Errorf("%s should be valid", typ)
+		}
+	}
+	if Type("bogus").Valid() {
+		t.Error("bogus type should be invalid")
+	}
+}
+
+func TestWorkflowValidate(t *testing.T) {
+	good := &Workflow{Name: "w", Type: Mixed, Interactions: []Interaction{
+		create("a"),
+		create("b"),
+		{Kind: KindLink, From: "a", To: "b"},
+		{Kind: KindSelect, Viz: "a", Predicate: &query.Predicate{
+			Field: "carrier", Op: query.OpIn, Values: []string{"AA"}}},
+		{Kind: KindFilter, Viz: "b", Predicate: &query.Predicate{
+			Field: "dep_delay", Op: query.OpRange, Lo: 0, Hi: 10}},
+		{Kind: KindDiscard, Viz: "a"},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid workflow rejected: %v", err)
+	}
+
+	bad := []*Workflow{
+		{Interactions: []Interaction{{Kind: KindCreateViz, Viz: "a"}}},                                                               // no spec
+		{Interactions: []Interaction{create("a"), create("a")}},                                                                      // duplicate
+		{Interactions: []Interaction{{Kind: KindFilter, Viz: "ghost"}}},                                                              // unknown viz
+		{Interactions: []Interaction{create("a"), {Kind: KindFilter, Viz: "a"}}},                                                     // no predicate
+		{Interactions: []Interaction{create("a"), {Kind: KindLink, From: "a", To: "b"}}},                                             // unknown link target
+		{Interactions: []Interaction{create("a"), {Kind: KindLink, From: "a", To: "a"}}},                                             // self link
+		{Interactions: []Interaction{{Kind: KindDiscard, Viz: "x"}}},                                                                 // discard unknown
+		{Interactions: []Interaction{{Kind: "zoom", Viz: "x"}}},                                                                      // unknown kind
+		{Interactions: []Interaction{create("a"), {Kind: KindSelect, Viz: "a", Predicate: &query.Predicate{Field: "x", Op: "bad"}}}}, // bad predicate
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad workflow %d accepted", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	flows := []*Workflow{{
+		Name: "w1", Type: SequentialLinking,
+		Interactions: []Interaction{
+			create("a"),
+			{Kind: KindFilter, Viz: "a", Predicate: &query.Predicate{
+				Field: "carrier", Op: query.OpIn, Values: []string{"AA", "UA"}}},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "w1" || got[0].Type != SequentialLinking {
+		t.Fatalf("round trip lost metadata: %+v", got[0])
+	}
+	if len(got[0].Interactions) != 2 {
+		t.Fatal("interactions lost")
+	}
+	p := got[0].Interactions[1].Predicate
+	if p == nil || p.Op != query.OpIn || len(p.Values) != 2 {
+		t.Errorf("predicate mangled: %+v", p)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Structurally valid JSON but semantically broken workflow.
+	bad := `[{"name":"w","type":"mixed","interactions":[{"kind":"filter","viz":"ghost"}]}]`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid workflow should fail validation")
+	}
+}
+
+func TestGraphCreateAndQuery(t *testing.T) {
+	g := NewGraph()
+	eff, err := g.Apply(create("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Queries) != 1 {
+		t.Fatalf("create should trigger 1 query, got %d", len(eff.Queries))
+	}
+	q := eff.Queries[0]
+	if q.VizName != "a" || !q.Filter.IsEmpty() {
+		t.Errorf("unexpected query: %+v", q)
+	}
+	if g.NumVizs() != 1 {
+		t.Error("viz not registered")
+	}
+}
+
+func TestGraphFilterAffectsSelfAndDownstream(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("a"))
+	mustApply(t, g, create("b"))
+	mustApply(t, g, Interaction{Kind: KindLink, From: "a", To: "b"})
+
+	eff, err := g.Apply(Interaction{Kind: KindFilter, Viz: "a", Predicate: &query.Predicate{
+		Field: "dep_delay", Op: query.OpRange, Lo: 0, Hi: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Queries) != 2 {
+		t.Fatalf("filter on source should update source+target, got %d queries", len(eff.Queries))
+	}
+	// The source's own query carries the filter.
+	var selfQ *query.Query
+	for _, q := range eff.Queries {
+		if q.VizName == "a" {
+			selfQ = q
+		}
+	}
+	if selfQ == nil || len(selfQ.Filter.Predicates) != 1 {
+		t.Error("source query missing its own filter")
+	}
+}
+
+func TestGraphSelectionPropagatesToTargetsOnly(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("src"))
+	mustApply(t, g, create("t1"))
+	mustApply(t, g, create("t2"))
+	mustApply(t, g, Interaction{Kind: KindLink, From: "src", To: "t1"})
+	mustApply(t, g, Interaction{Kind: KindLink, From: "src", To: "t2"})
+
+	sel := &query.Predicate{Field: "carrier", Op: query.OpIn, Values: []string{"AA"}}
+	eff, err := g.Apply(Interaction{Kind: KindSelect, Viz: "src", Predicate: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1:N — one interaction, two concurrent queries.
+	if len(eff.Queries) != 2 {
+		t.Fatalf("selection should update 2 targets, got %d", len(eff.Queries))
+	}
+	for _, q := range eff.Queries {
+		if q.VizName == "src" {
+			t.Error("selection must not re-query the source itself")
+		}
+		if len(q.Filter.Predicates) != 1 || q.Filter.Predicates[0].Field != "carrier" {
+			t.Errorf("target query missing upstream selection: %+v", q.Filter)
+		}
+	}
+
+	// Re-selecting replaces, not stacks.
+	sel2 := &query.Predicate{Field: "carrier", Op: query.OpIn, Values: []string{"UA"}}
+	eff2, err := g.Apply(Interaction{Kind: KindSelect, Viz: "src", Predicate: sel2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range eff2.Queries {
+		if len(q.Filter.Predicates) != 1 || q.Filter.Predicates[0].Values[0] != "UA" {
+			t.Errorf("selection should replace previous one: %+v", q.Filter)
+		}
+	}
+}
+
+func TestGraphSequentialChainPropagation(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("a"))
+	mustApply(t, g, create("b"))
+	mustApply(t, g, create("c"))
+	mustApply(t, g, Interaction{Kind: KindLink, From: "a", To: "b"})
+	mustApply(t, g, Interaction{Kind: KindLink, From: "b", To: "c"})
+
+	sel := &query.Predicate{Field: "carrier", Op: query.OpIn, Values: []string{"DL"}}
+	eff, err := g.Apply(Interaction{Kind: KindSelect, Viz: "a", Predicate: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selection at the chain head updates b and c.
+	if len(eff.Queries) != 2 {
+		t.Fatalf("chain selection should update 2 vizs, got %d", len(eff.Queries))
+	}
+	qc, err := g.QueryFor("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qc.Filter.Predicates) != 1 {
+		t.Errorf("transitive selection not applied to chain tail: %+v", qc.Filter)
+	}
+}
+
+func TestGraphLinkTriggersTargetRefresh(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("a"))
+	mustApply(t, g, create("b"))
+	sel := &query.Predicate{Field: "carrier", Op: query.OpIn, Values: []string{"AA"}}
+	mustApply(t, g, Interaction{Kind: KindSelect, Viz: "a", Predicate: sel})
+
+	eff, err := g.Apply(Interaction{Kind: KindLink, From: "a", To: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.NewLink == nil || eff.NewLink[0] != "a" {
+		t.Error("link effect missing")
+	}
+	if len(eff.Queries) != 1 || eff.Queries[0].VizName != "b" {
+		t.Fatalf("link should refresh target, got %+v", eff.Queries)
+	}
+	if len(eff.Queries[0].Filter.Predicates) != 1 {
+		t.Error("existing selection should apply to newly linked target")
+	}
+}
+
+func TestGraphDiscardRemovesLinks(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("a"))
+	mustApply(t, g, create("b"))
+	mustApply(t, g, Interaction{Kind: KindLink, From: "a", To: "b"})
+	eff, err := g.Apply(Interaction{Kind: KindDiscard, Viz: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Discarded != "b" || len(eff.Queries) != 0 {
+		t.Error("discard effect wrong")
+	}
+	if g.NumVizs() != 1 || len(g.Links()) != 0 {
+		t.Error("discard did not clean up links")
+	}
+}
+
+func TestGraphCycleSafety(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("a"))
+	mustApply(t, g, create("b"))
+	mustApply(t, g, Interaction{Kind: KindLink, From: "a", To: "b"})
+	mustApply(t, g, Interaction{Kind: KindLink, From: "b", To: "a"})
+	sel := &query.Predicate{Field: "carrier", Op: query.OpIn, Values: []string{"AA"}}
+	eff, err := g.Apply(Interaction{Kind: KindSelect, Viz: "a", Predicate: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Queries) != 1 {
+		t.Errorf("cycle should still terminate with 1 affected viz, got %d", len(eff.Queries))
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := NewGraph()
+	mustApply(t, g, create("a"))
+	cases := []Interaction{
+		{Kind: KindCreateViz, Viz: "a", Spec: spec("a")}, // duplicate
+		{Kind: KindCreateViz, Viz: "x"},                  // nil spec
+		{Kind: KindFilter, Viz: "ghost"},                 // unknown viz
+		{Kind: KindFilter, Viz: "a"},                     // nil predicate
+		{Kind: KindSelect, Viz: "ghost"},                 // unknown viz
+		{Kind: KindSelect, Viz: "a"},                     // nil predicate
+		{Kind: KindLink, From: "ghost", To: "a"},         // unknown from
+		{Kind: KindLink, From: "a", To: "ghost"},         // unknown to
+		{Kind: KindDiscard, Viz: "ghost"},                // unknown discard
+		{Kind: "zoom"},                                   // unknown kind
+	}
+	for i, in := range cases {
+		if _, err := g.Apply(in); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Duplicate link.
+	mustApply(t, g, create("b"))
+	mustApply(t, g, Interaction{Kind: KindLink, From: "a", To: "b"})
+	if _, err := g.Apply(Interaction{Kind: KindLink, From: "a", To: "b"}); err == nil {
+		t.Error("duplicate link should fail")
+	}
+}
+
+func mustApply(t *testing.T, g *Graph, in Interaction) *Effect {
+	t.Helper()
+	eff, err := g.Apply(in)
+	if err != nil {
+		t.Fatalf("apply %+v: %v", in, err)
+	}
+	return eff
+}
