@@ -7,4 +7,18 @@
 // The root package only anchors the module and its benchmark suite
 // (bench_test.go); the implementation lives under internal/ and the
 // runnable entry points under cmd/idebench and examples/.
+//
+// # Execution architecture
+//
+// All engine archetypes share one vectorized execution spine
+// (internal/engine): query plans compile to type-specialized batch kernels
+// that evaluate filters into selection vectors, compute bin keys, and fold
+// aggregates over raw column slices ~4096 rows at a time, with a dense
+// flat-array group-by fast path when the bin-key domain is small and known
+// (see internal/engine/README.md). The archetypes differ only in their
+// execution *models* — blocking parallel scan (exactdb), offline stratified
+// sample (sampledb), online aggregation with a row-store cost model
+// (onlinedb), and fully progressive permuted scanning with reuse and
+// speculation (progressive) — not in their scan kernels, so benchmark
+// comparisons measure the models, not incidental interpreter overhead.
 package idebench

@@ -1,0 +1,3 @@
+module idebench
+
+go 1.24

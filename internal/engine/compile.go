@@ -2,15 +2,19 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"idebench/internal/dataset"
 	"idebench/internal/query"
 )
 
-// Compiled is a query plan bound to a concrete database: closures that read
-// bin keys, aggregate inputs and filter verdicts straight from column
-// storage. Dimension attributes resolve through the fact table's FK column
-// (a positional join — the star-schema FK holds the dimension row index).
+// Compiled is a query plan bound to a concrete database. It carries two
+// equivalent forms of every operator: vectorized kernels (vectorize.go) that
+// evaluate whole batches against raw column slices — the form the scan hot
+// path uses — and per-row closures kept as the scalar reference
+// implementation (property tests assert the two are bitwise identical).
+// Dimension attributes resolve through the fact table's FK column (a
+// positional join — the star-schema FK holds the dimension row index).
 //
 // A Compiled plan is immutable and safe for concurrent use by many scan
 // goroutines.
@@ -28,7 +32,44 @@ type Compiled struct {
 	// BinDicts holds the dictionary for nominal binning dimensions (nil for
 	// quantitative), used to render bin labels in reports.
 	BinDicts []*dataset.Dict
+
+	// Vectorized form: one kernel per bin dimension, one gather kernel per
+	// non-COUNT aggregate (nil for COUNT slots), one predicate kernel per
+	// filter conjunct (empty means match-all).
+	binKern  []binKernel
+	aggKern  []aggKernel
+	predKern []predKernel
+	// aggOps lists the non-COUNT accumulation steps (COUNT needs only the
+	// per-bin row count, which accumulate maintains unconditionally).
+	aggOps []aggOp
+
+	// Dense group-by fast path: when every bin dimension has a known,
+	// small domain (nominal dictionary cardinality, or quantitative bounds
+	// from Column.MinMax), bin keys map to slots of a flat array of size
+	// denseSizeA*denseSizeB instead of hashing into the Groups map.
+	denseOK            bool
+	denseLoA, denseLoB int64
+	denseSizeA         int64
+	denseSizeB         int64 // 1 for 1D plans
 }
+
+// aggOp is one pre-decoded accumulation step, replacing the per-row switch
+// on the aggregate function name of the scalar path.
+type aggOp struct {
+	code uint8 // aggOp* opcode
+	slot int   // aggregate index (accumulator and gather-buffer slot)
+}
+
+const (
+	aggOpWelford = uint8(iota) // Sum and Avg share the Welford accumulator
+	aggOpMin
+	aggOpMax
+)
+
+// denseMaxSlots caps the dense array size (slots are one pointer each, so
+// the worst case is 64 KiB per GroupState — small enough for the
+// progressive engine's dozens of speculative states).
+const denseMaxSlots = 1 << 13
 
 // Compile validates q against db and builds the plan.
 func Compile(db *dataset.Database, q *query.Query) (*Compiled, error) {
@@ -38,34 +79,115 @@ func Compile(db *dataset.Database, q *query.Query) (*Compiled, error) {
 	if db.Fact.Name != q.Table {
 		return nil, fmt.Errorf("%w: %q (prepared: %q)", ErrUnknownTable, q.Table, db.Fact.Name)
 	}
+	if int64(db.Fact.NumRows()) > math.MaxUint32 {
+		// Selection vectors (and the engines' permutations) hold row
+		// indices as uint32; refuse rather than silently wrap.
+		return nil, fmt.Errorf("engine: table %q has %d rows, max supported is %d",
+			q.Table, db.Fact.NumRows(), uint32(math.MaxUint32))
+	}
 	c := &Compiled{Query: q, NumRows: db.Fact.NumRows()}
 
+	var domains []binDomain
 	for _, b := range q.Bins {
-		getter, dict, err := binAccessor(db, b)
+		getter, kern, dom, dict, err := binAccessor(db, b)
 		if err != nil {
 			return nil, err
 		}
 		c.binGet = append(c.binGet, getter)
+		c.binKern = append(c.binKern, kern)
+		domains = append(domains, dom)
 		c.BinDicts = append(c.BinDicts, dict)
 	}
-	for _, a := range q.Aggs {
+	for i, a := range q.Aggs {
 		if a.Func == query.Count && a.Field == "" {
 			c.aggGet = append(c.aggGet, nil)
+			c.aggKern = append(c.aggKern, nil)
 			continue
 		}
-		getter, err := numAccessor(db, a.Field)
+		getter, kern, err := numAccessor(db, a.Field)
 		if err != nil {
 			return nil, fmt.Errorf("engine: aggregate %s: %w", a, err)
 		}
 		c.aggGet = append(c.aggGet, getter)
+		c.aggKern = append(c.aggKern, kern)
+		switch a.Func {
+		case query.Min:
+			c.aggOps = append(c.aggOps, aggOp{code: aggOpMin, slot: i})
+		case query.Max:
+			c.aggOps = append(c.aggOps, aggOp{code: aggOpMax, slot: i})
+		case query.Sum, query.Avg:
+			c.aggOps = append(c.aggOps, aggOp{code: aggOpWelford, slot: i})
+		}
+		// COUNT(field) gathers nothing: the row count is all it needs.
 	}
-	f, err := compileFilter(db, q.Filter)
+	f, preds, err := compileFilter(db, q.Filter)
 	if err != nil {
 		return nil, err
 	}
 	c.filter = f
+	c.predKern = preds
+	c.planDense(domains)
 	return c, nil
 }
+
+// planDense activates the dense group-by path when the total key domain is
+// known and fits denseMaxSlots.
+func (c *Compiled) planDense(domains []binDomain) {
+	for _, d := range domains {
+		if !d.known || d.size <= 0 {
+			return
+		}
+	}
+	slots := domains[0].size
+	c.denseLoA, c.denseSizeA = domains[0].lo, domains[0].size
+	c.denseLoB, c.denseSizeB = 0, 1
+	if len(domains) > 1 {
+		c.denseLoB, c.denseSizeB = domains[1].lo, domains[1].size
+		if slots > denseMaxSlots/domains[1].size {
+			return // product overflow or over budget
+		}
+		slots *= domains[1].size
+	}
+	if slots > denseMaxSlots {
+		return
+	}
+	c.denseOK = true
+}
+
+// denseSlots returns the dense array size (0 when the path is inactive).
+func (c *Compiled) denseSlots() int {
+	if !c.denseOK {
+		return 0
+	}
+	return int(c.denseSizeA * c.denseSizeB)
+}
+
+// denseSlot maps a bin key to its dense array slot; ok is false for keys
+// outside the planned domain (possible only if column invariants are
+// violated — the caller then falls back to the hash map).
+func (c *Compiled) denseSlot(key query.BinKey) (int, bool) {
+	a := key.A - c.denseLoA
+	if uint64(a) >= uint64(c.denseSizeA) {
+		return 0, false
+	}
+	b := key.B - c.denseLoB
+	if uint64(b) >= uint64(c.denseSizeB) {
+		return 0, false
+	}
+	return int(a*c.denseSizeB + b), true
+}
+
+// denseKey is the inverse of denseSlot.
+func (c *Compiled) denseKey(slot int) query.BinKey {
+	return query.BinKey{
+		A: int64(slot)/c.denseSizeB + c.denseLoA,
+		B: int64(slot)%c.denseSizeB + c.denseLoB,
+	}
+}
+
+// disableDense deactivates the dense group-by path; benchmarks and property
+// tests use it to exercise the hash-map path on plans that would qualify.
+func (c *Compiled) disableDense() { c.denseOK = false }
 
 // BinKey computes the bin key of a physical row.
 func (c *Compiled) BinKey(row int) query.BinKey {
@@ -98,29 +220,31 @@ func (c *Compiled) AggInput(row int, dst []float64) {
 // NumAggs returns the number of aggregates in the plan.
 func (c *Compiled) NumAggs() int { return len(c.aggGet) }
 
-// binAccessor builds the per-row bin-key component reader for one binning.
-func binAccessor(db *dataset.Database, b query.Binning) (func(int) int64, *dataset.Dict, error) {
+// binAccessor builds the per-row bin-key component reader for one binning,
+// plus its vectorized kernel and key domain.
+func binAccessor(db *dataset.Database, b query.Binning) (func(int) int64, binKernel, binDomain, *dataset.Dict, error) {
 	col, _, fk, err := db.ResolveColumn(b.Field)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, binDomain{}, nil, err
 	}
 	if col.Field.Kind != b.Kind {
-		return nil, nil, fmt.Errorf("engine: binning on %q declares %v but column is %v",
+		return nil, nil, binDomain{}, nil, fmt.Errorf("engine: binning on %q declares %v but column is %v",
 			b.Field, b.Kind, col.Field.Kind)
 	}
+	kern, dom := newBinKernel(col, fk, binShape{width: b.Width, origin: b.Origin})
 	switch {
 	case b.Kind == dataset.Nominal && fk == nil:
 		codes := col.Codes
-		return func(row int) int64 { return int64(codes[row]) }, col.Dict, nil
+		return func(row int) int64 { return int64(codes[row]) }, kern, dom, col.Dict, nil
 	case b.Kind == dataset.Nominal:
 		codes, fkNums := col.Codes, fk.Nums
-		return func(row int) int64 { return int64(codes[int(fkNums[row])]) }, col.Dict, nil
+		return func(row int) int64 { return int64(codes[int(fkNums[row])]) }, kern, dom, col.Dict, nil
 	case fk == nil:
 		nums, width, origin := col.Nums, b.Width, b.Origin
-		return func(row int) int64 { return binIdx(nums[row], width, origin) }, nil, nil
+		return func(row int) int64 { return binIdx(nums[row], width, origin) }, kern, dom, nil, nil
 	default:
 		nums, fkNums, width, origin := col.Nums, fk.Nums, b.Width, b.Origin
-		return func(row int) int64 { return binIdx(nums[int(fkNums[row])], width, origin) }, nil, nil
+		return func(row int) int64 { return binIdx(nums[int(fkNums[row])], width, origin) }, kern, dom, nil, nil
 	}
 }
 
@@ -133,38 +257,43 @@ func binIdx(v, width, origin float64) int64 {
 	return i
 }
 
-// numAccessor builds a float64 reader for a quantitative attribute.
-func numAccessor(db *dataset.Database, field string) (func(int) float64, error) {
+// numAccessor builds a float64 reader for a quantitative attribute, plus
+// its vectorized gather kernel.
+func numAccessor(db *dataset.Database, field string) (func(int) float64, aggKernel, error) {
 	col, _, fk, err := db.ResolveColumn(field)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if col.Field.Kind != dataset.Quantitative {
-		return nil, fmt.Errorf("engine: field %q is nominal, aggregates need quantitative input", field)
+		return nil, nil, fmt.Errorf("engine: field %q is nominal, aggregates need quantitative input", field)
 	}
+	kern := newAggKernel(col, fk)
 	nums := col.Nums
 	if fk == nil {
-		return func(row int) float64 { return nums[row] }, nil
+		return func(row int) float64 { return nums[row] }, kern, nil
 	}
 	fkNums := fk.Nums
-	return func(row int) float64 { return nums[int(fkNums[row])] }, nil
+	return func(row int) float64 { return nums[int(fkNums[row])] }, kern, nil
 }
 
-// compileFilter builds the conjunction closure (nil for an empty filter).
-func compileFilter(db *dataset.Database, f query.Filter) (func(int) bool, error) {
+// compileFilter builds the conjunction closure (nil for an empty filter)
+// and the per-conjunct predicate kernels.
+func compileFilter(db *dataset.Database, f query.Filter) (func(int) bool, []predKernel, error) {
 	if f.IsEmpty() {
-		return nil, nil
+		return nil, nil, nil
 	}
 	preds := make([]func(int) bool, 0, len(f.Predicates))
+	kerns := make([]predKernel, 0, len(f.Predicates))
 	for _, p := range f.Predicates {
-		fn, err := compilePredicate(db, p)
+		fn, kern, err := compilePredicate(db, p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		preds = append(preds, fn)
+		kerns = append(kerns, kern)
 	}
 	if len(preds) == 1 {
-		return preds[0], nil
+		return preds[0], kerns, nil
 	}
 	return func(row int) bool {
 		for _, p := range preds {
@@ -173,21 +302,21 @@ func compileFilter(db *dataset.Database, f query.Filter) (func(int) bool, error)
 			}
 		}
 		return true
-	}, nil
+	}, kerns, nil
 }
 
-func compilePredicate(db *dataset.Database, p query.Predicate) (func(int) bool, error) {
+func compilePredicate(db *dataset.Database, p query.Predicate) (func(int) bool, predKernel, error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	col, _, fk, err := db.ResolveColumn(p.Field)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch p.Op {
 	case query.OpIn:
 		if col.Field.Kind != dataset.Nominal {
-			return nil, fmt.Errorf("engine: IN predicate on quantitative field %q", p.Field)
+			return nil, nil, fmt.Errorf("engine: IN predicate on quantitative field %q", p.Field)
 		}
 		// Resolve values to codes; unknown values simply never match.
 		want := make(map[uint32]struct{}, len(p.Values))
@@ -196,6 +325,7 @@ func compilePredicate(db *dataset.Database, p query.Predicate) (func(int) bool, 
 				want[code] = struct{}{}
 			}
 		}
+		kern := newInPredKernel(col, fk, want)
 		codes := col.Codes
 		if len(want) == 1 {
 			var only uint32
@@ -203,29 +333,30 @@ func compilePredicate(db *dataset.Database, p query.Predicate) (func(int) bool, 
 				only = c
 			}
 			if fk == nil {
-				return func(row int) bool { return codes[row] == only }, nil
+				return func(row int) bool { return codes[row] == only }, kern, nil
 			}
 			fkNums := fk.Nums
-			return func(row int) bool { return codes[int(fkNums[row])] == only }, nil
+			return func(row int) bool { return codes[int(fkNums[row])] == only }, kern, nil
 		}
 		if fk == nil {
-			return func(row int) bool { _, ok := want[codes[row]]; return ok }, nil
+			return func(row int) bool { _, ok := want[codes[row]]; return ok }, kern, nil
 		}
 		fkNums := fk.Nums
-		return func(row int) bool { _, ok := want[codes[int(fkNums[row])]]; return ok }, nil
+		return func(row int) bool { _, ok := want[codes[int(fkNums[row])]]; return ok }, kern, nil
 
 	case query.OpRange:
 		if col.Field.Kind != dataset.Quantitative {
-			return nil, fmt.Errorf("engine: range predicate on nominal field %q", p.Field)
+			return nil, nil, fmt.Errorf("engine: range predicate on nominal field %q", p.Field)
 		}
+		kern := newRangePredKernel(col, fk, p.Lo, p.Hi)
 		nums, lo, hi := col.Nums, p.Lo, p.Hi
 		if fk == nil {
-			return func(row int) bool { v := nums[row]; return v >= lo && v < hi }, nil
+			return func(row int) bool { v := nums[row]; return v >= lo && v < hi }, kern, nil
 		}
 		fkNums := fk.Nums
-		return func(row int) bool { v := nums[int(fkNums[row])]; return v >= lo && v < hi }, nil
+		return func(row int) bool { v := nums[int(fkNums[row])]; return v >= lo && v < hi }, kern, nil
 
 	default:
-		return nil, fmt.Errorf("engine: unknown predicate op %q", p.Op)
+		return nil, nil, fmt.Errorf("engine: unknown predicate op %q", p.Op)
 	}
 }

@@ -1,7 +1,31 @@
 // Package engine defines the system-adapter interface of the benchmark
-// (paper Sec. 4.5) and the shared execution kernels — compiled accessors,
-// filters and group-by states — that the concrete engines under
-// internal/engine/... build their execution models from.
+// (paper Sec. 4.5) and the shared execution kernels — compiled plans,
+// vectorized filter/bin/aggregate kernels and group-by states — that the
+// concrete engines under internal/engine/... build their execution models
+// from.
+//
+// # Vectorized execution
+//
+// Compile lowers a query to a Compiled plan holding two equivalent
+// operator forms: per-row closures (the scalar reference path, exercised
+// by GroupState.ScanRangeScalar/ScanRowsScalar) and type-specialized batch
+// kernels (vectorize.go). GroupState.ScanRange and ScanRows run the batch
+// form: each batch of up to BatchRows rows flows through predicate kernels
+// that build a selection vector, bin-key kernels that fill an []int64 key
+// buffer, and gather kernels that copy aggregate inputs into []float64
+// buffers — tight loops over raw column storage with no per-row closure
+// calls.
+//
+// # Dense group-by fast path
+//
+// When every bin dimension has a known, small key domain — the dictionary
+// cardinality of a nominal column, or quantitative bin bounds derived from
+// the column's memoized min/max — accumulators live in a flat array indexed
+// by bin key instead of the hash map. Dense accumulators are mirrored into
+// GroupState.Groups on first touch, so Merge, SnapshotExact and
+// SnapshotScaled are oblivious to which path filled the state; parallel
+// scans and the progressive engine's resumable states work unchanged.
+// See README.md in this directory for the full architecture.
 package engine
 
 import (

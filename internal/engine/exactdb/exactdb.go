@@ -17,9 +17,10 @@ import (
 )
 
 // chunkRows is the scan granularity: cancellation latency and work-stealing
-// slice size. 64k rows keeps cancellation in the tens of microseconds while
-// amortizing the atomic fetch.
-const chunkRows = 1 << 16
+// slice size. 64k rows (16 vectorized batches of engine.BatchRows) keeps
+// cancellation in the tens of microseconds while amortizing the atomic
+// fetch.
+const chunkRows = 16 * engine.BatchRows
 
 // Engine is a blocking, parallel, exact columnar engine.
 type Engine struct {

@@ -30,32 +30,83 @@ func newAccum(numAggs int) *Accum {
 	return a
 }
 
-// GroupState is a group-by hash table for one query execution (or one
-// execution fragment). It is not safe for concurrent use; parallel scans
-// keep one GroupState per worker and Merge them.
+// GroupState is the group-by accumulator table for one query execution (or
+// one execution fragment). Scans run vectorized: ScanRange/ScanRows process
+// batches of up to BatchRows rows through the plan's kernels, folding the
+// selected rows into per-bin accumulators — through a flat slot array when
+// the plan's dense fast path is active, through the Groups hash map
+// otherwise. Dense-path accumulators are registered in Groups too, so
+// Merge and the Snapshot* methods see one canonical view either way.
+//
+// It is not safe for concurrent use; parallel scans keep one GroupState per
+// worker and Merge them.
 type GroupState struct {
 	plan    *Compiled
 	Groups  map[query.BinKey]*Accum
 	scratch []float64
+
+	// dense[slot] aliases Groups[plan.denseKey(slot)]; nil when the dense
+	// path is inactive or the slot's bin has not been touched yet.
+	dense []*Accum
+
+	// Reusable batch buffers, allocated on first scan.
+	selBuf []uint32
+	keysA  []int64
+	keysB  []int64
+	vals   [][]float64
 }
 
 // NewGroupState allocates an empty state for the plan.
 func NewGroupState(plan *Compiled) *GroupState {
-	return &GroupState{
+	g := &GroupState{
 		plan:    plan,
 		Groups:  make(map[query.BinKey]*Accum),
 		scratch: make([]float64, plan.NumAggs()),
 	}
+	if n := plan.denseSlots(); n > 0 {
+		g.dense = make([]*Accum, n)
+	}
+	return g
 }
 
-// observe folds a single matching row.
-func (g *GroupState) observe(row int) {
-	key := g.plan.BinKey(row)
+// lookup returns the accumulator for key, creating it if needed. It is the
+// single creation point shared by the batch path, the scalar reference path
+// and Merge, so the dense array and the Groups map never diverge.
+func (g *GroupState) lookup(key query.BinKey) *Accum {
+	if g.dense != nil {
+		if slot, ok := g.plan.denseSlot(key); ok {
+			acc := g.dense[slot]
+			if acc == nil {
+				acc = g.registerDense(slot, key)
+			}
+			return acc
+		}
+	}
+	return g.mapLookup(key)
+}
+
+// registerDense creates the accumulator for a first-touched dense slot and
+// mirrors it into Groups (called once per distinct bin, off the hot loop).
+func (g *GroupState) registerDense(slot int, key query.BinKey) *Accum {
+	acc := newAccum(g.plan.NumAggs())
+	g.dense[slot] = acc
+	g.Groups[key] = acc
+	return acc
+}
+
+// mapLookup is the hash-map accumulator lookup.
+func (g *GroupState) mapLookup(key query.BinKey) *Accum {
 	acc, ok := g.Groups[key]
 	if !ok {
 		acc = newAccum(g.plan.NumAggs())
 		g.Groups[key] = acc
 	}
+	return acc
+}
+
+// observe folds a single matching row (scalar reference path).
+func (g *GroupState) observe(row int) {
+	acc := g.lookup(g.plan.BinKey(row))
 	acc.N++
 	g.plan.AggInput(row, g.scratch)
 	for i, a := range g.plan.Query.Aggs {
@@ -76,8 +127,55 @@ func (g *GroupState) observe(row int) {
 	}
 }
 
+// ensureBatch allocates the reusable batch buffers.
+func (g *GroupState) ensureBatch() {
+	if g.keysA != nil {
+		return
+	}
+	g.keysA = make([]int64, BatchRows)
+	if len(g.plan.binKern) > 1 {
+		g.keysB = make([]int64, BatchRows)
+	}
+	if len(g.plan.predKern) > 0 {
+		g.selBuf = make([]uint32, 0, BatchRows)
+	}
+	g.vals = make([][]float64, g.plan.NumAggs())
+	for _, op := range g.plan.aggOps {
+		g.vals[op.slot] = make([]float64, BatchRows)
+	}
+}
+
 // ScanRange folds physical rows [lo, hi) that match the filter.
 func (g *GroupState) ScanRange(lo, hi int) {
+	g.ensureBatch()
+	for lo < hi {
+		n := hi - lo
+		if n > BatchRows {
+			n = BatchRows
+		}
+		g.scanRangeBatch(lo, lo+n)
+		lo += n
+	}
+}
+
+// ScanRows folds an explicit list of physical row indices (a permutation
+// chunk or a sample).
+func (g *GroupState) ScanRows(rows []uint32) {
+	g.ensureBatch()
+	for len(rows) > 0 {
+		n := len(rows)
+		if n > BatchRows {
+			n = BatchRows
+		}
+		g.scanRowsBatch(rows[:n])
+		rows = rows[n:]
+	}
+}
+
+// ScanRangeScalar is the row-at-a-time reference implementation of
+// ScanRange. Property tests assert it is bitwise-identical to the batch
+// path, and the scan benchmarks use it as the interpreted baseline.
+func (g *GroupState) ScanRangeScalar(lo, hi int) {
 	for row := lo; row < hi; row++ {
 		if g.plan.Matches(row) {
 			g.observe(row)
@@ -85,9 +183,8 @@ func (g *GroupState) ScanRange(lo, hi int) {
 	}
 }
 
-// ScanRows folds an explicit list of physical row indices (a permutation
-// chunk or a sample).
-func (g *GroupState) ScanRows(rows []uint32) {
+// ScanRowsScalar is the row-at-a-time reference implementation of ScanRows.
+func (g *GroupState) ScanRowsScalar(rows []uint32) {
 	for _, r := range rows {
 		row := int(r)
 		if g.plan.Matches(row) {
@@ -96,14 +193,156 @@ func (g *GroupState) ScanRows(rows []uint32) {
 	}
 }
 
+// scanRangeBatch runs the kernel pipeline for one batch [lo, hi),
+// hi-lo <= BatchRows.
+func (g *GroupState) scanRangeBatch(lo, hi int) {
+	preds := g.plan.predKern
+	if len(preds) == 0 {
+		// Unfiltered range: key and gather kernels read the column slices
+		// contiguously, no selection vector needed.
+		n := hi - lo
+		g.plan.binKern[0].keysRange(lo, g.keysA[:n])
+		if g.keysB != nil {
+			g.plan.binKern[1].keysRange(lo, g.keysB[:n])
+		}
+		for _, op := range g.plan.aggOps {
+			g.plan.aggKern[op.slot].gatherRange(lo, g.vals[op.slot][:n])
+		}
+		g.accumulate(n)
+		return
+	}
+	sel := preds[0].selectRange(lo, hi, g.selBuf[:0])
+	for _, p := range preds[1:] {
+		if len(sel) == 0 {
+			return
+		}
+		sel = p.refine(sel)
+	}
+	if len(sel) > 0 {
+		g.foldSel(sel)
+	}
+}
+
+// scanRowsBatch runs the kernel pipeline for one explicit-row batch,
+// len(rows) <= BatchRows.
+func (g *GroupState) scanRowsBatch(rows []uint32) {
+	sel := rows
+	if preds := g.plan.predKern; len(preds) > 0 {
+		sel = preds[0].selectRows(rows, g.selBuf[:0])
+		for _, p := range preds[1:] {
+			if len(sel) == 0 {
+				return
+			}
+			sel = p.refine(sel)
+		}
+		if len(sel) == 0 {
+			return
+		}
+	}
+	g.foldSel(sel)
+}
+
+// foldSel computes keys and aggregate inputs for the selected rows and
+// accumulates them.
+func (g *GroupState) foldSel(sel []uint32) {
+	n := len(sel)
+	g.plan.binKern[0].keysSel(sel, g.keysA[:n])
+	if g.keysB != nil {
+		g.plan.binKern[1].keysSel(sel, g.keysB[:n])
+	}
+	for _, op := range g.plan.aggOps {
+		g.plan.aggKern[op.slot].gatherSel(sel, g.vals[op.slot][:n])
+	}
+	g.accumulate(n)
+}
+
+// accumulate folds the first n entries of the key/value buffers, in order,
+// so results stay bitwise-identical to the scalar path.
+func (g *GroupState) accumulate(n int) {
+	keysA := g.keysA[:n]
+	ops := g.plan.aggOps
+	if dense := g.dense; dense != nil && g.keysB == nil {
+		loA := g.plan.denseLoA
+		switch {
+		case len(ops) == 0:
+			// Dense 1D COUNT: the dominant dashboard shape, branch-lean.
+			for _, ka := range keysA {
+				slot := ka - loA
+				if uint64(slot) < uint64(len(dense)) {
+					acc := dense[slot]
+					if acc == nil {
+						acc = g.registerDense(int(slot), query.BinKey{A: ka})
+					}
+					acc.N++
+				} else {
+					g.mapLookup(query.BinKey{A: ka}).N++
+				}
+			}
+			return
+		case len(ops) == 1 && ops[0].code == aggOpWelford:
+			// Dense 1D single SUM/AVG: the other dominant shape.
+			s := ops[0].slot
+			vals := g.vals[s][:n]
+			for i, ka := range keysA {
+				var acc *Accum
+				slot := ka - loA
+				if uint64(slot) < uint64(len(dense)) {
+					acc = dense[slot]
+					if acc == nil {
+						acc = g.registerDense(int(slot), query.BinKey{A: ka})
+					}
+				} else {
+					acc = g.mapLookup(query.BinKey{A: ka})
+				}
+				acc.N++
+				acc.W[s].Add(vals[i])
+			}
+			return
+		}
+	}
+	var keysB []int64
+	if g.keysB != nil {
+		keysB = g.keysB[:n]
+	}
+	for i := 0; i < n; i++ {
+		key := query.BinKey{A: keysA[i]}
+		if keysB != nil {
+			key.B = keysB[i]
+		}
+		var acc *Accum
+		if g.dense != nil {
+			if slot, ok := g.plan.denseSlot(key); ok {
+				if acc = g.dense[slot]; acc == nil {
+					acc = g.registerDense(slot, key)
+				}
+			}
+		}
+		if acc == nil {
+			acc = g.mapLookup(key)
+		}
+		acc.N++
+		for _, op := range ops {
+			v := g.vals[op.slot][i]
+			switch op.code {
+			case aggOpWelford:
+				acc.W[op.slot].Add(v)
+			case aggOpMin:
+				if v < acc.Mins[op.slot] {
+					acc.Mins[op.slot] = v
+				}
+			case aggOpMax:
+				if v > acc.Maxs[op.slot] {
+					acc.Maxs[op.slot] = v
+				}
+			}
+		}
+	}
+}
+
 // Merge folds another state (same plan) into g.
 func (g *GroupState) Merge(o *GroupState) {
 	for key, oa := range o.Groups {
-		acc, ok := g.Groups[key]
-		if !ok {
-			acc = newAccum(g.plan.NumAggs())
-			g.Groups[key] = acc
-		}
+		acc := g.lookup(key)
 		acc.N += oa.N
 		for i := range acc.W {
 			acc.W[i].Merge(oa.W[i])

@@ -46,7 +46,8 @@ type Config struct {
 	// Default 64.
 	TupleOverhead int
 	// ChunkRows is the scan granularity between cancellation checks.
-	// Default 2048.
+	// Default engine.BatchRows/2 (2048), half a vectorized batch — the
+	// row-store model reports at finer granularity than the column stores.
 	ChunkRows int
 }
 
@@ -58,7 +59,7 @@ func (c Config) withDefaults() Config {
 		c.TupleOverhead = 64
 	}
 	if c.ChunkRows <= 0 {
-		c.ChunkRows = 2048
+		c.ChunkRows = engine.BatchRows / 2
 	}
 	return c
 }
@@ -221,6 +222,10 @@ func tupleWork(row int, k int) uint64 {
 	return v
 }
 
+// scanRowsWithOverhead pays the modelled per-tuple cost for every row, then
+// folds the chunk through the shared vectorized kernels. The tupleWork loop
+// is what keeps this engine row-store slow; the fold itself rides the batch
+// API like every other engine so its group-by semantics stay identical.
 func scanRowsWithOverhead(gs *engine.GroupState, plan *engine.Compiled, rows []uint32, overhead int) {
 	var acc uint64
 	for _, r := range rows {

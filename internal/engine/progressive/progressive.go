@@ -25,7 +25,8 @@ import (
 // Config tunes the engine.
 type Config struct {
 	// ChunkRows is the number of permuted rows folded between snapshot
-	// opportunities (and cancellation checks). Default 4096.
+	// opportunities (and cancellation checks). Default engine.BatchRows, so
+	// each advance step is exactly one vectorized batch.
 	ChunkRows int
 	// Speculate enables the think-time speculation extension.
 	Speculate bool
@@ -36,7 +37,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.ChunkRows <= 0 {
-		c.ChunkRows = 4096
+		c.ChunkRows = engine.BatchRows
 	}
 	if c.MaxSpeculations <= 0 {
 		c.MaxSpeculations = 64
@@ -158,6 +159,11 @@ func (e *Engine) LinkVizs(from, to string) {
 	srcQ := e.vizQueries[from]
 	dstQ := e.vizQueries[to]
 	if srcQ == nil || dstQ == nil {
+		return
+	}
+	if len(srcQ.Bins) == 0 {
+		// A malformed or not-yet-validated source viz query has no bins to
+		// derive selections from; speculating on it would panic below.
 		return
 	}
 	srcState, ok := e.states[srcQ.Signature()]
@@ -311,6 +317,28 @@ func (sp *speculator) setTargets(ts []*execState) {
 func (sp *speculator) stop() { sp.once.Do(func() { close(sp.stopCh) }) }
 
 func (sp *speculator) loop(perm []uint32, chunk int) {
+	// One reusable timer serves every idle wait. The previous time.After
+	// calls allocated a fresh timer per 50-100µs tick, which at idle-loop
+	// frequency produced a steady garbage stream during think time — exactly
+	// when speculation is supposed to be cheap.
+	idle := time.NewTimer(time.Hour)
+	if !idle.Stop() {
+		<-idle.C
+	}
+	defer idle.Stop()
+	// wait sleeps for d; it reports false when the speculator was stopped.
+	wait := func(d time.Duration) bool {
+		idle.Reset(d)
+		select {
+		case <-sp.stopCh:
+			if !idle.Stop() {
+				<-idle.C
+			}
+			return false
+		case <-idle.C:
+			return true
+		}
+	}
 	for {
 		select {
 		case <-sp.stopCh:
@@ -319,10 +347,8 @@ func (sp *speculator) loop(perm []uint32, chunk int) {
 		}
 		if sp.foreground.Load() > 0 {
 			// A user query is running: stay out of its way.
-			select {
-			case <-sp.stopCh:
+			if !wait(50 * time.Microsecond) {
 				return
-			case <-time.After(50 * time.Microsecond):
 			}
 			continue
 		}
@@ -331,10 +357,8 @@ func (sp *speculator) loop(perm []uint32, chunk int) {
 		sp.mu.Unlock()
 		if len(ts) == 0 {
 			// No work yet; yield briefly without burning a core.
-			select {
-			case <-sp.stopCh:
+			if !wait(100 * time.Microsecond) {
 				return
-			case <-time.After(100 * time.Microsecond):
 			}
 			continue
 		}

@@ -136,8 +136,13 @@ func (e *Engine) stratifiedRows(fact *dataset.Table, seed int64) ([]uint32, erro
 	return out, nil
 }
 
+// scanChunk is the number of sample rows folded between cancellation
+// checks: two vectorized batches.
+const scanChunk = 2 * engine.BatchRows
+
 // StartQuery implements engine.Engine: a single-threaded blocking scan over
-// the sample table, published as a scaled estimate with CLT margins.
+// the sample table (vectorized batch kernels, like the column stores the
+// engine models), published as a scaled estimate with CLT margins.
 func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 	e.mu.RLock()
 	sample, origRows, z := e.sample, e.origRows, e.z
@@ -155,12 +160,11 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 		defer h.Finish()
 		gs := engine.NewGroupState(plan)
 		n := plan.NumRows
-		const chunk = 8192
-		for lo := 0; lo < n; lo += chunk {
+		for lo := 0; lo < n; lo += scanChunk {
 			if h.Cancelled() {
 				return // blocking model: nothing delivered before completion
 			}
-			hi := lo + chunk
+			hi := lo + scanChunk
 			if hi > n {
 				hi = n
 			}

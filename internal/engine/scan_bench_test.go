@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"idebench/internal/dataset"
+	"idebench/internal/query"
+)
+
+// benchDB builds the benchmark fact table: benchRows flights with a
+// 12-carrier nominal column and two quantitative columns, the column mix the
+// paper's dashboard workloads scan.
+const benchRows = 1 << 18
+
+func benchDB(b *testing.B) *dataset.Database {
+	b.Helper()
+	schema := dataset.MustSchema([]dataset.Field{
+		{Name: "carrier", Kind: dataset.Nominal},
+		{Name: "distance", Kind: dataset.Quantitative},
+		{Name: "delay", Kind: dataset.Quantitative},
+	})
+	rng := rand.New(rand.NewSource(42))
+	tb := dataset.NewBuilder("flights", schema, benchRows)
+	for i := 0; i < benchRows; i++ {
+		tb.AppendString(0, fmt.Sprintf("C%d", rng.Intn(12)))
+		tb.AppendNum(1, rng.Float64()*3000)
+		tb.AppendNum(2, rng.NormFloat64()*30)
+	}
+	fact, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &dataset.Database{Fact: fact}
+}
+
+// benchPlans compiles q three ways: the scalar baseline (dense disabled so
+// it measures the original closure + hash-map pipeline), the vectorized
+// hash-map path, and the full vectorized + dense path.
+func benchPlans(b *testing.B, db *dataset.Database, q *query.Query) (scalar, vecMap, vecDense *Compiled) {
+	b.Helper()
+	compile := func() *Compiled {
+		p, err := Compile(db, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	scalar, vecMap, vecDense = compile(), compile(), compile()
+	scalar.disableDense()
+	vecMap.disableDense()
+	return
+}
+
+func runScanBench(b *testing.B, plan *Compiled, scalar bool) {
+	b.Helper()
+	b.ReportAllocs()
+	b.SetBytes(int64(plan.NumRows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs := NewGroupState(plan)
+		if scalar {
+			gs.ScanRangeScalar(0, plan.NumRows)
+		} else {
+			gs.ScanRange(0, plan.NumRows)
+		}
+		if gs.NumGroups() == 0 && plan.NumRows > 0 && len(plan.predKern) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkScanCountByNominal is the COUNT(*) GROUP BY carrier shape — the
+// most common dashboard query. bytes/s counts rows/s (SetBytes(rows)).
+func BenchmarkScanCountByNominal(b *testing.B) {
+	db := benchDB(b)
+	q := &query.Query{
+		VizName: "v", Table: "flights",
+		Bins: []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs: []query.Aggregate{{Func: query.Count}},
+	}
+	scalar, vecMap, vecDense := benchPlans(b, db, q)
+	b.Run("scalar", func(b *testing.B) { runScanBench(b, scalar, true) })
+	b.Run("vec_map", func(b *testing.B) { runScanBench(b, vecMap, false) })
+	b.Run("vec_dense", func(b *testing.B) { runScanBench(b, vecDense, false) })
+}
+
+// BenchmarkScanFilteredSum is the filtered SUM shape: range predicate on one
+// quantitative column, SUM of another, grouped by carrier.
+func BenchmarkScanFilteredSum(b *testing.B) {
+	db := benchDB(b)
+	q := &query.Query{
+		VizName: "v", Table: "flights",
+		Bins: []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs: []query.Aggregate{{Func: query.Sum, Field: "delay"}},
+		Filter: query.Filter{Predicates: []query.Predicate{
+			{Field: "distance", Op: query.OpRange, Lo: 500, Hi: 1500},
+		}},
+	}
+	scalar, vecMap, vecDense := benchPlans(b, db, q)
+	b.Run("scalar", func(b *testing.B) { runScanBench(b, scalar, true) })
+	b.Run("vec_map", func(b *testing.B) { runScanBench(b, vecMap, false) })
+	b.Run("vec_dense", func(b *testing.B) { runScanBench(b, vecDense, false) })
+}
+
+// BenchmarkScanQuantBin2D is the binned-heatmap shape: 2D quantitative
+// binning with AVG, no filter.
+func BenchmarkScanQuantBin2D(b *testing.B) {
+	db := benchDB(b)
+	q := &query.Query{
+		VizName: "v", Table: "flights",
+		Bins: []query.Binning{
+			{Field: "distance", Kind: dataset.Quantitative, Width: 100},
+			{Field: "delay", Kind: dataset.Quantitative, Width: 20},
+		},
+		Aggs: []query.Aggregate{{Func: query.Avg, Field: "delay"}},
+	}
+	scalar, vecMap, vecDense := benchPlans(b, db, q)
+	b.Run("scalar", func(b *testing.B) { runScanBench(b, scalar, true) })
+	b.Run("vec_map", func(b *testing.B) { runScanBench(b, vecMap, false) })
+	b.Run("vec_dense", func(b *testing.B) { runScanBench(b, vecDense, false) })
+}
+
+// BenchmarkScanRowsPermuted is the progressive engines' access pattern: an
+// explicit permuted row list with a single-value IN selection, the query
+// shape cross-viz brushing produces.
+func BenchmarkScanRowsPermuted(b *testing.B) {
+	db := benchDB(b)
+	q := &query.Query{
+		VizName: "v", Table: "flights",
+		Bins: []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs: []query.Aggregate{{Func: query.Count}},
+		Filter: query.Filter{Predicates: []query.Predicate{
+			{Field: "carrier", Op: query.OpIn, Values: []string{"C3"}},
+		}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	perm := make([]uint32, benchRows)
+	for i, p := range rng.Perm(benchRows) {
+		perm[i] = uint32(p)
+	}
+	scalar, _, vecDense := benchPlans(b, db, q)
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(benchRows)
+		for i := 0; i < b.N; i++ {
+			gs := NewGroupState(scalar)
+			gs.ScanRowsScalar(perm)
+		}
+	})
+	b.Run("vec_dense", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(benchRows)
+		for i := 0; i < b.N; i++ {
+			gs := NewGroupState(vecDense)
+			gs.ScanRows(perm)
+		}
+	})
+}
