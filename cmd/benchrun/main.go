@@ -1,0 +1,191 @@
+// Command benchrun runs the repo's scan and concurrent-progressive
+// benchmarks and writes their results as machine-readable JSON, so the
+// performance trajectory is recorded per PR (BENCH_<n>.json at the repo
+// root) instead of living in scrollback.
+//
+// Usage:
+//
+//	go run ./cmd/benchrun -out BENCH_2.json
+//	go run ./cmd/benchrun -bench 'BenchmarkScan' -pkgs ./internal/engine -benchtime 10x
+//
+// The output records every benchmark line (name, iterations, ns/op, and any
+// custom metrics such as Mrows/s or B/op) plus derived speedups for
+// benchmark groups that publish a baseline variant (e.g.
+// BenchmarkProgressiveConcurrent8/shared vs .../independent_gather).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the BENCH_<n>.json document.
+type Output struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	NumCPU      int                `json:"num_cpu"`
+	BenchRegex  string             `json:"bench_regex"`
+	Benchtime   string             `json:"benchtime"`
+	Benchmarks  []Result           `json:"benchmarks"`
+	Speedups    map[string]float64 `json:"speedups,omitempty"`
+}
+
+// benchLine matches standard `go test -bench` output, e.g.
+// "BenchmarkFoo/sub-8   100   123456 ns/op   42.0 Mrows/s   16 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+
+// baselinePairs maps a measured variant to its baseline within the same
+// benchmark group; speedup = baseline ns/op ÷ variant ns/op.
+var baselinePairs = map[string]string{
+	"shared":    "independent_gather",
+	"vec_dense": "scalar",
+	"vec_map":   "scalar",
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
+	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
+	// A fixed iteration count beats go's time-based ramp-up for recorded
+	// artifacts: on small machines the 1-iteration calibration pass puts
+	// scheduler noise into the reported mean for fast benchmarks.
+	benchtime := flag.String("benchtime", "100x", "go test -benchtime value (empty: go default)")
+	flag.Parse()
+
+	doc := Output{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		BenchRegex:  *bench,
+		Benchtime:   *benchtime,
+	}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		results, err := runPackage(pkg, *bench, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, results...)
+	}
+	doc.Speedups = deriveSpeedups(doc.Benchmarks)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchrun: wrote %d results to %s\n", len(doc.Benchmarks), *out)
+	for name, s := range doc.Speedups {
+		fmt.Printf("benchrun: speedup %s: %.2fx\n", name, s)
+	}
+}
+
+// runPackage executes the benchmarks of one package and parses the output.
+func runPackage(pkg, bench, benchtime string) ([]Result, error) {
+	args := []string{"test", pkg, "-run", "^$", "-bench", bench}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, outBytes)
+	}
+	var results []Result
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		results = append(results, Result{
+			Name:       m[1],
+			Package:    pkg,
+			Iterations: iters,
+			NsPerOp:    ns,
+			Metrics:    parseMetrics(m[4]),
+		})
+	}
+	return results, nil
+}
+
+// parseMetrics turns the "12.3 unit 4 B/op" tail into a map.
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	if len(fields) < 2 {
+		return nil
+	}
+	metrics := make(map[string]float64)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return nil
+	}
+	return metrics
+}
+
+// deriveSpeedups computes baseline÷variant ratios for known benchmark pairs.
+func deriveSpeedups(results []Result) map[string]float64 {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	speedups := make(map[string]float64)
+	for _, r := range results {
+		i := strings.LastIndex(r.Name, "/")
+		if i < 0 {
+			continue
+		}
+		group, variant := r.Name[:i], r.Name[i+1:]
+		base, ok := baselinePairs[variant]
+		if !ok {
+			continue
+		}
+		b, ok := byName[group+"/"+base]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		speedups[r.Name+"_vs_"+base] = b.NsPerOp / r.NsPerOp
+	}
+	if len(speedups) == 0 {
+		return nil
+	}
+	return speedups
+}

@@ -21,4 +21,19 @@
 // (onlinedb), and fully progressive permuted scanning with reuse and
 // speculation (progressive) — not in their scan kernels, so benchmark
 // comparisons measure the models, not incidental interpreter overhead.
+//
+// The sampling engines additionally store data in scan order: at prepare
+// time, progressive and onlinedb materialize the fact table in their fixed
+// random sampling permutation (dataset.ReorderTable), so "the next sample
+// chunk" is a sequential range scan over dense columns rather than a
+// random-order gather — any contiguous window of a fixed random permutation
+// is still a uniform sample, so the confidence math is unchanged. On top of
+// that storage, the progressive engine executes every concurrent query,
+// reused partial state and speculation target as a consumer of one shared
+// circular scan cursor (internal/engine/sharedscan): N in-flight queries
+// cost roughly one memory sweep instead of N, and multi-viz throughput
+// scales with engine.Options.Parallelism workers.
+//
+// Per-PR performance numbers are recorded as machine-readable JSON at the
+// repo root (BENCH_<n>.json) by cmd/benchrun.
 package idebench

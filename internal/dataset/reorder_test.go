@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func reorderFixture(t *testing.T, n int) *Table {
+	t.Helper()
+	schema := MustSchema([]Field{
+		{Name: "cat", Kind: Nominal},
+		{Name: "val", Kind: Quantitative},
+	})
+	b := NewBuilder("fix", schema, n)
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < n; i++ {
+		b.AppendString(0, cats[i%len(cats)])
+		b.AppendNum(1, float64(i)*1.5-10)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randPerm(rng *rand.Rand, n int) []uint32 {
+	perm := make([]uint32, n)
+	for i, p := range rng.Perm(n) {
+		perm[i] = uint32(p)
+	}
+	return perm
+}
+
+func TestReorderTableRowsMatchPermutation(t *testing.T) {
+	tbl := reorderFixture(t, 1000)
+	perm := randPerm(rand.New(rand.NewSource(3)), 1000)
+	re, err := ReorderTable(tbl, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumRows() != tbl.NumRows() {
+		t.Fatalf("row count %d, want %d", re.NumRows(), tbl.NumRows())
+	}
+	cat, val := tbl.Column("cat"), tbl.Column("val")
+	rcat, rval := re.Column("cat"), re.Column("val")
+	if rcat.Dict != cat.Dict {
+		t.Error("reordered nominal column must share the parent dictionary")
+	}
+	for i, p := range perm {
+		if rcat.Codes[i] != cat.Codes[p] || rval.Nums[i] != val.Nums[p] {
+			t.Fatalf("row %d does not match source row %d", i, p)
+		}
+	}
+}
+
+func TestReorderTableCarriesMinMax(t *testing.T) {
+	tbl := reorderFixture(t, 500)
+	lo, hi, ok := tbl.Column("val").MinMax()
+	if !ok {
+		t.Fatal("fixture bounds should be known")
+	}
+	perm := randPerm(rand.New(rand.NewSource(5)), 500)
+	re, err := ReorderTable(tbl, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlo, rhi, rok := re.Column("val").MinMax()
+	if !rok || rlo != lo || rhi != hi {
+		t.Errorf("bounds (%v,%v,%v), want (%v,%v,true)", rlo, rhi, rok, lo, hi)
+	}
+}
+
+func TestReorderTableRejectsBadPermutations(t *testing.T) {
+	tbl := reorderFixture(t, 10)
+	for name, perm := range map[string][]uint32{
+		"short":       make([]uint32, 5),
+		"duplicate":   {0, 1, 2, 3, 4, 5, 6, 7, 8, 8},
+		"outOfRange":  {0, 1, 2, 3, 4, 5, 6, 7, 8, 10},
+		"allSameZero": make([]uint32, 10),
+	} {
+		if _, err := ReorderTable(tbl, perm); err == nil {
+			t.Errorf("%s: invalid permutation accepted", name)
+		}
+	}
+	// Identity must round-trip.
+	id := make([]uint32, 10)
+	for i := range id {
+		id[i] = uint32(i)
+	}
+	re, err := ReorderTable(tbl, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if re.Column("val").Nums[i] != tbl.Column("val").Nums[i] {
+			t.Fatal("identity reorder changed data")
+		}
+	}
+}
+
+func TestReorderFactKeepsDimensionJoins(t *testing.T) {
+	dimSchema := MustSchema([]Field{{Name: "name", Kind: Nominal}})
+	db2 := NewBuilder("dim", dimSchema, 3)
+	for _, s := range []string{"a", "b", "c"} {
+		db2.AppendString(0, s)
+	}
+	dim, err := db2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factSchema := MustSchema([]Field{
+		{Name: "fk", Kind: Quantitative},
+		{Name: "v", Kind: Quantitative},
+	})
+	fb := NewBuilder("fact", factSchema, 30)
+	for i := 0; i < 30; i++ {
+		fb.AppendNum(0, float64(i%3))
+		fb.AppendNum(1, float64(i))
+	}
+	fact, err := fb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &Database{Fact: fact, Dimensions: []*Dimension{{Table: dim, FKColumn: "fk"}}}
+
+	perm := randPerm(rand.New(rand.NewSource(9)), 30)
+	re, err := db.ReorderFact(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Dimensions[0].Table != dim {
+		t.Error("dimension tables must be shared, not copied")
+	}
+	// The FK of reordered row i must still name the dimension row the source
+	// row pointed at: v == i and fk == i%3 in the fixture ties them together.
+	fkCol, vCol := re.Fact.Column("fk"), re.Fact.Column("v")
+	for i := 0; i < 30; i++ {
+		if fkCol.Nums[i] != float64(int(vCol.Nums[i])%3) {
+			t.Fatalf("row %d: fk %v does not match carried value %v", i, fkCol.Nums[i], vCol.Nums[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ type AsyncHandle struct {
 	mu        sync.RWMutex
 	result    *query.Result
 	snapFn    func() *query.Result
+	cancelFn  func()
 	done      chan struct{}
 	doneOnce  sync.Once
 	cancelled atomic.Bool
@@ -60,9 +61,31 @@ func (h *AsyncHandle) Finish() {
 	h.doneOnce.Do(func() { close(h.done) })
 }
 
-// Cancel implements Handle. It requests the execution goroutine to stop;
-// the goroutine observes Cancelled and calls Finish.
-func (h *AsyncHandle) Cancel() { h.cancelled.Store(true) }
+// SetCancelFunc registers fn to run once on the first Cancel call. Engines
+// without a per-query goroutine (shared-scan execution) use it to detach
+// their consumer state and finish the handle; engines with a scan goroutine
+// keep polling Cancelled instead. Must be set before the handle is returned
+// to the driver.
+func (h *AsyncHandle) SetCancelFunc(fn func()) {
+	h.mu.Lock()
+	h.cancelFn = fn
+	h.mu.Unlock()
+}
+
+// Cancel implements Handle. It requests execution to stop: goroutine-driven
+// engines observe Cancelled and call Finish; shared-scan handles run the
+// registered cancel func.
+func (h *AsyncHandle) Cancel() {
+	if !h.cancelled.CompareAndSwap(false, true) {
+		return
+	}
+	h.mu.RLock()
+	fn := h.cancelFn
+	h.mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}
 
 // Cancelled reports whether Cancel was called. Scan loops poll this between
 // chunks so cancellation latency is bounded by the chunk cost.

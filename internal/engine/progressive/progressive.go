@@ -1,32 +1,52 @@
 // Package progressive implements the paper's IDEA analogue: a fully
-// progressive online-aggregation engine. Data is scanned in a fixed random
-// permutation so that any prefix is a uniform sample; a query's result can
-// be polled at any time and carries CLT confidence margins. Completed and
-// partial per-query states are cached by query signature and reused when the
-// same query is issued again (Galakatos et al., "Revisiting Reuse for
-// Approximate Query Processing"), and an experimental extension
-// speculatively executes the queries every possible single-bin selection on
-// a linked source visualization would trigger (paper Sec. 5.4 / Exp. 3).
+// progressive online-aggregation engine. A query's result can be polled at
+// any time and carries CLT confidence margins; completed and partial
+// per-query states are cached by query signature and reused when the same
+// query is issued again (Galakatos et al., "Revisiting Reuse for Approximate
+// Query Processing"), and an experimental extension speculatively executes
+// the queries every possible single-bin selection on a linked source
+// visualization would trigger (paper Sec. 5.4 / Exp. 3).
+//
+// # Permuted materialization
+//
+// Prepare draws one fixed random row permutation and materializes the fact
+// table in that order (dataset.ReorderTable), so "scan the next chunk of the
+// sampling order" is a sequential range scan over dense column storage
+// rather than a random-order gather that cache-misses on every column read.
+// Any contiguous window of a fixed random permutation is still a uniform
+// random sample of the table, so the CLT math behind partial snapshots
+// (engine.GroupState.SnapshotScaled) is unchanged.
+//
+// # Shared-scan execution
+//
+// All execution rides one sharedscan.Scanner: a circular scan cursor over
+// the permuted storage, driven by up to Options.Parallelism workers, that
+// folds each chunk through every attached query state. Foreground handles,
+// reuse-cached states and speculation targets are all consumers of the same
+// scheduler — N concurrent queries cost roughly one memory sweep instead of
+// N independent passes, a query attaches at the cursor's current offset and
+// completes when the cursor wraps past its start, and a cancelled query's
+// partial state resumes from the cache without re-reading a row.
 package progressive
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"idebench/internal/dataset"
 	"idebench/internal/engine"
+	"idebench/internal/engine/sharedscan"
 	"idebench/internal/query"
 	"idebench/internal/stats"
 )
 
 // Config tunes the engine.
 type Config struct {
-	// ChunkRows is the number of permuted rows folded between snapshot
-	// opportunities (and cancellation checks). Default engine.BatchRows, so
-	// each advance step is exactly one vectorized batch.
+	// ChunkRows is the number of sequential rows the shared scanner claims
+	// per dispatch (the granularity of snapshot opportunities and
+	// cancellation). Default engine.BatchRows, so each dispatch is exactly
+	// one vectorized batch.
 	ChunkRows int
 	// Speculate enables the think-time speculation extension.
 	Speculate bool
@@ -50,18 +70,13 @@ type Engine struct {
 	cfg Config
 
 	mu         sync.Mutex
-	db         *dataset.Database
+	db         *dataset.Database // fact table materialized in permutation order
 	opts       engine.Options
 	z          float64
-	perm       []uint32
-	states     map[string]*execState
+	scan       *sharedscan.Scanner
+	states     map[string]*sharedscan.Consumer
 	vizQueries map[string]*query.Query
-	spec       *speculator
-
-	// foreground counts in-flight StartQuery executions; the speculator
-	// yields while it is non-zero so speculation only consumes think time,
-	// never query time (IDEA's scheduler gives user queries priority).
-	foreground atomic.Int64
+	specs      []*sharedscan.Consumer // current round of speculation targets
 }
 
 // New returns an unprepared engine.
@@ -71,9 +86,11 @@ func New(cfg Config) *Engine { return &Engine{cfg: cfg.withDefaults()} }
 func (e *Engine) Name() string { return "progressive" }
 
 // Prepare implements engine.Engine. IDEA ingests the raw data without
-// pre-processing beyond loading; here that is one row permutation (the
-// online-sampling order). Normalized schemas are rejected — the paper
-// excludes IDEA from the join experiment because it does not support joins.
+// pre-processing beyond loading; here that is materializing the fact table
+// in one fixed random permutation (the online-sampling order) so progressive
+// scans run sequentially over dense storage. Normalized schemas are rejected
+// — the paper excludes IDEA from the join experiment because it does not
+// support joins.
 func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	if db.IsNormalized() {
 		return fmt.Errorf("progressive: joins (normalized schemas) are not supported")
@@ -85,21 +102,29 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	perm := stats.Permutation(rng, db.Fact.NumRows())
+	permDB, err := db.ReorderFact(perm)
+	if err != nil {
+		return fmt.Errorf("progressive: %w", err)
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.db = db
+	e.db = permDB
 	e.opts = opts
 	e.z = z
-	e.perm = perm
-	e.states = make(map[string]*execState)
+	e.scan = sharedscan.New(permDB.Fact.NumRows(), e.cfg.ChunkRows, opts.Parallelism)
+	e.states = make(map[string]*sharedscan.Consumer)
 	e.vizQueries = make(map[string]*query.Query)
+	e.specs = nil
 	return nil
 }
 
 // StartQuery implements engine.Engine. If a cached state for the same query
 // signature exists (from reuse or speculation) execution resumes from it,
-// otherwise a fresh state starts from the beginning of the permutation.
+// otherwise a fresh consumer attaches to the shared scan at the cursor's
+// current offset. There is no per-query goroutine: the handle holds a
+// foreground reference on the consumer, and the scheduler's workers drive it
+// to completion.
 func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 	e.mu.Lock()
 	if e.db == nil {
@@ -113,27 +138,38 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 	}
 	qc := *q
 	e.vizQueries[q.VizName] = &qc
-	z, perm, chunk := e.z, e.perm, e.cfg.ChunkRows
+	z := e.z
 	e.mu.Unlock()
 
 	h := engine.NewAsyncHandle()
-	h.SetSnapshotFunc(func() *query.Result { return st.snapshot(z) })
-	e.foreground.Add(1)
-	go func() {
-		defer e.foreground.Add(-1)
-		defer h.Finish()
-		for !h.Cancelled() {
-			if done := st.advance(perm, chunk); done {
-				return
-			}
-		}
-	}()
+	h.SetSnapshotFunc(func() *query.Result { return st.Snapshot(z) })
+	if st.IsDone() {
+		// Full reuse: the cached state already covers every row.
+		h.Finish()
+		return h, nil
+	}
+	st.Acquire()
+	var once sync.Once
+	finish := func() {
+		once.Do(func() {
+			st.Release()
+			h.Finish()
+		})
+	}
+	deregister := st.WhenDone(finish)
+	h.SetCancelFunc(func() {
+		// Cancel: drop the reference (coverage stays cached) and withdraw
+		// the completion callback so cancelled handles do not pile up on a
+		// consumer that may never finish.
+		finish()
+		deregister()
+	})
 	return h, nil
 }
 
-// stateLocked returns the cached state for q's signature, creating it if
+// stateLocked returns the cached consumer for q's signature, creating it if
 // needed. Caller holds e.mu.
-func (e *Engine) stateLocked(q *query.Query) (*execState, error) {
+func (e *Engine) stateLocked(q *query.Query) (*sharedscan.Consumer, error) {
 	sig := q.Signature()
 	if st, ok := e.states[sig]; ok {
 		return st, nil
@@ -142,14 +178,19 @@ func (e *Engine) stateLocked(q *query.Query) (*execState, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := newExecState(plan)
+	st := e.scan.NewConsumer(plan)
 	e.states[sig] = st
 	return st, nil
 }
 
 // LinkVizs implements engine.Engine. With speculation enabled, establishing
-// a link triggers background execution of the queries each single-bin
-// selection on the source would cause on the target, exploiting think time.
+// a link attaches the queries each single-bin selection on the source would
+// trigger on the target as background consumers of the shared scan: they
+// ride the same cursor as user queries but are suspended whenever a
+// foreground query is attached (IDEA's scheduler gives user queries
+// priority, so speculation consumes only think time), and cost one shared
+// per-chunk fold instead of a competing full pass. A new link withdraws the
+// previous round's targets (their partial coverage stays cached for reuse).
 func (e *Engine) LinkVizs(from, to string) {
 	if !e.cfg.Speculate {
 		return
@@ -170,11 +211,11 @@ func (e *Engine) LinkVizs(from, to string) {
 	if !ok {
 		return
 	}
-	srcSnap := srcState.snapshot(e.z)
+	srcSnap := srcState.Snapshot(e.z)
 	srcBin := srcQ.Bins[0]
-	dict := srcState.plan.BinDicts[0]
+	dict := srcState.Plan().BinDicts[0]
 
-	var targets []*execState
+	var targets []*sharedscan.Consumer
 	for _, key := range srcSnap.SortedKeys() {
 		if len(targets) >= e.cfg.MaxSpeculations {
 			break
@@ -188,13 +229,13 @@ func (e *Engine) LinkVizs(from, to string) {
 		}
 		targets = append(targets, st)
 	}
-	if len(targets) == 0 {
-		return
+	for _, old := range e.specs {
+		old.Unspeculate()
 	}
-	if e.spec == nil {
-		e.spec = newSpeculator(e.perm, e.cfg.ChunkRows, &e.foreground)
+	e.specs = targets
+	for _, st := range targets {
+		st.Speculate()
 	}
-	e.spec.setTargets(targets)
 }
 
 // DeleteViz implements engine.Engine.
@@ -205,16 +246,18 @@ func (e *Engine) DeleteViz(name string) {
 }
 
 // WorkflowStart implements engine.Engine: caches are per exploration
-// session, so each workflow starts cold.
+// session, so each workflow starts cold. Speculation targets are withdrawn;
+// consumers still referenced by in-flight handles finish their scan and then
+// fall off the scheduler.
 func (e *Engine) WorkflowStart() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.spec != nil {
-		e.spec.stop()
-		e.spec = nil
+	for _, st := range e.specs {
+		st.Unspeculate()
 	}
+	e.specs = nil
 	if e.db != nil {
-		e.states = make(map[string]*execState)
+		e.states = make(map[string]*sharedscan.Consumer)
 		e.vizQueries = make(map[string]*query.Query)
 	}
 }
@@ -223,10 +266,10 @@ func (e *Engine) WorkflowStart() {
 func (e *Engine) WorkflowEnd() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.spec != nil {
-		e.spec.stop()
-		e.spec = nil
+	for _, st := range e.specs {
+		st.Unspeculate()
 	}
+	e.specs = nil
 }
 
 // StateProgress reports the scan progress of the cached state for q, used
@@ -238,147 +281,7 @@ func (e *Engine) StateProgress(q *query.Query) float64 {
 	if !ok {
 		return 0
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(e.perm) == 0 {
-		return 0
-	}
-	return float64(st.pos) / float64(len(e.perm))
+	return st.Progress()
 }
 
 var _ engine.Engine = (*Engine)(nil)
-
-// execState is the shared, resumable execution state of one query
-// signature. Multiple workers (foreground queries and the speculator) may
-// advance the same state; the mutex serializes them and pos guarantees no
-// row is folded twice.
-type execState struct {
-	mu   sync.Mutex
-	plan *engine.Compiled
-	gs   *engine.GroupState
-	pos  int
-}
-
-func newExecState(plan *engine.Compiled) *execState {
-	return &execState{plan: plan, gs: engine.NewGroupState(plan)}
-}
-
-// advance folds the next chunk of the permutation; it reports whether the
-// scan is complete.
-func (s *execState) advance(perm []uint32, chunk int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.pos >= len(perm) {
-		return true
-	}
-	hi := s.pos + chunk
-	if hi > len(perm) {
-		hi = len(perm)
-	}
-	s.gs.ScanRows(perm[s.pos:hi])
-	s.pos = hi
-	return s.pos >= len(perm)
-}
-
-// snapshot renders the current estimate with margins at critical value z.
-func (s *execState) snapshot(z float64) *query.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.pos >= s.plan.NumRows {
-		return s.gs.SnapshotExact()
-	}
-	return s.gs.SnapshotScaled(int64(s.pos), int64(s.plan.NumRows), 0, z)
-}
-
-// speculator advances a set of states round-robin on one background
-// goroutine until stopped or all targets complete. One goroutine keeps the
-// CPU cost of speculation bounded and predictable, and it yields whenever a
-// foreground query is executing so speculation consumes only think time.
-type speculator struct {
-	mu         sync.Mutex
-	targets    []*execState
-	stopCh     chan struct{}
-	once       sync.Once
-	foreground *atomic.Int64
-}
-
-func newSpeculator(perm []uint32, chunk int, foreground *atomic.Int64) *speculator {
-	sp := &speculator{stopCh: make(chan struct{}), foreground: foreground}
-	go sp.loop(perm, chunk)
-	return sp
-}
-
-func (sp *speculator) setTargets(ts []*execState) {
-	sp.mu.Lock()
-	sp.targets = ts
-	sp.mu.Unlock()
-}
-
-func (sp *speculator) stop() { sp.once.Do(func() { close(sp.stopCh) }) }
-
-func (sp *speculator) loop(perm []uint32, chunk int) {
-	// One reusable timer serves every idle wait. The previous time.After
-	// calls allocated a fresh timer per 50-100µs tick, which at idle-loop
-	// frequency produced a steady garbage stream during think time — exactly
-	// when speculation is supposed to be cheap.
-	idle := time.NewTimer(time.Hour)
-	if !idle.Stop() {
-		<-idle.C
-	}
-	defer idle.Stop()
-	// wait sleeps for d; it reports false when the speculator was stopped.
-	wait := func(d time.Duration) bool {
-		idle.Reset(d)
-		select {
-		case <-sp.stopCh:
-			if !idle.Stop() {
-				<-idle.C
-			}
-			return false
-		case <-idle.C:
-			return true
-		}
-	}
-	for {
-		select {
-		case <-sp.stopCh:
-			return
-		default:
-		}
-		if sp.foreground.Load() > 0 {
-			// A user query is running: stay out of its way.
-			if !wait(50 * time.Microsecond) {
-				return
-			}
-			continue
-		}
-		sp.mu.Lock()
-		ts := sp.targets
-		sp.mu.Unlock()
-		if len(ts) == 0 {
-			// No work yet; yield briefly without burning a core.
-			if !wait(100 * time.Microsecond) {
-				return
-			}
-			continue
-		}
-		allDone := true
-		for _, st := range ts {
-			select {
-			case <-sp.stopCh:
-				return
-			default:
-			}
-			if sp.foreground.Load() > 0 {
-				allDone = false
-				break
-			}
-			if !st.advance(perm, chunk) {
-				allDone = false
-			}
-		}
-		if allDone {
-			return
-		}
-	}
-}

@@ -176,6 +176,78 @@ func TestSpeculationWarmsLinkedQueries(t *testing.T) {
 	}
 }
 
+// TestSpeculationSurvivesCompletedRound is the regression test for the old
+// speculator lifecycle bug: its loop goroutine returned permanently once a
+// round of targets finished (allDone), but e.spec stayed non-nil, so every
+// later LinkVizs fed targets to a dead goroutine and speculation silently
+// stopped for the rest of the run. With shared-scan execution each link
+// round attaches fresh consumers, so a second link after a completed first
+// round must still make progress.
+func TestSpeculationSurvivesCompletedRound(t *testing.T) {
+	db := enginetest.SmallDB(300000, 41)
+	e := New(Config{Speculate: true, ChunkRows: 2048})
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+
+	src := enginetest.CountByCarrier()
+	dst := enginetest.AvgDelayByDistance()
+	h1, _ := e.StartQuery(src)
+	<-h1.Done()
+	h2, _ := e.StartQuery(dst)
+	<-h2.Done()
+
+	// Round 1: link src -> dst and wait until every speculated selection
+	// completes (the condition that killed the old speculator).
+	e.LinkVizs(src.VizName, dst.VizName)
+	dict := db.Fact.Column("carrier").Dict
+	round1 := make([]*query.Query, 0, len(enginetest.Carriers))
+	for _, c := range enginetest.Carriers {
+		code, _ := dict.Lookup(c)
+		selQ := *dst
+		selQ.Filter = dst.Filter.And(query.SelectionPredicate(src.Bins[0], int64(code), dict))
+		round1 = append(round1, &selQ)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := 0
+		for _, q := range round1 {
+			if e.StateProgress(q) == 1 {
+				done++
+			}
+		}
+		if done == len(round1) {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("round 1 speculation incomplete: %d/%d targets", done, len(round1))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Round 2: link the other way. The old engine would silently do nothing.
+	e.LinkVizs(dst.VizName, src.VizName)
+	gt, err := enginetest.Exact(db, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := gt.SortedKeys()
+	if len(keys) == 0 {
+		t.Fatal("no distance bins in ground truth")
+	}
+	selQ2 := *src
+	selQ2.Filter = src.Filter.And(query.SelectionPredicate(dst.Bins[0], keys[0].A, nil))
+	deadline = time.Now().Add(30 * time.Second)
+	for e.StateProgress(&selQ2) == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("second speculation round made no progress (speculator lifecycle bug)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestSpeculationDisabledByDefault(t *testing.T) {
 	db := enginetest.SmallDB(50000, 29)
 	e := New(Config{})

@@ -176,6 +176,137 @@ func ResultsEqual(a, b *query.Result, tol float64) error {
 	return nil
 }
 
+// MultiVizQueries returns n concurrent dashboard-shaped queries against the
+// SmallDB schema: distinct shapes (counts, averages, filtered variants) plus
+// deliberate signature duplicates under different viz names, the mix a
+// linked-visualization interaction re-issues at once.
+func MultiVizQueries(n int) []*query.Query {
+	shapes := []func() *query.Query{
+		CountByCarrier,
+		AvgDelayByDistance,
+		func() *query.Query {
+			q := CountByCarrier()
+			q.Filter = query.Filter{Predicates: []query.Predicate{
+				{Field: "origin_state", Op: query.OpIn, Values: []string{"CA"}},
+			}}
+			return q
+		},
+		func() *query.Query {
+			return &query.Query{
+				Table: "flights",
+				Bins:  []query.Binning{{Field: "origin_state", Kind: dataset.Nominal}},
+				Aggs:  []query.Aggregate{{Func: query.Sum, Field: "distance"}},
+			}
+		},
+		func() *query.Query {
+			q := AvgDelayByDistance()
+			q.Filter = query.Filter{Predicates: []query.Predicate{
+				{Field: "dep_delay", Op: query.OpRange, Lo: -10, Hi: 40},
+			}}
+			return q
+		},
+		func() *query.Query {
+			return &query.Query{
+				Table: "flights",
+				Bins: []query.Binning{
+					{Field: "carrier", Kind: dataset.Nominal},
+					{Field: "origin_state", Kind: dataset.Nominal},
+				},
+				Aggs: []query.Aggregate{{Func: query.Count}},
+			}
+		},
+	}
+	out := make([]*query.Query, n)
+	for i := range out {
+		q := shapes[i%len(shapes)]()
+		q.VizName = fmt.Sprintf("viz_%d", i)
+		out[i] = q
+	}
+	return out
+}
+
+// ConcurrentMultiViz asserts that queries executed concurrently on one
+// engine produce the same results as independent per-query scans (the exact
+// ground-truth evaluation): the contract a shared-scan scheduler must keep
+// while folding one cursor through many consumer states. Mid-flight partial
+// snapshots, when the engine exposes them, must be internally consistent —
+// finite margins and monotone progress. exactWhenComplete mirrors
+// Conformance: engines answering from samples get a 20% tolerance.
+func ConcurrentMultiViz(t *testing.T, factory func() engine.Engine, exactWhenComplete bool) {
+	t.Helper()
+	db := SmallDB(150000, 77)
+	e := factory()
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.WorkflowStart()
+	defer e.WorkflowEnd()
+
+	queries := MultiVizQueries(8)
+	handles := make([]engine.Handle, len(queries))
+	for i, q := range queries {
+		h, err := e.StartQuery(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+
+	// Poll while in flight: partial snapshots must never report impossible
+	// state (rows beyond the table, backwards progress, infinite margins).
+	lastSeen := make([]int64, len(handles))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		inFlight := false
+		for i, h := range handles {
+			select {
+			case <-h.Done():
+				continue
+			default:
+				inFlight = true
+			}
+			snap := h.Snapshot()
+			if snap == nil || snap.RowsSeen == 0 {
+				continue
+			}
+			if snap.RowsSeen > snap.TotalRows {
+				t.Fatalf("query %d: RowsSeen %d > TotalRows %d", i, snap.RowsSeen, snap.TotalRows)
+			}
+			if snap.RowsSeen < lastSeen[i] {
+				t.Fatalf("query %d: progress went backwards (%d -> %d)", i, lastSeen[i], snap.RowsSeen)
+			}
+			lastSeen[i] = snap.RowsSeen
+			if !snap.Complete && !snap.FiniteMargins() {
+				t.Fatalf("query %d: partial snapshot without finite margins", i)
+			}
+		}
+		if !inFlight {
+			break
+		}
+		// Yield between polls: a hot spin would steal the core from the very
+		// scan workers this loop is waiting on (single-CPU CI).
+		time.Sleep(time.Millisecond)
+	}
+
+	tol := 1e-9 // shared-scan fold order may shift float sums in the last bits
+	if !exactWhenComplete {
+		tol = 0.2
+	}
+	for i, h := range handles {
+		res := WaitResult(t, h, 30*time.Second)
+		if res == nil {
+			t.Fatalf("query %d returned no result", i)
+		}
+		gt, err := Exact(db, queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ResultsEqual(gt, res, tol); err != nil {
+			t.Errorf("query %d (%s) diverged from independent scan: %v", i, queries[i].Signature(), err)
+		}
+	}
+}
+
 // Conformance runs the behavioural suite every engine must pass on a
 // de-normalized database.
 func Conformance(t *testing.T, factory func() engine.Engine, exactWhenComplete bool) {
