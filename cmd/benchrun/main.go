@@ -5,19 +5,28 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchrun -out BENCH_2.json
+//	go run ./cmd/benchrun -out BENCH_3.json
 //	go run ./cmd/benchrun -bench 'BenchmarkScan' -pkgs ./internal/engine -benchtime 10x
+//	go run ./cmd/benchrun -users 1,2,4,8 -users-engines progressive,exactdb
 //
 // The output records every benchmark line (name, iterations, ns/op, and any
 // custom metrics such as Mrows/s or B/op) plus derived speedups for
 // benchmark groups that publish a baseline variant (e.g.
 // BenchmarkProgressiveConcurrent8/shared vs .../independent_gather).
+//
+// With -users, benchrun additionally runs the multi-user scalability sweep
+// in-process (internal/experiments.UserSweepUsers): each user count U
+// replays U mixed workflows as U concurrent simulated users over one
+// prepared engine, recording aggregate throughput, latency percentiles and
+// the speedup against sequentially replaying the same workflows on one
+// session.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
@@ -25,6 +34,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/experiments"
 )
 
 // Result is one parsed benchmark line.
@@ -34,6 +46,22 @@ type Result struct {
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// UserPoint is one measured point of the multi-user scalability sweep.
+type UserPoint struct {
+	Engine              string  `json:"engine"`
+	Users               int     `json:"users"`
+	Queries             int     `json:"queries"`
+	TRViolatedPct       float64 `json:"tr_violated_pct"`
+	WallClockMS         float64 `json:"wall_clock_ms"`
+	QueriesPerSec       float64 `json:"queries_per_sec"`
+	P50MS               float64 `json:"p50_ms"`
+	P95MS               float64 `json:"p95_ms"`
+	P99MS               float64 `json:"p99_ms"`
+	SpeedupVs1User      float64 `json:"speedup_vs_1user"`
+	SequentialMS        float64 `json:"sequential_ms"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
 }
 
 // Output is the BENCH_<n>.json document.
@@ -47,6 +75,7 @@ type Output struct {
 	Benchtime   string             `json:"benchtime"`
 	Benchmarks  []Result           `json:"benchmarks"`
 	Speedups    map[string]float64 `json:"speedups,omitempty"`
+	UserSweep   []UserPoint        `json:"user_sweep,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -62,13 +91,16 @@ var baselinePairs = map[string]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
 	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
 	// A fixed iteration count beats go's time-based ramp-up for recorded
 	// artifacts: on small machines the 1-iteration calibration pass puts
 	// scheduler noise into the reported mean for fast benchmarks.
 	benchtime := flag.String("benchtime", "100x", "go test -benchtime value (empty: go default)")
+	users := flag.String("users", "auto", "comma-separated user counts for the multi-user sweep; empty skips, \"auto\" runs 1,2,4,8 only for full artifact runs (default -bench/-pkgs)")
+	usersEngines := flag.String("users-engines", "progressive,exactdb", "engines the user sweep contrasts")
+	usersRows := flag.Int("users-rows", core.SizeS, "dataset size for the user sweep")
 	flag.Parse()
 
 	doc := Output{
@@ -94,6 +126,27 @@ func main() {
 	}
 	doc.Speedups = deriveSpeedups(doc.Benchmarks)
 
+	userList := *users
+	if userList == "auto" {
+		// Full artifact runs get the sweep; a targeted micro-benchmark run
+		// (explicit -bench or -pkgs) should not silently multiply its
+		// wall-clock with an in-process experiment.
+		userList = "1,2,4,8"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bench" || f.Name == "pkgs" {
+				userList = ""
+			}
+		})
+	}
+	if userList != "" {
+		points, err := runUserSweep(userList, *usersEngines, *usersRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: user sweep: %v\n", err)
+			os.Exit(1)
+		}
+		doc.UserSweep = points
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
@@ -108,6 +161,54 @@ func main() {
 	for name, s := range doc.Speedups {
 		fmt.Printf("benchrun: speedup %s: %.2fx\n", name, s)
 	}
+	for _, p := range doc.UserSweep {
+		fmt.Printf("benchrun: users %s u=%d: %.1f q/s, %.2fx vs sequential replay\n",
+			p.Engine, p.Users, p.QueriesPerSec, p.SpeedupVsSequential)
+	}
+}
+
+// runUserSweep executes the multi-user scalability sweep in-process.
+func runUserSweep(userList, engines string, rows int) ([]UserPoint, error) {
+	var counts []int
+	for _, s := range strings.Split(userList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		u, err := strconv.Atoi(s)
+		if err != nil || u < 1 {
+			return nil, fmt.Errorf("bad user count %q", s)
+		}
+		counts = append(counts, u)
+	}
+	cfg := experiments.Config{Rows: rows, Out: io.Discard}
+	for _, e := range strings.Split(engines, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			cfg.Engines = append(cfg.Engines, e)
+		}
+	}
+	sweep, err := experiments.UserSweepUsers(cfg, counts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]UserPoint, len(sweep))
+	for i, r := range sweep {
+		points[i] = UserPoint{
+			Engine:              r.Driver,
+			Users:               r.Users,
+			Queries:             r.Queries,
+			TRViolatedPct:       r.TRViolatedPct,
+			WallClockMS:         r.WallClockMS,
+			QueriesPerSec:       r.QueriesPerSec,
+			P50MS:               r.Latency.P50,
+			P95MS:               r.Latency.P95,
+			P99MS:               r.Latency.P99,
+			SpeedupVs1User:      r.SpeedupVs1,
+			SequentialMS:        r.SequentialMS,
+			SpeedupVsSequential: r.SpeedupVsSequential,
+		}
+	}
+	return points, nil
 }
 
 // runPackage executes the benchmarks of one package and parses the output.

@@ -8,7 +8,15 @@
 //	idebench datagen     -rows 500000 -out flights.csv
 //	idebench workloadgen -rows 100000 -count 10 -interactions 18 -out flows.json
 //	idebench run         -engine progressive -rows 500000 -tr 12ms -think 4ms
+//	idebench run         -engine progressive -users 8
 //	idebench exp         -name fig5 [-rows 500000] [-quick]
+//	idebench exp         -name users
+//
+// `run -users N` replays the workload as N concurrent simulated users, each
+// on its own engine session, and appends the user-scalability table
+// (throughput, p50/p95/p99 latency) to the summary. `exp -name users` sweeps
+// 1/2/4/8 users on the shared-scan progressive engine vs the independent
+// exactdb engine.
 //
 // Run `idebench <command> -h` for each command's flags.
 package main
@@ -68,7 +76,7 @@ Commands:
   datagen      generate the scaled flights dataset as CSV
   workloadgen  generate benchmark workflows as JSON
   run          run the benchmark for one engine and setting
-  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, all)
+  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, all)
   view         inspect generated workflows (text or Graphviz DOT)
   analyze      re-aggregate a saved detailed report (summary + factor analysis)
 `)
@@ -156,6 +164,7 @@ func cmdRun(args []string) error {
 	interactions := fs.Int("interactions", 18, "interactions per workflow")
 	flowsPath := fs.String("workflows", "", "optional workflow JSON (default: generated mixed workload)")
 	detailed := fs.String("detailed", "", "optional path for the detailed per-query CSV report")
+	users := fs.Int("users", 1, "concurrent simulated users (each on its own engine session)")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,13 +207,28 @@ func cmdRun(args []string) error {
 		return err
 	}
 	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
-	recs, err := p.Run(flows, s)
+	var recs []driver.Record
+	if *users > 1 {
+		if *users > len(flows) {
+			fmt.Fprintf(os.Stderr, "idebench: note: %d users requested but only %d workflows; running %d concurrent users (add -count or -workflows for more)\n",
+				*users, len(flows), len(flows))
+		}
+		recs, err = p.RunUsers(flows, s, *users)
+	} else {
+		recs, err = p.Run(flows, s)
+	}
 	if err != nil {
 		return err
 	}
 	rows2 := report.Summarize(recs, report.GroupBy{Driver: true, TimeReq: true, WorkflowType: true})
 	if err := report.RenderSummaries(os.Stdout, rows2); err != nil {
 		return err
+	}
+	if *users > 1 {
+		fmt.Println()
+		if err := report.RenderUserSweep(os.Stdout, report.SummarizeUsers(recs)); err != nil {
+			return err
+		}
 	}
 	if *detailed != "" {
 		if err := writeDetailed(*detailed, recs); err != nil {
@@ -298,7 +322,7 @@ func cmdView(args []string) error {
 
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, all")
+	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, all")
 	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
 	count := fs.Int("workflows", 10, "workflows per type")
 	interactions := fs.Int("interactions", 18, "interactions per workflow")
@@ -352,6 +376,8 @@ func cmdExp(args []string) error {
 			_, err = experiments.Prep(cfg)
 		case "table1":
 			_, err = experiments.Table1(cfg)
+		case "users":
+			_, err = experiments.UserSweep(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
@@ -362,7 +388,7 @@ func cmdExp(args []string) error {
 	}
 
 	if *name == "all" {
-		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1"} {
+		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"idebench/internal/datagen"
 	"idebench/internal/dataset"
+	"idebench/internal/report"
 	"idebench/internal/workflow"
 )
 
@@ -38,6 +39,36 @@ func TestCmdDatagenAndWorkloadgen(t *testing.T) {
 	}
 	if len(flows) != 5 { // one per type
 		t.Errorf("workflows = %d, want 5", len(flows))
+	}
+}
+
+func TestCmdRunMultiUser(t *testing.T) {
+	dir := t.TempDir()
+	detailed := filepath.Join(dir, "users.csv")
+	if err := cmdRun([]string{
+		"-engine", "progressive", "-rows", "10000", "-tr", "100ms", "-think", "0s",
+		"-count", "4", "-interactions", "5", "-users", "4", "-detailed", detailed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(detailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := report.ReadDetailedCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := map[int]bool{}
+	for _, r := range recs {
+		if r.Users != 4 {
+			t.Fatalf("record Users=%d, want 4", r.Users)
+		}
+		users[r.User] = true
+	}
+	if len(users) != 4 {
+		t.Errorf("records span %d users, want 4", len(users))
 	}
 }
 

@@ -34,6 +34,24 @@
 // cost roughly one memory sweep instead of N, and multi-viz throughput
 // scales with engine.Options.Parallelism workers.
 //
+// # Multi-user sessions
+//
+// Prepared engines are multi-user: engine.Engine.OpenSession hands out one
+// engine.Session per simulated analyst, scoping visualization namespaces,
+// link hints, reuse caches and speculation rounds per session while the
+// prepared data — and, on the progressive engine, the shared scan cursor —
+// serves all sessions at once. The driver layer mirrors this split:
+// driver.Runner replays one analyst on one session (the paper's driver),
+// and driver.MultiRunner replays K workflows as K concurrent simulated
+// users against one prepared engine, with per-user think-time jitter and
+// per-user record streams. Throughput and latency percentiles per
+// user-count aggregate in report.SummarizeUsers, the user-scalability
+// experiment lives in internal/experiments (UserSweep, `idebench exp -name
+// users`), and `idebench run -users N` replays any workload concurrently.
+// All driver waiting goes through driver.Clock, so tests replay in
+// simulated time (driver.SimClock) instead of sleeping.
+//
 // Per-PR performance numbers are recorded as machine-readable JSON at the
-// repo root (BENCH_<n>.json) by cmd/benchrun.
+// repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the
+// 1→8-user scalability sweep.
 package idebench

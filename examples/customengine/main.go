@@ -81,6 +81,12 @@ func (e *cachingEngine) StartQuery(q *query.Query) (engine.Handle, error) {
 	return h, nil
 }
 
+// OpenSession uses the stateless-session helper: the result cache is shared
+// across sessions on purpose (a server-side cache serves every user), so
+// engine-level delegation is the correct multi-user behaviour here. Engines
+// with per-user state implement their own engine.Session instead.
+func (e *cachingEngine) OpenSession() engine.Session { return engine.NewEngineSession(e) }
+
 func (e *cachingEngine) LinkVizs(from, to string) { e.backend.LinkVizs(from, to) }
 func (e *cachingEngine) DeleteViz(name string)    { e.backend.DeleteViz(name) }
 func (e *cachingEngine) WorkflowStart() {

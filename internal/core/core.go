@@ -215,6 +215,28 @@ func (p *Prepared) Run(flows []*workflow.Workflow, s Settings) ([]driver.Record,
 	return r.RunWorkflows(flows)
 }
 
+// RunUsers replays the workflows as `users` concurrent simulated users over
+// the prepared engine, one engine session per user (workflows are dealt
+// round-robin). Records carry the user annotations the user-scaling report
+// groups by.
+func (p *Prepared) RunUsers(flows []*workflow.Workflow, s Settings, users int) ([]driver.Record, error) {
+	m := driver.NewMulti(p.Engine, p.GT, driver.MultiConfig{
+		Config: driver.Config{
+			TimeRequirement: s.TimeRequirement,
+			ThinkTime:       s.ThinkTime,
+			DataSizeLabel:   SizeLabel(s.DataSize),
+		},
+		Users:       users,
+		ThinkJitter: driver.DefaultThinkJitter,
+		Seed:        s.Seed,
+	})
+	res, err := m.Run(flows)
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
+
 // GenerateWorkflows builds the default workload against the database's fact
 // table: count workflows per type (4 pure types + mixed).
 func GenerateWorkflows(db *dataset.Database, count, interactions int, seed int64) ([]*workflow.Workflow, error) {

@@ -1,0 +1,245 @@
+package driver
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the driver's relationship with time: interaction
+// timestamps, think-time sleeps and time-requirement deadlines all go
+// through it. The benchmark runs on WallClock; tests and simulations inject
+// a SimClock so think time costs no wall-clock and deadline waits are
+// bounded, which turns seconds of real sleeping in the driver test suite
+// into microseconds.
+type Clock interface {
+	// Now returns the current time on this clock's timeline.
+	Now() time.Time
+	// Sleep blocks the caller for d of this clock's time.
+	Sleep(d time.Duration)
+	// NewTimer returns a timer that fires after d of this clock's time.
+	// Callers must Stop timers they abandon (a deadline that lost the race
+	// against query completion), exactly like time.Timer.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a stoppable one-shot clock timer.
+type Timer interface {
+	// C fires at most once, when the timer elapses.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the timer was still
+	// pending. After Stop the channel never fires.
+	Stop() bool
+}
+
+// WallClock is the real time.Now/time.Sleep clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// NewTimer implements Clock.
+func (WallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+type wallTimer struct{ t *time.Timer }
+
+func (t wallTimer) C() <-chan time.Time { return t.t.C }
+func (t wallTimer) Stop() bool          { return t.t.Stop() }
+
+// SimClock is a virtual clock for driver tests and simulations. Its
+// timeline advances only through its own API:
+//
+//   - Sleep(d) advances virtual time by d and returns immediately, so think
+//     times cost nothing real;
+//   - a timer fires when virtual time reaches its target — either because a
+//     Sleep (any goroutine's) advanced past it, or, after Grace of real
+//     time has elapsed with the timer still pending, by force-advancing the
+//     virtual clock to the target. The grace bound keeps time-requirement
+//     deadlines meaningful against real engine execution (a query gets up
+//     to Grace of real CPU time before its virtual deadline fires) while
+//     capping how long any deadline wait can really take.
+//
+// Timers stopped before firing leave the timeline untouched, so runs whose
+// queries complete within their deadlines are fully deterministic: virtual
+// time advances exactly by the think times slept.
+//
+// The timeline is shared: in a multi-user replay every user's Sleep
+// advances the same virtual clock, so one user's think time can carry
+// another user's deadline past its target. Multi-user tests on a SimClock
+// should size the time requirement against the aggregate virtual think
+// time of all users, not a single think gap.
+type SimClock struct {
+	// Grace is the real-time bound before a pending timer force-fires.
+	// The zero value means DefaultSimGrace.
+	Grace time.Duration
+
+	mu     sync.Mutex
+	now    time.Time
+	timers []*simTimer // pending, unordered
+}
+
+// DefaultSimGrace bounds how much real time a SimClock timer waits before
+// force-advancing virtual time to its target.
+const DefaultSimGrace = time.Millisecond
+
+// NewSimClock returns a SimClock whose timeline starts at start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+func (c *SimClock) grace() time.Duration {
+	if c.Grace > 0 {
+		return c.Grace
+	}
+	return DefaultSimGrace
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it advances virtual time immediately and fires
+// every timer the advance passes.
+func (c *SimClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.advanceLocked(c.now.Add(d))
+	c.mu.Unlock()
+}
+
+// Advance moves virtual time forward by d (an explicit test hook; Sleep is
+// the driver-facing form).
+func (c *SimClock) Advance(d time.Duration) { c.Sleep(d) }
+
+// advanceLocked moves the timeline to target (never backwards) and fires
+// due timers. Caller holds c.mu.
+func (c *SimClock) advanceLocked(target time.Time) {
+	if target.After(c.now) {
+		c.now = target
+	}
+	if len(c.timers) == 0 {
+		return
+	}
+	// Fire in deadline order so a single large advance plays out like the
+	// equivalent sequence of small ones.
+	var due []*simTimer
+	rest := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.target.After(c.now) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	c.timers = rest
+	sort.Slice(due, func(i, j int) bool { return due[i].target.Before(due[j].target) })
+	for _, t := range due {
+		t.fireLocked(c.now)
+	}
+}
+
+// NewTimer implements Clock.
+func (c *SimClock) NewTimer(d time.Duration) Timer {
+	t := &simTimer{c: c, ch: make(chan time.Time, 1), cancel: make(chan struct{})}
+	c.mu.Lock()
+	t.target = c.now.Add(d)
+	if d <= 0 {
+		t.fireLocked(t.target)
+		c.mu.Unlock()
+		return t
+	}
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+
+	// Grace watchdog: if nothing advances virtual time past the target
+	// within the real-time grace, force the timeline there.
+	go func() {
+		real := time.NewTimer(c.grace())
+		defer real.Stop()
+		select {
+		case <-t.cancel:
+		case <-t.fired():
+		case <-real.C:
+			c.mu.Lock()
+			if !t.done {
+				c.advanceLocked(t.target)
+			}
+			c.mu.Unlock()
+		}
+	}()
+	return t
+}
+
+// simTimer is one pending SimClock timer.
+type simTimer struct {
+	c      *SimClock
+	target time.Time
+	ch     chan time.Time
+	cancel chan struct{}
+
+	// done/doneCh guarded by c.mu.
+	done   bool
+	doneCh chan struct{}
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+// fired returns a channel closed once the timer fired; lazily created.
+func (t *simTimer) fired() <-chan struct{} {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.doneCh == nil {
+		t.doneCh = make(chan struct{})
+		if t.done {
+			close(t.doneCh)
+		}
+	}
+	return t.doneCh
+}
+
+// fireLocked delivers the tick. Caller holds c.mu; the buffered channel
+// receives exactly one send per timer, so the send never blocks.
+func (t *simTimer) fireLocked(now time.Time) {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.doneCh != nil {
+		close(t.doneCh)
+	}
+	t.ch <- now
+}
+
+// Stop implements Timer.
+func (t *simTimer) Stop() bool {
+	t.c.mu.Lock()
+	wasPending := !t.done
+	t.done = true
+	if t.doneCh != nil && wasPending {
+		close(t.doneCh)
+	}
+	for i, o := range t.c.timers {
+		if o == t {
+			t.c.timers = append(t.c.timers[:i], t.c.timers[i+1:]...)
+			break
+		}
+	}
+	t.c.mu.Unlock()
+	if wasPending {
+		close(t.cancel)
+	}
+	return wasPending
+}
+
+var (
+	_ Clock = WallClock{}
+	_ Clock = (*SimClock)(nil)
+)

@@ -1,0 +1,94 @@
+package driver
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimClockSleepAdvancesVirtualTime(t *testing.T) {
+	c := simClock()
+	start := c.Now()
+	real0 := time.Now()
+	c.Sleep(42 * time.Hour)
+	if got := c.Now().Sub(start); got != 42*time.Hour {
+		t.Errorf("virtual advance %v, want 42h", got)
+	}
+	if real := time.Since(real0); real > time.Second {
+		t.Errorf("Sleep took %v real time, should be instant", real)
+	}
+}
+
+func TestSimClockSleepFiresDueTimers(t *testing.T) {
+	c := simClock()
+	early := c.NewTimer(10 * time.Millisecond)
+	late := c.NewTimer(10 * time.Hour)
+	c.Sleep(time.Second)
+	select {
+	case tick := <-early.C():
+		if want := c.Now().Add(-time.Second).Add(10 * time.Millisecond); tick.Before(want) {
+			t.Errorf("timer fired at %v, target %v", tick, want)
+		}
+	default:
+		t.Fatal("timer due within the sleep did not fire")
+	}
+	select {
+	case <-late.C():
+		t.Fatal("timer far in the virtual future fired")
+	default:
+	}
+	late.Stop()
+}
+
+func TestSimClockStopPreventsFiring(t *testing.T) {
+	c := simClock()
+	timer := c.NewTimer(time.Millisecond)
+	if !timer.Stop() {
+		t.Fatal("Stop on a pending timer should report true")
+	}
+	c.Sleep(time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if timer.Stop() {
+		t.Error("second Stop should report false")
+	}
+}
+
+func TestSimClockNonPositiveTimerFiresImmediately(t *testing.T) {
+	c := simClock()
+	timer := c.NewTimer(-time.Second)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("non-positive timer should be ready immediately")
+	}
+}
+
+func TestSimClockGraceForceAdvances(t *testing.T) {
+	c := NewSimClock(time.Unix(0, 0))
+	c.Grace = time.Millisecond
+	timer := c.NewTimer(3 * time.Second) // nothing ever advances virtual time
+	select {
+	case <-timer.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("grace watchdog did not fire the timer")
+	}
+	if got := c.Now(); got.Before(time.Unix(3, 0)) {
+		t.Errorf("virtual time %v, want advanced to the timer target", got)
+	}
+}
+
+func TestWallClockTimer(t *testing.T) {
+	var c Clock = WallClock{}
+	timer := c.NewTimer(time.Microsecond)
+	select {
+	case <-timer.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall timer did not fire")
+	}
+	if before, after := c.Now(), time.Now(); after.Before(before) {
+		t.Error("wall clock not monotone against time.Now")
+	}
+}

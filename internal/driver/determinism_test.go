@@ -1,0 +1,180 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/engine/exactdb"
+	"idebench/internal/enginetest"
+	"idebench/internal/groundtruth"
+	"idebench/internal/workflow"
+)
+
+// TestWorkflowGenerationDeterministic pins the -seed contract: the same
+// seed must generate byte-identical workflow sets, across independent
+// generator instances. A hidden map iteration or time dependence in the
+// generator shows up here as a diff.
+func TestWorkflowGenerationDeterministic(t *testing.T) {
+	genOnce := func() []byte {
+		db := enginetest.SmallDB(5000, 3)
+		gen, err := workflow.NewGenerator(db.Fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows, err := gen.GenerateSet(2, 14, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := workflow.WriteJSON(&buf, flows); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := genOnce(), genOnce()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed generated different workflow JSON (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// replayRecords runs the full pipeline — dataset, generated workflows,
+// prepared engine, driver replay on a pure-virtual clock — and marshals the
+// records. Everything is seeded and the clock advances only by think time,
+// so two calls must agree byte-for-byte, timestamps and metrics included.
+func replayRecords(t *testing.T) []byte {
+	t.Helper()
+	db := enginetest.SmallDB(20000, 7)
+	e := exactdb.New()
+	// One worker: parallel chunk-stealing changes float accumulation order
+	// between runs, which is real scheduling nondeterminism rather than the
+	// hidden map/time dependence this test hunts.
+	if err := e.Prepare(db, engine.Options{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workflow.NewGenerator(db.Fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := gen.GenerateSet(1, 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simClock() // huge grace: deadlines never force-fire
+	r := New(e, groundtruth.New(db), Config{
+		TimeRequirement: 10 * time.Second,
+		ThinkTime:       2 * time.Millisecond,
+		DataSizeLabel:   "20k",
+		Clock:           clock,
+	})
+	recs, err := r.RunWorkflows(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("replay produced no records")
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestReplayDeterministic asserts the same seed yields identical Record
+// sequences — SQL text, metrics and virtual timestamps — across two full
+// runs. Metrics are accumulated in floating point over result bins, so this
+// also guards the sorted-iteration contract in metrics.Evaluate.
+func TestReplayDeterministic(t *testing.T) {
+	a, b := replayRecords(t), replayRecords(t)
+	if !bytes.Equal(a, b) {
+		i := firstDiff(a, b)
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("same seed produced different records at byte %d:\n run1: …%s…\n run2: …%s…",
+			i, clip(a, lo, i+80), clip(b, lo, i+80))
+	}
+}
+
+// TestMultiUserReplayDeterministic runs the concurrent multi-user replay
+// twice and compares the record streams with timestamps scrubbed: several
+// users share one virtual timeline, so when each sleeps relative to the
+// others depends on goroutine scheduling, but what they ask and what they
+// get back must not.
+func TestMultiUserReplayDeterministic(t *testing.T) {
+	runOnce := func() []byte {
+		db := enginetest.SmallDB(20000, 7)
+		e := exactdb.New()
+		if err := e.Prepare(db, engine.Options{Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workflow.NewGenerator(db.Fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows, err := gen.GenerateSet(1, 10, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMulti(e, groundtruth.New(db), MultiConfig{
+			Config: Config{
+				TimeRequirement: 10 * time.Second,
+				ThinkTime:       2 * time.Millisecond,
+				Clock:           simClock(),
+			},
+			Users: 4,
+			Seed:  5,
+		})
+		res, err := m.Run(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := append([]Record(nil), res.Records...)
+		for i := range recs {
+			recs[i].StartTime = time.Time{}
+			recs[i].EndTime = time.Time{}
+		}
+		data, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := runOnce(), runOnce()
+	if !bytes.Equal(a, b) {
+		i := firstDiff(a, b)
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("multi-user replay not deterministic at byte %d:\n run1: …%s…\n run2: …%s…",
+			i, clip(a, lo, i+80), clip(b, lo, i+80))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func clip(b []byte, lo, hi int) []byte {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return b[lo:hi]
+}

@@ -3,6 +3,14 @@
 // graph, issues the concurrent queries each interaction triggers, enforces
 // the time requirement (cancelling overdue queries), sleeps the think time
 // between interactions, and evaluates every query against ground truth.
+//
+// Two replay shapes exist. Runner is one simulated analyst on one
+// engine.Session — the paper's single-user driver. MultiRunner (multi.go)
+// replays K workflows as K concurrent simulated users against one prepared
+// engine, each on its own session, which is how the benchmark exercises
+// multi-user scaling (shared scans amortizing across users). All waiting
+// goes through the Clock abstraction so tests replace real sleeps with
+// simulated time.
 package driver
 
 import (
@@ -30,45 +38,86 @@ type Config struct {
 	// so reference scans do not compete with the engine for CPU during the
 	// timed run. Default true (set by Normalize).
 	PrecomputeGroundTruth *bool
+	// Clock supplies time; nil means WallClock. Tests inject a SimClock so
+	// think times and deadline waits run in simulated time.
+	Clock Clock
 }
 
 func (c Config) precompute() bool {
 	return c.PrecomputeGroundTruth == nil || *c.PrecomputeGroundTruth
 }
 
+func (c Config) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return WallClock{}
+}
+
 // Record is one row of the detailed report (paper Table 1).
 type Record struct {
-	ID            int                  `json:"id"`
-	InteractionID int                  `json:"interaction_id"`
-	VizName       string               `json:"viz_name"`
-	Driver        string               `json:"driver"`
-	DataSize      string               `json:"data_size"`
-	ThinkTimeMS   float64              `json:"think_time_ms"`
-	TimeReqMS     float64              `json:"time_req_ms"`
-	Workflow      string               `json:"workflow"`
-	WorkflowType  workflow.Type        `json:"workflow_type"`
-	StartTime     time.Time            `json:"start_time"`
-	EndTime       time.Time            `json:"end_time"`
-	BinDims       int                  `json:"bin_dims"`
-	BinningType   string               `json:"binning_type"`
-	AggType       string               `json:"agg_type"`
-	ConcurrentQs  int                  `json:"concurrent_queries"`
-	SQL           string               `json:"sql"`
-	Metrics       metrics.QueryMetrics `json:"metrics"`
+	ID            int           `json:"id"`
+	InteractionID int           `json:"interaction_id"`
+	VizName       string        `json:"viz_name"`
+	Driver        string        `json:"driver"`
+	DataSize      string        `json:"data_size"`
+	ThinkTimeMS   float64       `json:"think_time_ms"`
+	TimeReqMS     float64       `json:"time_req_ms"`
+	Workflow      string        `json:"workflow"`
+	WorkflowType  workflow.Type `json:"workflow_type"`
+	// User identifies the simulated user that issued the query (0 for
+	// single-user replays); Users is the concurrent-user count of the run
+	// (1 for single-user replays), the grouping axis of the user-scaling
+	// report.
+	User  int `json:"user"`
+	Users int `json:"users"`
+
+	StartTime    time.Time            `json:"start_time"`
+	EndTime      time.Time            `json:"end_time"`
+	BinDims      int                  `json:"bin_dims"`
+	BinningType  string               `json:"binning_type"`
+	AggType      string               `json:"agg_type"`
+	ConcurrentQs int                  `json:"concurrent_queries"`
+	SQL          string               `json:"sql"`
+	Metrics      metrics.QueryMetrics `json:"metrics"`
 }
 
-// Runner replays workflows against one prepared engine.
+// LatencyMS is the query's driver-observed latency in milliseconds: the
+// time from issue until its result was fetched (the TR for cancelled
+// queries).
+func (r Record) LatencyMS() float64 {
+	return float64(r.EndTime.Sub(r.StartTime)) / float64(time.Millisecond)
+}
+
+// Runner replays workflows as one simulated analyst on one engine session.
 type Runner struct {
-	eng    engine.Engine
+	name   string
+	sess   engine.Session
 	gt     *groundtruth.Cache
 	cfg    Config
+	clock  Clock
 	nextID int
+
+	// Multi-user annotations, set by MultiRunner.
+	user  int
+	users int
+	// thinkFor returns the think time before interaction idx+1; nil means
+	// the constant cfg.ThinkTime. MultiRunner installs per-user jitter.
+	thinkFor func(idx int) time.Duration
 }
 
-// New builds a runner. The engine must already be prepared for the same
-// database the ground-truth cache is bound to.
+// New builds a runner on the engine's shared default session. The engine
+// must already be prepared for the same database the ground-truth cache is
+// bound to.
 func New(eng engine.Engine, gt *groundtruth.Cache, cfg Config) *Runner {
-	return &Runner{eng: eng, gt: gt, cfg: cfg}
+	return NewOnSession(eng.Name(), engine.NewEngineSession(eng), gt, cfg)
+}
+
+// NewOnSession builds a runner on an explicit session; name labels records
+// (normally the engine name). MultiRunner opens one session per user and
+// builds its runners this way.
+func NewOnSession(name string, sess engine.Session, gt *groundtruth.Cache, cfg Config) *Runner {
+	return &Runner{name: name, sess: sess, gt: gt, cfg: cfg, clock: cfg.clock(), users: 1}
 }
 
 // RunWorkflow replays one workflow and returns a record per executed query.
@@ -83,8 +132,8 @@ func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
 	}
 
 	graph := workflow.NewGraph()
-	r.eng.WorkflowStart()
-	defer r.eng.WorkflowEnd()
+	r.sess.WorkflowStart()
+	defer r.sess.WorkflowEnd()
 
 	var records []Record
 	for idx, in := range w.Interactions {
@@ -93,10 +142,10 @@ func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
 			return nil, fmt.Errorf("driver: workflow %s interaction %d: %w", w.Name, idx, err)
 		}
 		if eff.NewLink != nil {
-			r.eng.LinkVizs(eff.NewLink[0], eff.NewLink[1])
+			r.sess.LinkVizs(eff.NewLink[0], eff.NewLink[1])
 		}
 		if eff.Discarded != "" {
-			r.eng.DeleteViz(eff.Discarded)
+			r.sess.DeleteViz(eff.Discarded)
 		}
 
 		recs, err := r.runQueries(w, idx, eff.Queries)
@@ -105,11 +154,21 @@ func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
 		}
 		records = append(records, recs...)
 
-		if r.cfg.ThinkTime > 0 && idx < len(w.Interactions)-1 {
-			time.Sleep(r.cfg.ThinkTime)
+		if idx < len(w.Interactions)-1 {
+			if think := r.think(idx); think > 0 {
+				r.clock.Sleep(think)
+			}
 		}
 	}
 	return records, nil
+}
+
+// think returns the think time after interaction idx.
+func (r *Runner) think(idx int) time.Duration {
+	if r.thinkFor != nil {
+		return r.thinkFor(idx)
+	}
+	return r.cfg.ThinkTime
 }
 
 // warmGroundTruth dry-replays the workflow, computing every query's exact
@@ -145,15 +204,15 @@ func (r *Runner) runQueries(w *workflow.Workflow, interactionID int, qs []*query
 	rs := make([]running, len(qs))
 	for i, q := range qs {
 		rs[i].q = q
-		rs[i].start = time.Now()
-		h, err := r.eng.StartQuery(q)
+		rs[i].start = r.clock.Now()
+		h, err := r.sess.StartQuery(q)
 		if err != nil {
 			rs[i].err = err
 			continue
 		}
 		rs[i].h = h
 	}
-	deadline := time.Now().Add(r.cfg.TimeRequirement)
+	deadline := r.clock.Now().Add(r.cfg.TimeRequirement)
 
 	records := make([]Record, 0, len(qs))
 	for i := range rs {
@@ -163,13 +222,15 @@ func (r *Runner) runQueries(w *workflow.Workflow, interactionID int, qs []*query
 		}
 		// Wait until the query finishes or the shared deadline passes.
 		var res *query.Result
+		t := r.clock.NewTimer(deadline.Sub(r.clock.Now()))
 		select {
 		case <-ru.h.Done():
-		case <-time.After(time.Until(deadline)):
+		case <-t.C():
 		}
+		t.Stop()
 		res = ru.h.Snapshot()
 		ru.h.Cancel()
-		end := time.Now()
+		end := r.clock.Now()
 
 		gt, err := r.gt.Get(ru.q)
 		if err != nil {
@@ -187,12 +248,14 @@ func (r *Runner) runQueries(w *workflow.Workflow, interactionID int, qs []*query
 			ID:            r.nextID - 1,
 			InteractionID: interactionID,
 			VizName:       ru.q.VizName,
-			Driver:        r.eng.Name(),
+			Driver:        r.name,
 			DataSize:      r.cfg.DataSizeLabel,
 			ThinkTimeMS:   float64(r.cfg.ThinkTime) / float64(time.Millisecond),
 			TimeReqMS:     float64(r.cfg.TimeRequirement) / float64(time.Millisecond),
 			Workflow:      w.Name,
 			WorkflowType:  w.Type,
+			User:          r.user,
+			Users:         r.users,
 			StartTime:     ru.start,
 			EndTime:       end,
 			BinDims:       ru.q.BinDims(),

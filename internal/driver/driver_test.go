@@ -46,12 +46,22 @@ func prepared(t *testing.T, e engine.Engine, rows int) (*groundtruth.Cache, engi
 	return groundtruth.New(db), e
 }
 
+// simClock returns a SimClock whose deadline timers never force-fire: for
+// tests where every query is expected to complete well inside its TR, so
+// neither think time nor deadline waits cost real wall-clock.
+func simClock() *SimClock {
+	c := NewSimClock(time.Unix(1_000_000, 0))
+	c.Grace = time.Hour
+	return c
+}
+
 func TestRunWorkflowRecords(t *testing.T) {
 	gt, e := prepared(t, exactdb.New(), 20000)
 	r := New(e, gt, Config{
 		TimeRequirement: 2 * time.Second,
 		ThinkTime:       time.Millisecond,
 		DataSizeLabel:   "20k",
+		Clock:           simClock(),
 	})
 	recs, err := r.RunWorkflow(simpleWorkflow())
 	if err != nil {
@@ -119,9 +129,15 @@ func TestTRViolationOnTinyDeadline(t *testing.T) {
 
 func TestProgressiveNeverViolates(t *testing.T) {
 	gt, e := prepared(t, progressive.New(progressive.Config{ChunkRows: 256}), 400000)
+	// Simulated time with a real-time grace: the 5ms virtual deadline fires
+	// once the engine had up to 20ms of real execution — a partial result
+	// must be fetchable whether or not the scan finished by then.
+	clock := NewSimClock(time.Unix(1_000_000, 0))
+	clock.Grace = 20 * time.Millisecond
 	r := New(e, gt, Config{
 		TimeRequirement: 5 * time.Millisecond,
 		DataSizeLabel:   "400k",
+		Clock:           clock,
 	})
 	w := &workflow.Workflow{
 		Name: "prog", Type: workflow.IndependentBrowsing,
@@ -143,7 +159,7 @@ func TestProgressiveNeverViolates(t *testing.T) {
 
 func TestConcurrentQueriesRecorded(t *testing.T) {
 	gt, e := prepared(t, exactdb.New(), 5000)
-	r := New(e, gt, Config{TimeRequirement: 2 * time.Second})
+	r := New(e, gt, Config{TimeRequirement: 2 * time.Second, Clock: simClock()})
 	w := &workflow.Workflow{
 		Name: "fanout", Type: workflow.OneToNLinking,
 		Interactions: []workflow.Interaction{
@@ -193,7 +209,7 @@ func TestInvalidWorkflowRejected(t *testing.T) {
 
 func TestRunWorkflowsConcatenates(t *testing.T) {
 	gt, e := prepared(t, exactdb.New(), 2000)
-	r := New(e, gt, Config{TimeRequirement: time.Second})
+	r := New(e, gt, Config{TimeRequirement: time.Second, Clock: simClock()})
 	w1 := &workflow.Workflow{Name: "w1", Type: workflow.Mixed, Interactions: []workflow.Interaction{
 		{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
 	}}
@@ -217,18 +233,33 @@ func TestRunWorkflowsConcatenates(t *testing.T) {
 
 func TestThinkTimeSeparatesInteractions(t *testing.T) {
 	gt, e := prepared(t, exactdb.New(), 1000)
-	think := 30 * time.Millisecond
-	r := New(e, gt, Config{TimeRequirement: 500 * time.Millisecond, ThinkTime: think})
+	// Hefty think times that would dominate the test's wall-clock on a real
+	// clock; on the simulated clock they cost nothing real and show up only
+	// on the virtual timeline.
+	think := 30 * time.Second
+	clock := simClock()
+	r := New(e, gt, Config{TimeRequirement: 500 * time.Second, ThinkTime: think, Clock: clock})
 	w := &workflow.Workflow{Name: "tt", Type: workflow.Mixed, Interactions: []workflow.Interaction{
 		{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
 		{Kind: workflow.KindCreateViz, Viz: "b", Spec: vizSpec("b")},
 	}}
-	start := time.Now()
-	if _, err := r.RunWorkflow(w); err != nil {
+	start := clock.Now()
+	recs, err := r.RunWorkflow(w)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < think {
-		t.Errorf("run took %v, should include %v think time", elapsed, think)
+	elapsed := clock.Now().Sub(start)
+	if elapsed < think {
+		t.Errorf("virtual run took %v, should include %v think time", elapsed, think)
+	}
+	// No think sleep after the last interaction.
+	if elapsed >= 2*think {
+		t.Errorf("virtual run took %v, want exactly one think gap of %v", elapsed, think)
+	}
+	// Records sit on the virtual timeline: the second interaction's query
+	// starts one think time after the first.
+	if gap := recs[1].StartTime.Sub(recs[0].StartTime); gap < think {
+		t.Errorf("interactions %v apart on the virtual clock, want >= %v", gap, think)
 	}
 }
 

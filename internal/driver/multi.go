@@ -1,0 +1,194 @@
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/groundtruth"
+	"idebench/internal/query"
+	"idebench/internal/workflow"
+)
+
+// MultiConfig parameterizes a concurrent multi-user replay.
+type MultiConfig struct {
+	Config
+	// Users is the number of concurrent simulated users (default 1).
+	// Workflows are dealt to users round-robin; each user replays its share
+	// sequentially on its own engine session while all users run
+	// concurrently.
+	Users int
+	// ThinkJitter is the ± fraction by which each user's think time varies
+	// around Config.ThinkTime, drawn per interaction from the user's own
+	// deterministic stream. Zero means every user sleeps exactly
+	// Config.ThinkTime — the honest default for the raw driver API, where a
+	// recorded run must match its settings. Benchmark entry points
+	// (core.Prepared.RunUsers, the user-sweep experiment) opt into jitter:
+	// real analysts do not pause in lockstep, and jitter keeps simulated
+	// users from issuing queries in convoy.
+	ThinkJitter float64
+	// Seed drives the per-user jitter streams.
+	Seed int64
+}
+
+func (c MultiConfig) withDefaults() MultiConfig {
+	if c.Users <= 0 {
+		c.Users = 1
+	}
+	if c.ThinkJitter < 0 {
+		c.ThinkJitter = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// DefaultThinkJitter is the jitter fraction the benchmark harness layers
+// use when simulating independent analysts.
+const DefaultThinkJitter = 0.25
+
+// MultiResult is the outcome of one multi-user replay.
+type MultiResult struct {
+	// Records holds every user's records, concatenated in user order and
+	// renumbered with run-unique IDs (deterministic given deterministic
+	// per-user replays).
+	Records []Record
+	// PerUser holds each user's record stream separately, indexed by user.
+	PerUser [][]Record
+	// Users is the effective concurrent-user count: the configured count,
+	// capped at the number of workflows (a user with nothing to replay is
+	// not a user). Callers that asked for more should surface the cap.
+	Users int
+	// WallClock is the replay's total duration on the configured clock,
+	// ground-truth warming excluded.
+	WallClock time.Duration
+}
+
+// QueriesPerSec is the aggregate throughput across all users.
+func (m *MultiResult) QueriesPerSec() float64 {
+	if m.WallClock <= 0 {
+		return 0
+	}
+	return float64(len(m.Records)) / m.WallClock.Seconds()
+}
+
+// MultiRunner replays workflows as K concurrent simulated users against one
+// prepared engine. Each user runs on its own engine.Session (own viz
+// namespace, links and reuse caches) so that what the engine shares between
+// users — scan bandwidth on a shared-scan engine, nothing on an independent
+// one — is exactly what a multi-user deployment would share.
+type MultiRunner struct {
+	eng engine.Engine
+	gt  *groundtruth.Cache
+	cfg MultiConfig
+}
+
+// NewMulti builds a multi-user runner. The engine must already be prepared
+// for the same database the ground-truth cache is bound to.
+func NewMulti(eng engine.Engine, gt *groundtruth.Cache, cfg MultiConfig) *MultiRunner {
+	return &MultiRunner{eng: eng, gt: gt, cfg: cfg.withDefaults()}
+}
+
+// Run replays flows across the configured number of users. Ground truths
+// for every workflow are computed in a single-threaded prepass (regardless
+// of Config.PrecomputeGroundTruth) so reference scans never compete with the
+// engine during the timed concurrent run.
+func (m *MultiRunner) Run(flows []*workflow.Workflow) (*MultiResult, error) {
+	if len(flows) == 0 {
+		return &MultiResult{}, nil
+	}
+	clock := m.cfg.clock()
+
+	// Warm ground truth up front, then disable the per-workflow prepass.
+	warmCfg := m.cfg.Config
+	off := false
+	warmCfg.PrecomputeGroundTruth = &off
+	warm := NewOnSession(m.eng.Name(), noopSession{}, m.gt, warmCfg)
+	for _, w := range flows {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		if err := warm.warmGroundTruth(w); err != nil {
+			return nil, err
+		}
+	}
+
+	users := m.cfg.Users
+	if users > len(flows) {
+		users = len(flows)
+	}
+	perUser := make([][]*workflow.Workflow, users)
+	for i, w := range flows {
+		perUser[i%users] = append(perUser[i%users], w)
+	}
+
+	res := &MultiResult{PerUser: make([][]Record, users), Users: users}
+	errs := make([]error, users)
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			sess := m.eng.OpenSession()
+			defer sess.Close()
+			r := NewOnSession(m.eng.Name(), sess, m.gt, warmCfg)
+			r.user = u
+			r.users = users
+			r.thinkFor = m.thinkStream(u)
+			recs, err := r.RunWorkflows(perUser[u])
+			res.PerUser[u] = recs
+			errs[u] = err
+		}(u)
+	}
+	wg.Wait()
+	res.WallClock = clock.Now().Sub(start)
+	for u, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("driver: user %d: %w", u, err)
+		}
+	}
+	id := 0
+	for u := range res.PerUser {
+		for i := range res.PerUser[u] {
+			res.PerUser[u][i].ID = id
+			id++
+			res.Records = append(res.Records, res.PerUser[u][i])
+		}
+	}
+	return res, nil
+}
+
+// thinkStream returns user u's jittered think-time function: think times
+// are drawn deterministically from the user's own seed, so replays are
+// reproducible per user regardless of scheduling.
+func (m *MultiRunner) thinkStream(u int) func(idx int) time.Duration {
+	base := m.cfg.ThinkTime
+	jitter := m.cfg.ThinkJitter
+	if base <= 0 || jitter == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed + int64(u)*7919))
+	return func(idx int) time.Duration {
+		f := 1 + jitter*(2*rng.Float64()-1)
+		return time.Duration(float64(base) * f)
+	}
+}
+
+// noopSession backs the ground-truth warm-up runner, which only ever calls
+// warmGroundTruth and must not issue engine work.
+type noopSession struct{}
+
+func (noopSession) StartQuery(q *query.Query) (engine.Handle, error) {
+	return nil, fmt.Errorf("driver: ground-truth warm-up must not start queries")
+}
+func (noopSession) LinkVizs(from, to string) {}
+func (noopSession) DeleteViz(name string)    {}
+func (noopSession) WorkflowStart()           {}
+func (noopSession) WorkflowEnd()             {}
+func (noopSession) Close()                   {}
+
+var _ engine.Session = noopSession{}

@@ -78,13 +78,25 @@ func (o Options) Normalize() Options {
 // Engine is the system-adapter interface (paper Listing 1). One Engine
 // instance serves one benchmark run; Prepare is called once per dataset and
 // its duration is the reported "data preparation time".
+//
+// Prepared engines are multi-user: OpenSession hands out independent
+// Sessions, one per concurrent simulated analyst, which share the prepared
+// data (and any shared-scan scheduling) but keep visualization namespaces,
+// link hints and reuse caches apart. The query methods declared directly on
+// Engine operate on a shared default session and exist for single-user
+// replays and as the simplest adapter surface; the multi-user driver always
+// goes through OpenSession.
 type Engine interface {
 	// Name identifies the engine in reports.
 	Name() string
 	// Prepare ingests the database. Engines copy/derive whatever internal
 	// representation they need; the driver times this call.
 	Prepare(db *dataset.Database, opts Options) error
-	// StartQuery begins asynchronous execution and returns immediately.
+	// OpenSession returns a new session on the prepared engine. Sessions
+	// opened before Prepare fail their first StartQuery with ErrNotPrepared.
+	OpenSession() Session
+	// StartQuery begins asynchronous execution on the default session and
+	// returns immediately.
 	StartQuery(q *query.Query) (Handle, error)
 	// LinkVizs hints that selections on viz `from` will re-query viz `to`
 	// (speculative engines exploit this; others ignore it).

@@ -116,6 +116,10 @@ func (e *Engine) run(plan *engine.Compiled, h *engine.AsyncHandle, workers int) 
 	h.Publish(merged.SnapshotExact())
 }
 
+// OpenSession implements engine.Engine. Blocking exact scans carry no
+// per-visualization state, so every session shares the engine directly.
+func (e *Engine) OpenSession() engine.Session { return engine.NewEngineSession(e) }
+
 // LinkVizs implements engine.Engine; a blocking engine ignores link hints.
 func (e *Engine) LinkVizs(from, to string) {}
 

@@ -13,6 +13,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Conformance(t, func() engine.Engine { return New() }, true)
 }
 
+func TestMultiUserScenario(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine { return New() }, true)
+}
+
 func TestName(t *testing.T) {
 	if New().Name() != "exactdb" {
 		t.Error("name wrong")

@@ -58,6 +58,11 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.delay(inner), nil
+}
+
+// delay wraps a backend handle with the render-delay visibility rule.
+func (e *Engine) delay(inner engine.Handle) engine.Handle {
 	h := &delayedHandle{
 		inner:  inner,
 		done:   make(chan struct{}),
@@ -79,8 +84,36 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 		h.visible = true
 		h.mu.Unlock()
 	}()
-	return h, nil
+	return h
 }
+
+// OpenSession implements engine.Engine: each IDE session wraps one backend
+// session, adding the same render delay to every query the session issues.
+func (e *Engine) OpenSession() engine.Session {
+	return &session{e: e, inner: e.backend.OpenSession()}
+}
+
+// session is one IDE frontend connection over a backend session.
+type session struct {
+	e     *Engine
+	inner engine.Session
+}
+
+func (s *session) StartQuery(q *query.Query) (engine.Handle, error) {
+	inner, err := s.inner.StartQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.e.delay(inner), nil
+}
+
+func (s *session) LinkVizs(from, to string) { s.inner.LinkVizs(from, to) }
+func (s *session) DeleteViz(name string)    { s.inner.DeleteViz(name) }
+func (s *session) WorkflowStart()           { s.inner.WorkflowStart() }
+func (s *session) WorkflowEnd()             { s.inner.WorkflowEnd() }
+func (s *session) Close()                   { s.inner.Close() }
+
+var _ engine.Session = (*session)(nil)
 
 // LinkVizs implements engine.Engine.
 func (e *Engine) LinkVizs(from, to string) { e.backend.LinkVizs(from, to) }

@@ -15,6 +15,12 @@ func TestConformance(t *testing.T) {
 	}, true)
 }
 
+func TestMultiUserScenario(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine {
+		return New(exactdb.New(), Config{RenderDelay: time.Millisecond})
+	}, true)
+}
+
 func TestName(t *testing.T) {
 	e := New(exactdb.New(), Config{})
 	if e.Name() != "idelayer(exactdb)" {

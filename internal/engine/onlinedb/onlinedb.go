@@ -226,6 +226,11 @@ func (e *Engine) runBlocking(plan *engine.Compiled, h *engine.AsyncHandle) {
 	h.Publish(gs.SnapshotExact())
 }
 
+// OpenSession implements engine.Engine. Online aggregation runs one
+// goroutine per query with no cross-query state, so every session shares the
+// engine directly (concurrent sessions model concurrent XDB connections).
+func (e *Engine) OpenSession() engine.Session { return engine.NewEngineSession(e) }
+
 // LinkVizs implements engine.Engine; XDB has no speculative layer.
 func (e *Engine) LinkVizs(from, to string) {}
 

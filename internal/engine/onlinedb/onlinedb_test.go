@@ -13,6 +13,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Conformance(t, func() engine.Engine { return New(Config{}) }, true)
 }
 
+func TestMultiUserScenario(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{}) }, true)
+}
+
 func TestName(t *testing.T) {
 	if New(Config{}).Name() != "onlinedb" {
 		t.Error("name wrong")

@@ -27,6 +27,14 @@
 // N independent passes, a query attaches at the cursor's current offset and
 // completes when the cursor wraps past its start, and a cancelled query's
 // partial state resumes from the cache without re-reading a row.
+//
+// # Sessions
+//
+// OpenSession scopes reuse caches, viz-name maps and speculation rounds to
+// one simulated analyst. All sessions attach their consumers to the same
+// scanner, so concurrent users share memory sweeps — the multi-user driver's
+// scaling lever — while keeping their exploration state invisible to each
+// other.
 package progressive
 
 import (
@@ -65,18 +73,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Engine is the progressive engine.
+// Engine is the progressive engine. The prepared permuted storage and the
+// shared-scan scheduler are engine-wide; everything an analyst accumulates —
+// reuse caches, the viz-name → query map speculation derives selections
+// from, and the current round of speculation targets — lives in a Session.
+// Concurrent sessions ride the same scan cursor (N users' queries still cost
+// about one memory sweep) without sharing viz namespaces or caches.
 type Engine struct {
 	cfg Config
 
-	mu         sync.Mutex
-	db         *dataset.Database // fact table materialized in permutation order
-	opts       engine.Options
-	z          float64
-	scan       *sharedscan.Scanner
-	states     map[string]*sharedscan.Consumer
-	vizQueries map[string]*query.Query
-	specs      []*sharedscan.Consumer // current round of speculation targets
+	mu   sync.Mutex
+	db   *dataset.Database // fact table materialized in permutation order
+	opts engine.Options
+	z    float64
+	scan *sharedscan.Scanner
+	def  *session // shared default session for engine-level query methods
 }
 
 // New returns an unprepared engine.
@@ -113,33 +124,127 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	e.opts = opts
 	e.z = z
 	e.scan = sharedscan.New(permDB.Fact.NumRows(), e.cfg.ChunkRows, opts.Parallelism)
-	e.states = make(map[string]*sharedscan.Consumer)
-	e.vizQueries = make(map[string]*query.Query)
-	e.specs = nil
+	e.def = nil // default session re-opens lazily against the new scan
 	return nil
 }
 
-// StartQuery implements engine.Engine. If a cached state for the same query
-// signature exists (from reuse or speculation) execution resumes from it,
-// otherwise a fresh consumer attaches to the shared scan at the cursor's
-// current offset. There is no per-query goroutine: the handle holds a
-// foreground reference on the consumer, and the scheduler's workers drive it
-// to completion.
-func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
+// OpenSession implements engine.Engine: the session captures the prepared
+// storage and scanner, so sessions opened across a re-Prepare stay
+// internally consistent (they keep riding the scan they were opened on).
+func (e *Engine) OpenSession() engine.Session {
 	e.mu.Lock()
-	if e.db == nil {
-		e.mu.Unlock()
+	defer e.mu.Unlock()
+	return e.newSessionLocked()
+}
+
+// newSessionLocked builds a session against the current prepared state.
+// Caller holds e.mu.
+func (e *Engine) newSessionLocked() *session {
+	return &session{
+		e:          e,
+		cfg:        e.cfg,
+		db:         e.db,
+		z:          e.z,
+		scan:       e.scan,
+		states:     make(map[string]*sharedscan.Consumer),
+		vizQueries: make(map[string]*query.Query),
+	}
+}
+
+// defaultSession returns the engine-level shared session, opening it on
+// first use after Prepare.
+func (e *Engine) defaultSession() *session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.def == nil {
+		e.def = e.newSessionLocked()
+	}
+	return e.def
+}
+
+// StartQuery implements engine.Engine on the shared default session.
+func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
+	return e.defaultSession().StartQuery(q)
+}
+
+// LinkVizs implements engine.Engine on the shared default session.
+func (e *Engine) LinkVizs(from, to string) { e.defaultSession().LinkVizs(from, to) }
+
+// DeleteViz implements engine.Engine on the shared default session.
+func (e *Engine) DeleteViz(name string) { e.defaultSession().DeleteViz(name) }
+
+// WorkflowStart implements engine.Engine on the shared default session.
+func (e *Engine) WorkflowStart() { e.defaultSession().WorkflowStart() }
+
+// WorkflowEnd implements engine.Engine on the shared default session.
+func (e *Engine) WorkflowEnd() { e.defaultSession().WorkflowEnd() }
+
+// StateProgress reports the scan progress of the default session's cached
+// state for q, used by tests and the speculation example to observe reuse.
+func (e *Engine) StateProgress(q *query.Query) float64 {
+	return e.defaultSession().stateProgress(q)
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// session is one analyst's scope on the prepared engine: its own reuse
+// cache, viz-name map and speculation round, all riding the engine's shared
+// scanner. Consumers are keyed by query signature per session, so two users
+// issuing the same query keep separate states (each costs only a per-chunk
+// fold on the shared sweep) and one user cancelling or reusing never
+// surprises another.
+type session struct {
+	e   *Engine
+	cfg Config
+
+	mu sync.Mutex
+	// db/z/scan bind to the engine's prepared state: at OpenSession when
+	// the engine is already prepared, otherwise lazily on first use (a
+	// session opened at connection time, before the data loads, starts
+	// working once Prepare succeeds — the same contract as the stateless
+	// engines). Once bound, a session keeps riding the scan it bound to
+	// even across a re-Prepare.
+	db         *dataset.Database
+	z          float64
+	scan       *sharedscan.Scanner
+	states     map[string]*sharedscan.Consumer
+	vizQueries map[string]*query.Query
+	specs      []*sharedscan.Consumer // current round of speculation targets
+}
+
+// bindLocked late-binds an unprepared-at-open session to the engine's
+// current prepared state, if any. Caller holds s.mu.
+func (s *session) bindLocked() {
+	if s.db != nil {
+		return
+	}
+	s.e.mu.Lock()
+	s.db, s.z, s.scan = s.e.db, s.e.z, s.e.scan
+	s.e.mu.Unlock()
+}
+
+// StartQuery implements engine.Session. If the session caches a state for
+// the same query signature (from reuse or speculation) execution resumes
+// from it, otherwise a fresh consumer attaches to the shared scan at the
+// cursor's current offset. There is no per-query goroutine: the handle holds
+// a foreground reference on the consumer, and the scheduler's workers drive
+// it to completion.
+func (s *session) StartQuery(q *query.Query) (engine.Handle, error) {
+	s.mu.Lock()
+	s.bindLocked()
+	if s.db == nil {
+		s.mu.Unlock()
 		return nil, engine.ErrNotPrepared
 	}
-	st, err := e.stateLocked(q)
+	st, err := s.stateLocked(q)
 	if err != nil {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
 	qc := *q
-	e.vizQueries[q.VizName] = &qc
-	z := e.z
-	e.mu.Unlock()
+	s.vizQueries[q.VizName] = &qc
+	z := s.z
+	s.mu.Unlock()
 
 	h := engine.NewAsyncHandle()
 	h.SetSnapshotFunc(func() *query.Result { return st.Snapshot(z) })
@@ -167,23 +272,23 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 	return h, nil
 }
 
-// stateLocked returns the cached consumer for q's signature, creating it if
-// needed. Caller holds e.mu.
-func (e *Engine) stateLocked(q *query.Query) (*sharedscan.Consumer, error) {
+// stateLocked returns the session's cached consumer for q's signature,
+// creating it if needed. Caller holds s.mu.
+func (s *session) stateLocked(q *query.Query) (*sharedscan.Consumer, error) {
 	sig := q.Signature()
-	if st, ok := e.states[sig]; ok {
+	if st, ok := s.states[sig]; ok {
 		return st, nil
 	}
-	plan, err := engine.Compile(e.db, q)
+	plan, err := engine.Compile(s.db, q)
 	if err != nil {
 		return nil, err
 	}
-	st := e.scan.NewConsumer(plan)
-	e.states[sig] = st
+	st := s.scan.NewConsumer(plan)
+	s.states[sig] = st
 	return st, nil
 }
 
-// LinkVizs implements engine.Engine. With speculation enabled, establishing
+// LinkVizs implements engine.Session. With speculation enabled, establishing
 // a link attaches the queries each single-bin selection on the source would
 // trigger on the target as background consumers of the shared scan: they
 // ride the same cursor as user queries but are suspended whenever a
@@ -191,14 +296,14 @@ func (e *Engine) stateLocked(q *query.Query) (*sharedscan.Consumer, error) {
 // priority, so speculation consumes only think time), and cost one shared
 // per-chunk fold instead of a competing full pass. A new link withdraws the
 // previous round's targets (their partial coverage stays cached for reuse).
-func (e *Engine) LinkVizs(from, to string) {
-	if !e.cfg.Speculate {
+func (s *session) LinkVizs(from, to string) {
+	if !s.cfg.Speculate {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	srcQ := e.vizQueries[from]
-	dstQ := e.vizQueries[to]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srcQ := s.vizQueries[from]
+	dstQ := s.vizQueries[to]
 	if srcQ == nil || dstQ == nil {
 		return
 	}
@@ -207,81 +312,84 @@ func (e *Engine) LinkVizs(from, to string) {
 		// derive selections from; speculating on it would panic below.
 		return
 	}
-	srcState, ok := e.states[srcQ.Signature()]
+	srcState, ok := s.states[srcQ.Signature()]
 	if !ok {
 		return
 	}
-	srcSnap := srcState.Snapshot(e.z)
+	srcSnap := srcState.Snapshot(s.z)
 	srcBin := srcQ.Bins[0]
 	dict := srcState.Plan().BinDicts[0]
 
 	var targets []*sharedscan.Consumer
 	for _, key := range srcSnap.SortedKeys() {
-		if len(targets) >= e.cfg.MaxSpeculations {
+		if len(targets) >= s.cfg.MaxSpeculations {
 			break
 		}
 		pred := query.SelectionPredicate(srcBin, key.A, dict)
 		specQ := *dstQ
 		specQ.Filter = dstQ.Filter.And(pred)
-		st, err := e.stateLocked(&specQ)
+		st, err := s.stateLocked(&specQ)
 		if err != nil {
 			continue
 		}
 		targets = append(targets, st)
 	}
-	for _, old := range e.specs {
+	for _, old := range s.specs {
 		old.Unspeculate()
 	}
-	e.specs = targets
+	s.specs = targets
 	for _, st := range targets {
 		st.Speculate()
 	}
 }
 
-// DeleteViz implements engine.Engine.
-func (e *Engine) DeleteViz(name string) {
-	e.mu.Lock()
-	delete(e.vizQueries, name)
-	e.mu.Unlock()
+// DeleteViz implements engine.Session.
+func (s *session) DeleteViz(name string) {
+	s.mu.Lock()
+	delete(s.vizQueries, name)
+	s.mu.Unlock()
 }
 
-// WorkflowStart implements engine.Engine: caches are per exploration
-// session, so each workflow starts cold. Speculation targets are withdrawn;
+// WorkflowStart implements engine.Session: caches are per exploration
+// workflow, so each workflow starts cold. Speculation targets are withdrawn;
 // consumers still referenced by in-flight handles finish their scan and then
 // fall off the scheduler.
-func (e *Engine) WorkflowStart() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, st := range e.specs {
+func (s *session) WorkflowStart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.specs {
 		st.Unspeculate()
 	}
-	e.specs = nil
-	if e.db != nil {
-		e.states = make(map[string]*sharedscan.Consumer)
-		e.vizQueries = make(map[string]*query.Query)
+	s.specs = nil
+	if s.db != nil {
+		s.states = make(map[string]*sharedscan.Consumer)
+		s.vizQueries = make(map[string]*query.Query)
 	}
 }
 
-// WorkflowEnd implements engine.Engine.
-func (e *Engine) WorkflowEnd() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, st := range e.specs {
+// WorkflowEnd implements engine.Session.
+func (s *session) WorkflowEnd() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.specs {
 		st.Unspeculate()
 	}
-	e.specs = nil
+	s.specs = nil
 }
 
-// StateProgress reports the scan progress of the cached state for q, used
-// by tests and the speculation example to observe reuse.
-func (e *Engine) StateProgress(q *query.Query) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st, ok := e.states[q.Signature()]
+// Close implements engine.Session: the session's speculation targets leave
+// the scan; states referenced by in-flight handles finish on their own.
+func (s *session) Close() { s.WorkflowEnd() }
+
+// stateProgress reports the scan progress of the session's cached state.
+func (s *session) stateProgress(q *query.Query) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[q.Signature()]
 	if !ok {
 		return 0
 	}
 	return st.Progress()
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.Session = (*session)(nil)

@@ -14,6 +14,37 @@ func TestConformance(t *testing.T) {
 	enginetest.Conformance(t, func() engine.Engine { return New(Config{}) }, true)
 }
 
+func TestMultiUserScenario(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{}) }, true)
+}
+
+// A session opened before Prepare must start working once the engine is
+// prepared (the stateless engines behave this way via NewEngineSession, so
+// the progressive session late-binds to match).
+func TestSessionOpenedBeforePrepare(t *testing.T) {
+	e := New(Config{})
+	sess := e.OpenSession()
+	defer sess.Close()
+	if _, err := sess.StartQuery(enginetest.CountByCarrier()); err == nil {
+		t.Fatal("StartQuery on an unprepared engine should fail")
+	}
+	db := enginetest.SmallDB(5000, 13)
+	if err := e.Prepare(db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatalf("session opened before Prepare still unusable after Prepare: %v", err)
+	}
+	if res := enginetest.WaitResult(t, h, 30*time.Second); res == nil {
+		t.Fatal("no result from late-bound session")
+	}
+}
+
+func TestMultiUserScenarioSpeculative(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{Speculate: true}) }, true)
+}
+
 func TestName(t *testing.T) {
 	if New(Config{}).Name() != "progressive" {
 		t.Error("name wrong")

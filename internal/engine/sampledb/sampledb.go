@@ -181,6 +181,10 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 	return h, nil
 }
 
+// OpenSession implements engine.Engine. The offline sample is immutable and
+// queries are stateless, so every session shares the engine directly.
+func (e *Engine) OpenSession() engine.Session { return engine.NewEngineSession(e) }
+
 // LinkVizs implements engine.Engine; offline sampling ignores link hints.
 func (e *Engine) LinkVizs(from, to string) {}
 

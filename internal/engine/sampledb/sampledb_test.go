@@ -15,6 +15,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Conformance(t, func() engine.Engine { return New(Config{}) }, false)
 }
 
+func TestMultiUserScenario(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{}) }, false)
+}
+
 func TestName(t *testing.T) {
 	if New(Config{}).Name() != "sampledb" {
 		t.Error("name wrong")

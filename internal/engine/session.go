@@ -1,0 +1,52 @@
+package engine
+
+import "idebench/internal/query"
+
+// Session is one simulated user's scope on a prepared engine. The prepared
+// data and the engine's scan infrastructure (e.g. the shared-scan scheduler)
+// are engine-wide and serve every session, while everything an analyst
+// accumulates during exploration — the visualization namespace, link hints,
+// reuse caches and speculation targets — is session-local. Concurrent
+// sessions therefore share scans but never observe each other's
+// visualizations.
+//
+// Sessions are safe to use from one goroutine each; distinct sessions may
+// run fully concurrently. The zero-session convenience path (calling the
+// query methods directly on an Engine) remains available for single-user
+// replays and operates on the engine's shared default session.
+type Session interface {
+	// StartQuery begins asynchronous execution and returns immediately.
+	StartQuery(q *query.Query) (Handle, error)
+	// LinkVizs hints that selections on viz `from` will re-query viz `to`
+	// within this session.
+	LinkVizs(from, to string)
+	// DeleteViz tells the session a visualization was discarded.
+	DeleteViz(name string)
+	// WorkflowStart is called before a workflow begins; session-local caches
+	// start cold.
+	WorkflowStart()
+	// WorkflowEnd is called after a workflow completes.
+	WorkflowEnd()
+	// Close releases session-held resources (detaches any standing scan
+	// consumers). Using a session after Close is undefined.
+	Close()
+}
+
+// engineSession adapts an Engine's own query methods into a Session. It is
+// the correct session implementation for engines whose execution carries no
+// per-visualization state (blocking scans, offline samples, SQL adapters):
+// every session is behaviourally identical, so all of them may share the
+// engine's methods directly.
+type engineSession struct{ e Engine }
+
+// NewEngineSession wraps e's engine-level query methods as a Session.
+// Engines with genuinely session-scoped state (reuse caches, speculation)
+// must implement their own Session instead of using this helper.
+func NewEngineSession(e Engine) Session { return engineSession{e} }
+
+func (s engineSession) StartQuery(q *query.Query) (Handle, error) { return s.e.StartQuery(q) }
+func (s engineSession) LinkVizs(from, to string)                  { s.e.LinkVizs(from, to) }
+func (s engineSession) DeleteViz(name string)                     { s.e.DeleteViz(name) }
+func (s engineSession) WorkflowStart()                            { s.e.WorkflowStart() }
+func (s engineSession) WorkflowEnd()                              { s.e.WorkflowEnd() }
+func (s engineSession) Close()                                    {}

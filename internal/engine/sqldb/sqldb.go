@@ -178,6 +178,11 @@ func binKeyOf(db *dataset.Database, q *query.Query, binStr []sql.NullString, bin
 	return query.BinKey{A: comps[0], B: comps[1]}, nil
 }
 
+// OpenSession implements engine.Engine. database/sql connection pools are
+// already safe for concurrent use, and the adapter keeps no per-viz state,
+// so every session shares the engine (and the pool) directly.
+func (e *Engine) OpenSession() engine.Session { return engine.NewEngineSession(e) }
+
 // LinkVizs implements engine.Engine; a plain SQL backend ignores hints.
 func (e *Engine) LinkVizs(from, to string) {}
 

@@ -15,6 +15,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Conformance(t, func() engine.Engine { return NewSQLMem() }, true)
 }
 
+func TestMultiUserScenario(t *testing.T) {
+	enginetest.MultiUserScenario(t, func() engine.Engine { return NewSQLMem() }, true)
+}
+
 func TestName(t *testing.T) {
 	if NewSQLMem().Name() != "sqldb" {
 		t.Error("name wrong")

@@ -457,7 +457,7 @@ func Exp5(cfg Config) ([]Exp5Result, error) {
 		var latSum float64
 		var violated int
 		for _, r := range recs {
-			latSum += float64(r.EndTime.Sub(r.StartTime)) / float64(time.Millisecond)
+			latSum += r.LatencyMS()
 			if r.Metrics.TRViolated {
 				violated++
 			}

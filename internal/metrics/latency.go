@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (p in [0, 1]) of xs using linear
+// interpolation between closest ranks, the method most load-testing tools
+// report. NaN elements are skipped (a violated query's undefined error
+// metrics must never poison a latency distribution); an empty or all-NaN
+// input returns NaN. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	sort.Float64s(clean)
+	return percentileSorted(clean, p)
+}
+
+// percentileSorted is Percentile over an already NaN-free, sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LatencySummary aggregates one group's query latencies (milliseconds) into
+// the percentiles the user-scaling report shows.
+type LatencySummary struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   float64
+}
+
+// SummarizeLatencies computes the latency summary of ms. NaN entries are
+// skipped; an empty input yields a zero Count with NaN statistics. The
+// input is filtered and sorted once, shared by all three percentiles.
+func SummarizeLatencies(ms []float64) LatencySummary {
+	clean := make([]float64, 0, len(ms))
+	sum := 0.0
+	for _, x := range ms {
+		if math.IsNaN(x) {
+			continue
+		}
+		clean = append(clean, x)
+		sum += x
+	}
+	sort.Float64s(clean)
+	s := LatencySummary{
+		Count: len(clean),
+		P50:   percentileSorted(clean, 0.50),
+		P95:   percentileSorted(clean, 0.95),
+		P99:   percentileSorted(clean, 0.99),
+	}
+	if s.Count == 0 {
+		s.Mean = math.NaN()
+		s.Max = math.NaN()
+		return s
+	}
+	s.Mean = sum / float64(s.Count)
+	s.Max = clean[len(clean)-1]
+	return s
+}

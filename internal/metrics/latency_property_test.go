@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPercentileKnownDistribution checks exact quantiles of 0..1000: with
+// linear interpolation between closest ranks, P50 of 1001 evenly spaced
+// values is the middle value, P95/P99 land on the corresponding ranks.
+func TestPercentileKnownDistribution(t *testing.T) {
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{0, 0}, {0.25, 250}, {0.5, 500}, {0.95, 950}, {0.99, 990}, {1, 1000},
+	} {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("P%g = %v, want %v", 100*tc.p, got, tc.want)
+		}
+	}
+	// Interpolation between ranks: P50 of {1, 2} is 1.5.
+	if got := Percentile([]float64{2, 1}, 0.5); got != 1.5 {
+		t.Errorf("P50 of {1,2} = %v, want 1.5", got)
+	}
+}
+
+// TestPercentileProperties fuzzes random inputs against the invariants any
+// quantile function must keep: bounded by min/max, monotone in p,
+// permutation-invariant, and input-preserving.
+func TestPercentileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		orig := append([]float64(nil), xs...)
+
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			got := Percentile(xs, p)
+			if got < min-1e-12 || got > max+1e-12 {
+				t.Fatalf("trial %d: P%g = %v outside [%v, %v]", trial, 100*p, got, min, max)
+			}
+			if got < prev-1e-12 {
+				t.Fatalf("trial %d: percentile not monotone at p=%g: %v < %v", trial, p, got, prev)
+			}
+			prev = got
+		}
+		if Percentile(xs, 0) != min || Percentile(xs, 1) != max {
+			t.Fatalf("trial %d: extremes P0=%v P100=%v, want %v / %v",
+				trial, Percentile(xs, 0), Percentile(xs, 1), min, max)
+		}
+		// Permutation invariance.
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if Percentile(xs, 0.5) != Percentile(shuffled, 0.5) {
+			t.Fatalf("trial %d: P50 depends on input order", trial)
+		}
+		for i := range xs {
+			if xs[i] != orig[i] {
+				t.Fatalf("trial %d: Percentile mutated its input", trial)
+			}
+		}
+	}
+}
+
+// TestPercentileNaNHandling: NaNs (a violated query's undefined metrics)
+// must be skipped, not propagated, and must not shift the clean quantiles.
+func TestPercentileNaNHandling(t *testing.T) {
+	clean := []float64{1, 2, 3, 4, 5}
+	dirty := []float64{math.NaN(), 1, 2, math.NaN(), 3, 4, 5, math.NaN()}
+	for _, p := range []float64{0, 0.5, 0.9, 1} {
+		c, d := Percentile(clean, p), Percentile(dirty, p)
+		if c != d {
+			t.Errorf("P%g: NaNs shifted the quantile: %v vs %v", 100*p, d, c)
+		}
+		if math.IsNaN(d) {
+			t.Errorf("P%g: NaN leaked through", 100*p)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty input should yield NaN")
+	}
+	if !math.IsNaN(Percentile([]float64{math.NaN()}, 0.5)) {
+		t.Error("all-NaN input should yield NaN")
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	s := SummarizeLatencies([]float64{10, 20, 30, 40, math.NaN()})
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4 (NaN skipped)", s.Count)
+	}
+	if s.Mean != 25 {
+		t.Errorf("Mean = %v, want 25", s.Mean)
+	}
+	if s.P50 != 25 {
+		t.Errorf("P50 = %v, want 25", s.P50)
+	}
+	if s.Max != 40 {
+		t.Errorf("Max = %v, want 40", s.Max)
+	}
+	empty := SummarizeLatencies(nil)
+	if empty.Count != 0 || !math.IsNaN(empty.Mean) || !math.IsNaN(empty.P50) || !math.IsNaN(empty.Max) {
+		t.Errorf("empty summary should be Count=0 with NaN stats: %+v", empty)
+	}
+}

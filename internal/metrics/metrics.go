@@ -102,7 +102,12 @@ func Evaluate(res, gt *query.Result, trViolated bool) QueryMetrics {
 		sumF, sumA float64
 		outOfM     int
 	)
-	for k, rv := range res.Bins {
+	// Iterate delivered bins in key order: the error distributions are
+	// accumulated in floating point, and a map-iteration order would make
+	// identical runs differ in the last bits — the multi-user determinism
+	// tests compare records byte-for-byte.
+	for _, k := range res.SortedKeys() {
+		rv := res.Bins[k]
 		gv, ok := gt.Bins[k]
 		if !ok {
 			// A bin the ground truth does not have: treat its true value as
@@ -159,7 +164,8 @@ func Evaluate(res, gt *query.Result, trViolated bool) QueryMetrics {
 
 // cosineDistance computes 1 − cos(F, A) over the union of bins using the
 // first aggregate (the visualized series); absent bins contribute 0
-// (paper: "we set the value at each missing bin to zero").
+// (paper: "we set the value at each missing bin to zero"). Accumulation
+// runs in sorted key order so repeated evaluations are bit-identical.
 func cosineDistance(res, gt *query.Result) float64 {
 	var dot, nf, na float64
 	seen := map[query.BinKey]bool{}
@@ -179,10 +185,10 @@ func cosineDistance(res, gt *query.Result) float64 {
 		nf += f * f
 		na += a * a
 	}
-	for k := range res.Bins {
+	for _, k := range res.SortedKeys() {
 		accum(k)
 	}
-	for k := range gt.Bins {
+	for _, k := range gt.SortedKeys() {
 		accum(k)
 	}
 	if nf == 0 || na == 0 {

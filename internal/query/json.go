@@ -5,6 +5,39 @@ import (
 	"fmt"
 )
 
+// UnmarshalJSON normalizes an explicit empty predicate list to the nil zero
+// value. The field is tagged omitempty, so an empty non-nil slice would be
+// dropped on re-encode and come back nil — making decode→encode→decode
+// unstable (caught by FuzzParseQuery); with the normalization the decoded
+// form is the canonical one from the start.
+func (f *Filter) UnmarshalJSON(data []byte) error {
+	type plain Filter
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if len(p.Predicates) == 0 {
+		p.Predicates = nil
+	}
+	*f = Filter(p)
+	return nil
+}
+
+// UnmarshalJSON normalizes an explicit empty value list to nil, for the
+// same omitempty round-trip stability as Filter.UnmarshalJSON.
+func (p *Predicate) UnmarshalJSON(data []byte) error {
+	type plain Predicate
+	var v plain
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Values) == 0 {
+		v.Values = nil
+	}
+	*p = Predicate(v)
+	return nil
+}
+
 // resultJSON is the wire representation of a Result: bin keys become
 // explicit arrays because JSON objects cannot key on structs. This is the
 // format a remote system adapter (paper Sec. 4.5) would write results back

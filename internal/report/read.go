@@ -13,22 +13,43 @@ import (
 	"idebench/internal/workflow"
 )
 
+// legacyDetailedHeader is the pre-multi-user column set: DetailedHeader
+// without the user/users columns. Reports saved by older builds still load
+// (`idebench analyze` on archived runs), with every record defaulting to
+// the single-user annotations.
+func legacyDetailedHeader() []string {
+	out := make([]string, 0, len(DetailedHeader)-2)
+	for _, h := range DetailedHeader {
+		if h == "user" || h == "users" {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
 // ReadDetailedCSV parses a detailed report written by WriteDetailedCSV back
 // into records, so saved runs can be re-aggregated and analyzed offline
 // (`idebench analyze`). Empty numeric fields decode as NaN, mirroring the
-// writer's NaN handling.
+// writer's NaN handling. Both the current header and the pre-multi-user
+// one (no user/users columns) are accepted.
 func ReadDetailedCSV(r io.Reader) ([]driver.Record, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("report: read header: %w", err)
 	}
-	if len(header) != len(DetailedHeader) {
+	want := DetailedHeader
+	hasUsers := true
+	if len(header) == len(DetailedHeader)-2 {
+		want = legacyDetailedHeader()
+		hasUsers = false
+	} else if len(header) != len(DetailedHeader) {
 		return nil, fmt.Errorf("report: header has %d columns, want %d", len(header), len(DetailedHeader))
 	}
 	for i, h := range header {
-		if h != DetailedHeader[i] {
-			return nil, fmt.Errorf("report: column %d is %q, want %q", i, h, DetailedHeader[i])
+		if h != want[i] {
+			return nil, fmt.Errorf("report: column %d is %q, want %q", i, h, want[i])
 		}
 	}
 
@@ -43,7 +64,7 @@ func ReadDetailedCSV(r io.Reader) ([]driver.Record, error) {
 			return nil, fmt.Errorf("report: line %d: %w", line+1, err)
 		}
 		line++
-		row, err := parseDetailedRow(rec)
+		row, err := parseDetailedRow(rec, hasUsers)
 		if err != nil {
 			return nil, fmt.Errorf("report: line %d: %w", line, err)
 		}
@@ -52,7 +73,7 @@ func ReadDetailedCSV(r io.Reader) ([]driver.Record, error) {
 	return out, nil
 }
 
-func parseDetailedRow(rec []string) (driver.Record, error) {
+func parseDetailedRow(rec []string, hasUsers bool) (driver.Record, error) {
 	var r driver.Record
 	p := &rowParser{rec: rec}
 
@@ -84,6 +105,13 @@ func parseDetailedRow(rec []string) (driver.Record, error) {
 	m.Bias = p.nanFloat()
 	m.SMAPE = p.nanFloat()
 	r.ConcurrentQs = p.intField("concurrent_queries")
+	if hasUsers {
+		r.User = p.intField("user")
+		r.Users = p.intField("users")
+	}
+	if r.Users <= 0 {
+		r.Users = 1
+	}
 	r.SQL = p.str()
 	m.HasResult = !m.TRViolated
 	r.Metrics = m

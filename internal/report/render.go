@@ -81,7 +81,7 @@ var DetailedHeader = []string{
 	"bin_dims", "binning_type", "agg_type", "bins_ofm", "bins_delivered",
 	"bins_in_gt", "rel_error_avg", "rel_error_stdev", "missing_bins",
 	"cosine_distance", "margin_avg", "margin_stdev", "bias", "smape",
-	"concurrent_queries", "sql",
+	"concurrent_queries", "user", "users", "sql",
 }
 
 // WriteDetailedCSV streams records as the detailed per-query report.
@@ -119,6 +119,8 @@ func WriteDetailedCSV(w io.Writer, records []driver.Record) error {
 			fmtNaN(m.Bias),
 			fmtNaN(m.SMAPE),
 			strconv.Itoa(r.ConcurrentQs),
+			strconv.Itoa(r.User),
+			strconv.Itoa(r.Users),
 			r.SQL,
 		}
 		if err := cw.Write(row); err != nil {
