@@ -8,6 +8,18 @@
 //	go run ./cmd/benchrun -out BENCH_3.json
 //	go run ./cmd/benchrun -bench 'BenchmarkScan' -pkgs ./internal/engine -benchtime 10x
 //	go run ./cmd/benchrun -users 1,2,4,8 -users-engines progressive,exactdb
+//	go run ./cmd/benchrun -out BENCH_ci.json -compare BENCH_3.json -tolerance 0.25
+//
+// With -compare, benchrun additionally loads a baseline BENCH json and fails
+// (exit 1) if the fresh run regressed beyond -tolerance on a guarded metric:
+// first-snapshot latency, 8-user progressive throughput, the 8-user speedup
+// over sequential replay and the shared-scan speedup over independent
+// gathers. Values are only compared when the baseline was recorded on
+// comparable hardware (same GOOS/GOARCH/CPU count — even the speedup ratios
+// shift with core count); across differing hosts the guard still fails if a
+// guarded metric vanished from the fresh run, so CI always proves the
+// benchmarks run and regenerate every number. This is the perf-regression
+// gate.
 //
 // The output records every benchmark line (name, iterations, ns/op, and any
 // custom metrics such as Mrows/s or B/op) plus derived speedups for
@@ -101,7 +113,13 @@ func main() {
 	users := flag.String("users", "auto", "comma-separated user counts for the multi-user sweep; empty skips, \"auto\" runs 1,2,4,8 only for full artifact runs (default -bench/-pkgs)")
 	usersEngines := flag.String("users-engines", "progressive,exactdb", "engines the user sweep contrasts")
 	usersRows := flag.Int("users-rows", core.SizeS, "dataset size for the user sweep")
+	compare := flag.String("compare", "", "baseline BENCH json to guard against (empty disables)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per guarded metric with -compare")
 	flag.Parse()
+	if *compare != "" && *compare == *out {
+		fmt.Fprintf(os.Stderr, "benchrun: -compare and -out are the same file %q; the fresh run would clobber its own baseline\n", *out)
+		os.Exit(1)
+	}
 
 	doc := Output{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -165,6 +183,143 @@ func main() {
 		fmt.Printf("benchrun: users %s u=%d: %.1f q/s, %.2fx vs sequential replay\n",
 			p.Engine, p.Users, p.QueriesPerSec, p.SpeedupVsSequential)
 	}
+
+	if *compare != "" {
+		base, err := loadOutput(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if failures := compareGuard(base, &doc, *tolerance); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchrun: REGRESSION %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchrun: no regression beyond %.0f%% vs %s\n", *tolerance*100, *compare)
+	}
+}
+
+// loadOutput reads a previously written BENCH json.
+func loadOutput(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// guardMetric is one -compare check. higherIsBetter metrics fail when fresh
+// < base*(1-tol); lower-is-better ones when fresh > base*(1+tol).
+type guardMetric struct {
+	name           string
+	higherIsBetter bool
+	extract        func(*Output) (float64, bool)
+}
+
+// guardMetrics are the regression-guard checks: the two headline numbers
+// the serving layer depends on (first-snapshot latency, 8-user throughput)
+// plus their host-normalized ratio forms.
+var guardMetrics = []guardMetric{
+	{
+		name: "first_snapshot_ns (BenchmarkProgressiveFirstSnapshot/shared)",
+		extract: func(o *Output) (float64, bool) {
+			for _, b := range o.Benchmarks {
+				if b.Name == "BenchmarkProgressiveFirstSnapshot/shared" {
+					return b.NsPerOp, true
+				}
+			}
+			return 0, false
+		},
+	},
+	{
+		name: "users8_queries_per_sec (progressive)", higherIsBetter: true,
+		extract: func(o *Output) (float64, bool) {
+			return userSweepMetric(o, func(p UserPoint) float64 { return p.QueriesPerSec })
+		},
+	},
+	{
+		name: "users8_speedup_vs_sequential (progressive)", higherIsBetter: true,
+		extract: func(o *Output) (float64, bool) {
+			return userSweepMetric(o, func(p UserPoint) float64 { return p.SpeedupVsSequential })
+		},
+	},
+	{
+		name: "concurrent8_shared_vs_independent_gather", higherIsBetter: true,
+		extract: func(o *Output) (float64, bool) {
+			v, ok := o.Speedups["BenchmarkProgressiveConcurrent8/shared_vs_independent_gather"]
+			return v, ok
+		},
+	},
+}
+
+func userSweepMetric(o *Output, f func(UserPoint) float64) (float64, bool) {
+	for _, p := range o.UserSweep {
+		if p.Engine == "progressive" && p.Users == 8 {
+			return f(p), true
+		}
+	}
+	return 0, false
+}
+
+// comparableHosts reports whether absolute numbers from the two documents
+// may be compared: same OS and CPU count (the baseline artifact may come
+// from a different machine class than the CI runner).
+func comparableHosts(a, b *Output) bool {
+	return a.GOOS == b.GOOS && a.GOARCH == b.GOARCH && a.NumCPU == b.NumCPU
+}
+
+// compareGuard returns a description per guarded metric that regressed
+// beyond tol. Metrics absent from the baseline are skipped (older
+// artifacts); metrics present in the baseline but missing fresh fail on any
+// host — a guard that silently stops measuring is itself a regression.
+// Metric *values* are only compared between comparable hosts: absolute
+// latencies/throughput obviously shift with hardware, and even the speedup
+// ratios depend on CPU count (on one core the shared scan amortizes a
+// serial memory pass; on four, the independent baseline parallelizes), so a
+// cross-host value comparison would flag hardware, not code.
+func compareGuard(base, fresh *Output, tol float64) []string {
+	hostOK := comparableHosts(base, fresh)
+	if !hostOK {
+		fmt.Printf("benchrun: baseline host %s/%s/%dcpu differs from %s/%s/%dcpu; enforcing metric presence only\n",
+			base.GOOS, base.GOARCH, base.NumCPU, fresh.GOOS, fresh.GOARCH, fresh.NumCPU)
+	}
+	var failures []string
+	for _, g := range guardMetrics {
+		bv, ok := g.extract(base)
+		if !ok || bv == 0 {
+			fmt.Printf("benchrun: baseline lacks %s; skipping\n", g.name)
+			continue
+		}
+		fv, ok := g.extract(fresh)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from fresh run (baseline %.4g)", g.name, bv))
+			continue
+		}
+		if !hostOK {
+			fmt.Printf("benchrun: %s: fresh %.4g present (baseline %.4g; hosts differ, value not compared)\n", g.name, fv, bv)
+			continue
+		}
+		var bad bool
+		if g.higherIsBetter {
+			bad = fv < bv*(1-tol)
+		} else {
+			bad = fv > bv*(1+tol)
+		}
+		dir := "≥"
+		if g.higherIsBetter {
+			dir = "≤"
+		}
+		fmt.Printf("benchrun: %s: fresh %.4g vs base %.4g (fail when %s %.0f%% off)\n", g.name, fv, bv, dir, tol*100)
+		if bad {
+			failures = append(failures, fmt.Sprintf("%s: fresh %.4g vs baseline %.4g exceeds %.0f%% tolerance", g.name, fv, bv, tol*100))
+		}
+	}
+	return failures
 }
 
 // runUserSweep executes the multi-user scalability sweep in-process.

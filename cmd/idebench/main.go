@@ -9,6 +9,8 @@
 //	idebench workloadgen -rows 100000 -count 10 -interactions 18 -out flows.json
 //	idebench run         -engine progressive -rows 500000 -tr 12ms -think 4ms
 //	idebench run         -engine progressive -users 8
+//	idebench serve       -engine progressive -rows 500000 -addr :8373
+//	idebench run         -addr localhost:8373 -rows 500000 -users 8
 //	idebench exp         -name fig5 [-rows 500000] [-quick]
 //	idebench exp         -name users
 //
@@ -18,22 +20,38 @@
 // 1/2/4/8 users on the shared-scan progressive engine vs the independent
 // exactdb engine.
 //
+// `serve` exposes a prepared engine over the idebench wire protocol
+// (internal/server): HTTP on -addr with /ws (WebSocket, one engine session
+// per connection, streamed progressive snapshots) and /healthz. `run -addr`
+// replays the same workloads through the network client instead of
+// in-process — the driver is identical, so the two runs compare
+// apples-to-apples. The run and serve sides must agree on -rows and -seed
+// so the locally computed ground truth matches the served data.
+//
 // Run `idebench <command> -h` for each command's flags.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"idebench/internal/core"
 	"idebench/internal/datagen"
 	"idebench/internal/dataset"
 	"idebench/internal/driver"
+	"idebench/internal/engine"
 	"idebench/internal/experiments"
+	"idebench/internal/groundtruth"
 	"idebench/internal/report"
+	"idebench/internal/server"
 	"idebench/internal/workflow"
 )
 
@@ -50,6 +68,8 @@ func main() {
 		err = cmdWorkloadgen(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "view":
@@ -75,7 +95,8 @@ func usage() {
 Commands:
   datagen      generate the scaled flights dataset as CSV
   workloadgen  generate benchmark workflows as JSON
-  run          run the benchmark for one engine and setting
+  run          run the benchmark for one engine and setting (in-process, or -addr for a remote server)
+  serve        serve an engine over the HTTP/WebSocket wire protocol
   exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, all)
   view         inspect generated workflows (text or Graphviz DOT)
   analyze      re-aggregate a saved detailed report (summary + factor analysis)
@@ -166,8 +187,14 @@ func cmdRun(args []string) error {
 	detailed := fs.String("detailed", "", "optional path for the detailed per-query CSV report")
 	users := fs.Int("users", 1, "concurrent simulated users (each on its own engine session)")
 	seed := fs.Int64("seed", 1, "random seed")
+	addr := fs.String("addr", "", "replay against a remote `idebench serve` at host:port instead of in-process (-rows/-seed must match the server)")
+	maxViol := fs.Float64("maxviol", -1, "fail if the TR-violation percentage exceeds this (negative disables); CI smoke guard")
+	expectStream := fs.Bool("expect-stream", false, "with -addr: fail unless at least one intermediate and one final snapshot frame arrived")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *expectStream && *addr == "" {
+		return errors.New("-expect-stream requires -addr (in-process runs have no frames)")
 	}
 
 	db, err := core.BuildData(*rows, *useJoins, *seed)
@@ -202,20 +229,26 @@ func cmdRun(args []string) error {
 	s.UseJoins = *useJoins
 	s.Seed = *seed
 
-	p, err := core.Prepare(*engineName, db, s)
-	if err != nil {
-		return err
+	if *users > len(flows) {
+		fmt.Fprintf(os.Stderr, "idebench: note: %d users requested but only %d workflows; running %d concurrent users (add -count or -workflows for more)\n",
+			*users, len(flows), len(flows))
 	}
-	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
 	var recs []driver.Record
-	if *users > 1 {
-		if *users > len(flows) {
-			fmt.Fprintf(os.Stderr, "idebench: note: %d users requested but only %d workflows; running %d concurrent users (add -count or -workflows for more)\n",
-				*users, len(flows), len(flows))
-		}
-		recs, err = p.RunUsers(flows, s, *users)
+	var remoteStats *server.FrameStats
+	if *addr != "" {
+		recs, remoteStats, err = runRemote(*addr, db, flows, s, *users)
 	} else {
-		recs, err = p.Run(flows, s)
+		var p *core.Prepared
+		p, err = core.Prepare(*engineName, db, s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
+		if *users > 1 {
+			recs, err = p.RunUsers(flows, s, *users)
+		} else {
+			recs, err = p.Run(flows, s)
+		}
 	}
 	if err != nil {
 		return err
@@ -236,7 +269,163 @@ func cmdRun(args []string) error {
 		}
 		fmt.Printf("detailed report: %s (%d queries)\n", *detailed, len(recs))
 	}
+	if *expectStream {
+		if err := checkStream(remoteStats); err != nil {
+			return err
+		}
+	}
+	if *maxViol >= 0 {
+		if err := checkViolations(recs, *maxViol); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// runRemote replays flows against a remote `idebench serve` through the
+// WebSocket client, returning the records and the client's frame counters.
+// The driver code path is identical to the in-process one; only the
+// engine.Engine implementation behind it differs.
+func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s core.Settings, users int) ([]driver.Record, *server.FrameStats, error) {
+	rem, err := server.NewRemote(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rem.Close()
+	// Surfaces a -rows/-seed mismatch before an expensive replay runs
+	// against the wrong ground truth.
+	if err := rem.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: s.Seed}); err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("remote engine: %s at %s (%d rows)\n", rem.Name(), addr, rem.Rows())
+
+	gt := groundtruth.New(db)
+	cfg := driver.Config{
+		TimeRequirement: s.TimeRequirement,
+		ThinkTime:       s.ThinkTime,
+		DataSizeLabel:   core.SizeLabel(s.DataSize),
+	}
+	var recs []driver.Record
+	if users > 1 {
+		m := driver.NewMulti(rem, gt, driver.MultiConfig{
+			Config: cfg, Users: users, ThinkJitter: driver.DefaultThinkJitter, Seed: s.Seed,
+		})
+		res, merr := m.Run(flows)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		recs = res.Records
+	} else {
+		r := driver.New(rem, gt, cfg)
+		var rerr error
+		recs, rerr = r.RunWorkflows(flows)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+	}
+	st := rem.Stats()
+	fmt.Printf("network frames: %d intermediate, %d final, %d errors over %d sessions\n",
+		st.Intermediate.Load(), st.Final.Load(), st.Errors.Load(), st.Sessions.Load())
+	return recs, st, nil
+}
+
+// checkStream enforces the e2e smoke contract: a streamed replay must have
+// delivered at least one intermediate and one final snapshot frame.
+func checkStream(st *server.FrameStats) error {
+	if st == nil {
+		return errors.New("no remote replay ran")
+	}
+	if st.Intermediate.Load() == 0 || st.Final.Load() == 0 {
+		return fmt.Errorf("stream check failed: %d intermediate / %d final frames (want ≥1 of each)",
+			st.Intermediate.Load(), st.Final.Load())
+	}
+	return nil
+}
+
+// checkViolations enforces a TR-violation ceiling (percent) over the run.
+func checkViolations(recs []driver.Record, maxPct float64) error {
+	violated := 0
+	for _, r := range recs {
+		if r.Metrics.TRViolated {
+			violated++
+		}
+	}
+	pct := 0.0
+	if len(recs) > 0 {
+		pct = 100 * float64(violated) / float64(len(recs))
+	}
+	fmt.Printf("tr violations: %d/%d (%.2f%%), ceiling %.2f%%\n", violated, len(recs), pct, maxPct)
+	if pct > maxPct {
+		return fmt.Errorf("violation rate %.2f%% exceeds -maxviol %.2f%%", pct, maxPct)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	engineName := fs.String("engine", "progressive", "engine: "+strings.Join(core.EngineNames, ", ")+", progressive-spec, systemy")
+	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
+	useJoins := fs.Bool("joins", false, "use the normalized star schema")
+	seed := fs.Int64("seed", 1, "random seed (clients must build ground truth with the same seed)")
+	addr := fs.String("addr", ":8373", "listen address")
+	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections (= engine sessions)")
+	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db, err := core.BuildData(*rows, *useJoins, *seed)
+	if err != nil {
+		return err
+	}
+	s := core.DefaultSettings()
+	s.DataSize = *rows
+	s.UseJoins = *useJoins
+	s.Seed = *seed
+	p, err := core.Prepare(*engineName, db, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
+
+	srv := server.New(p.Engine, server.Options{
+		MaxConns:     *maxConns,
+		PollInterval: *poll,
+		Rows:         int64(db.Fact.NumRows()),
+		Seed:         *seed,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz\n",
+		p.Engine.Name(), db.Fact.NumRows(), l.Addr(), server.ProtoVersion)
+
+	// SIGTERM/SIGINT drain in-flight queries to their final snapshots, then
+	// stop; a second signal aborts immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		return err
+	case sig := <-sigs:
+		fmt.Printf("received %v, draining (budget %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		go func() {
+			<-sigs
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		<-done
+		fmt.Println("drained, bye")
+		return nil
+	}
 }
 
 func writeDetailed(path string, recs []driver.Record) error {

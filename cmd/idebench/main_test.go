@@ -1,13 +1,18 @@
 package main
 
 import (
+	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"idebench/internal/core"
 	"idebench/internal/datagen"
 	"idebench/internal/dataset"
 	"idebench/internal/report"
+	"idebench/internal/server"
 	"idebench/internal/workflow"
 )
 
@@ -157,5 +162,57 @@ func TestCmdExpUnknown(t *testing.T) {
 func TestCmdRunUnknownEngine(t *testing.T) {
 	if err := cmdRun([]string{"-engine", "bogus", "-rows", "1000"}); err == nil {
 		t.Error("unknown engine should error")
+	}
+}
+
+// TestCmdRunRemote replays through `run -addr` against an in-process
+// server.Server on a real loopback listener — the CLI half of the network
+// path (cmdServe's flag wiring and drain are covered by the CI e2e job).
+func TestCmdRunRemote(t *testing.T) {
+	const rows = 10000
+	db, err := core.BuildData(rows, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.DefaultSettings()
+	s.DataSize = rows
+	p, err := core.Prepare("progressive", db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(p.Engine, server.Options{
+		Rows: int64(rows),
+		Seed: 1,
+		// Fast polling so even this small dataset streams intermediates.
+		PollInterval: 50 * time.Microsecond,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Shutdown(context.Background())
+
+	if err := cmdRun([]string{
+		"-addr", l.Addr().String(), "-rows", "10000", "-tr", "2s", "-think", "0s",
+		"-count", "2", "-interactions", "5", "-users", "2",
+		"-maxviol", "0", "-expect-stream",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A -rows or -seed mismatch must fail fast, before any replay could
+	// evaluate against ground truth from the wrong dataset.
+	if err := cmdRun([]string{
+		"-addr", l.Addr().String(), "-rows", "5000", "-tr", "2s", "-think", "0s",
+		"-count", "1", "-interactions", "4",
+	}); err == nil {
+		t.Fatal("run with mismatched -rows succeeded")
+	}
+	if err := cmdRun([]string{
+		"-addr", l.Addr().String(), "-rows", "10000", "-seed", "2", "-tr", "2s", "-think", "0s",
+		"-count", "1", "-interactions", "4",
+	}); err == nil {
+		t.Fatal("run with mismatched -seed succeeded")
 	}
 }

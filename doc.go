@@ -4,6 +4,8 @@
 // serving interactive data exploration frontends, together with in-process
 // implementations of the four engine archetypes the paper evaluates.
 //
+// [![CI](https://github.com/idebench/idebench-go/actions/workflows/ci.yml/badge.svg)](.github/workflows/ci.yml)
+//
 // The root package only anchors the module and its benchmark suite
 // (bench_test.go); the implementation lives under internal/ and the
 // runnable entry points under cmd/idebench and examples/.
@@ -50,6 +52,32 @@
 // users`), and `idebench run -users N` replays any workload concurrently.
 // All driver waiting goes through driver.Clock, so tests replay in
 // simulated time (driver.SimClock) instead of sleeping.
+//
+// # Network serving
+//
+// internal/server turns any prepared engine into a network service: an
+// HTTP endpoint (`idebench serve`) that upgrades connections to a
+// dependency-free WebSocket (RFC 6455 subset, implemented in-repo), binds
+// one engine.Session per connection, and streams progressive result
+// snapshots as JSON frames with drop-intermediate, always-deliver-final
+// backpressure — a slow client sees fewer, fresher intermediates and every
+// final, and never stalls the shared scan. The matching Go client
+// (server.Remote) implements engine.Engine, so driver.Runner and
+// driver.MultiRunner replay entire workflow sets over the wire unchanged
+// (`idebench run -addr host:port`), making in-process vs over-the-wire
+// latency an apples-to-apples comparison. See the wire-protocol section of
+// internal/engine/README.md.
+//
+// # Continuous integration
+//
+// CI (.github/workflows/ci.yml) fans out into parallel jobs: lint
+// (gofmt/vet/staticcheck), the race-enabled test suite on a Go 1.23/1.24
+// matrix, fuzz smokes over the wire formats, benchmark smokes plus the
+// cmd/benchrun -compare regression guard (which uploads the fresh BENCH
+// json as an artifact), and an end-to-end job that boots `idebench serve`,
+// replays an 8-user workflow set through the WebSocket client, and requires
+// streamed intermediates, finals, zero TR violations and a clean SIGTERM
+// drain.
 //
 // Per-PR performance numbers are recorded as machine-readable JSON at the
 // repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the

@@ -185,6 +185,18 @@ func (e *Engine) StateProgress(q *query.Query) float64 {
 	return e.defaultSession().stateProgress(q)
 }
 
+// ActiveScanConsumers reports how many consumers (across all sessions) are
+// attached to the shared scanner right now. The serving layer's lifecycle
+// tests use it to assert a disconnected client's queries left the scan.
+func (e *Engine) ActiveScanConsumers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scan == nil {
+		return 0
+	}
+	return e.scan.ActiveConsumers()
+}
+
 var _ engine.Engine = (*Engine)(nil)
 
 // session is one analyst's scope on the prepared engine: its own reuse

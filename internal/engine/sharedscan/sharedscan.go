@@ -91,6 +91,15 @@ func New(numRows, chunkRows, workers int) *Scanner {
 // NumRows returns the scheduler's row count.
 func (s *Scanner) NumRows() int { return s.numRows }
 
+// ActiveConsumers returns how many consumers are currently attached to the
+// scan (foreground and speculative). Observability for the serving layer's
+// lifecycle tests: a disconnected client's queries must leave the scan.
+func (s *Scanner) ActiveConsumers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
 // NewConsumer creates a detached consumer for plan, which must be compiled
 // against the same (sequential-order) table the scanner was sized for.
 func (s *Scanner) NewConsumer(plan *engine.Compiled) *Consumer {

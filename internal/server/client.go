@@ -1,0 +1,402 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/query"
+)
+
+// DialTimeout bounds the TCP connect + WebSocket handshake of one session.
+const DialTimeout = 10 * time.Second
+
+// FrameStats counts protocol frames across every session of one Remote, so
+// a replay can assert the stream actually streamed (at least one
+// intermediate before each final) instead of degenerating into a single
+// response per query.
+type FrameStats struct {
+	Intermediate atomic.Int64 // non-final snapshot frames received
+	Final        atomic.Int64 // final snapshot frames received
+	Errors       atomic.Int64 // error frames received
+	Sessions     atomic.Int64 // sessions (connections) opened
+}
+
+// Remote is a network-backed engine.Engine: every method is forwarded over
+// the idebench wire protocol to a remote Server. OpenSession dials one
+// WebSocket connection per session (the server's session-per-connection
+// model), so driver.Runner and driver.MultiRunner replay workflows over the
+// network exactly as they do in-process.
+type Remote struct {
+	addr  string
+	name  string
+	rows  int64
+	seed  int64
+	stats FrameStats
+
+	mu  sync.Mutex
+	def *RemoteSession
+}
+
+// NewRemote connects to a Server at addr ("host:port") and performs the
+// hello exchange on an initial connection, which becomes the engine-level
+// default session.
+func NewRemote(addr string) (*Remote, error) {
+	r := &Remote{addr: addr}
+	sess, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.name = sess.engineName
+	r.rows = sess.rows
+	r.seed = sess.seed
+	r.def = sess
+	return r, nil
+}
+
+// Name implements engine.Engine: the served engine's name, so records from
+// a network replay group exactly like the in-process run they compare to.
+func (r *Remote) Name() string { return r.name }
+
+// Rows returns the fact-table size the server stated in its hello frame.
+func (r *Remote) Rows() int64 { return r.rows }
+
+// Seed returns the dataset seed the server stated in its hello frame
+// (0 if the server did not state one).
+func (r *Remote) Seed() int64 { return r.seed }
+
+// Stats exposes the frame counters (shared across all sessions).
+func (r *Remote) Stats() *FrameStats { return &r.stats }
+
+// Prepare implements engine.Engine. The remote server prepared its engine
+// at startup; instead of shipping data, the client checks that the local
+// dataset (the ground-truth source) matches what the server stated in its
+// hello frame — a row-count or seed mismatch would make every accuracy
+// metric silently wrong.
+func (r *Remote) Prepare(db *dataset.Database, opts engine.Options) error {
+	if r.rows > 0 && db != nil && int64(db.Fact.NumRows()) != r.rows {
+		return fmt.Errorf("server: remote engine is prepared for %d rows, local dataset has %d",
+			r.rows, db.Fact.NumRows())
+	}
+	if r.seed != 0 && opts.Seed != 0 && opts.Seed != r.seed {
+		return fmt.Errorf("server: remote engine is prepared with seed %d, local run uses seed %d",
+			r.seed, opts.Seed)
+	}
+	return nil
+}
+
+// OpenSession implements engine.Engine by dialing a dedicated connection.
+// Session interfaces cannot fail, so a dial error surfaces on the session's
+// first StartQuery.
+func (r *Remote) OpenSession() engine.Session {
+	sess, err := r.dial()
+	if err != nil {
+		return &RemoteSession{dialErr: err}
+	}
+	return sess
+}
+
+func (r *Remote) dial() (*RemoteSession, error) {
+	ws, err := dialWS("ws://"+r.addr+"/ws", DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	data, err := ws.ReadMessage()
+	if err != nil {
+		ws.Close()
+		return nil, fmt.Errorf("server: reading hello: %w", err)
+	}
+	hello, err := decodeServerMsg(data)
+	if err != nil {
+		ws.Close()
+		return nil, err
+	}
+	if hello.Type != MsgHello {
+		ws.Close()
+		return nil, fmt.Errorf("server: expected hello, got %q", hello.Type)
+	}
+	if hello.Version != ProtoVersion {
+		ws.Close()
+		return nil, fmt.Errorf("server: protocol version %d, client speaks %d", hello.Version, ProtoVersion)
+	}
+	s := &RemoteSession{
+		ws:         ws,
+		stats:      &r.stats,
+		engineName: hello.Engine,
+		rows:       hello.Rows,
+		seed:       hello.Seed,
+		handles:    make(map[int64]*remoteHandle),
+		readDone:   make(chan struct{}),
+	}
+	r.stats.Sessions.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// StartQuery implements engine.Engine on the default session.
+func (r *Remote) StartQuery(q *query.Query) (engine.Handle, error) { return r.def.StartQuery(q) }
+
+// LinkVizs implements engine.Engine on the default session.
+func (r *Remote) LinkVizs(from, to string) { r.def.LinkVizs(from, to) }
+
+// DeleteViz implements engine.Engine on the default session.
+func (r *Remote) DeleteViz(name string) { r.def.DeleteViz(name) }
+
+// WorkflowStart implements engine.Engine on the default session.
+func (r *Remote) WorkflowStart() { r.def.WorkflowStart() }
+
+// WorkflowEnd implements engine.Engine on the default session.
+func (r *Remote) WorkflowEnd() { r.def.WorkflowEnd() }
+
+// Close closes the default session's connection. Sessions from OpenSession
+// are closed by their users (the driver defers sess.Close per user).
+func (r *Remote) Close() { r.def.Close() }
+
+var _ engine.Engine = (*Remote)(nil)
+
+// RemoteSession is one WebSocket connection speaking the wire protocol —
+// the client half of the server's session-per-connection model.
+type RemoteSession struct {
+	ws         *WSConn
+	stats      *FrameStats
+	engineName string
+	rows       int64
+	seed       int64
+	dialErr    error
+
+	mu      sync.Mutex
+	nextID  int64
+	handles map[int64]*remoteHandle
+	err     error // first connection-level failure
+	closed  bool
+
+	readDone chan struct{}
+}
+
+// readLoop dispatches server frames to their handles until the connection
+// drops, then fails every outstanding handle.
+func (s *RemoteSession) readLoop() {
+	defer close(s.readDone)
+	for {
+		data, err := s.ws.ReadMessage()
+		if err != nil {
+			s.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		m, err := decodeServerMsg(data)
+		if err != nil {
+			s.fail(err)
+			s.ws.Close()
+			return
+		}
+		switch m.Type {
+		case MsgSnapshot:
+			if m.Final {
+				s.stats.Final.Add(1)
+			} else {
+				s.stats.Intermediate.Add(1)
+			}
+			s.mu.Lock()
+			h := s.handles[m.ID]
+			if m.Final {
+				delete(s.handles, m.ID)
+			}
+			s.mu.Unlock()
+			if h != nil {
+				h.deliver(m.Result, m.Final)
+			}
+		case MsgError:
+			s.stats.Errors.Add(1)
+			s.mu.Lock()
+			h := s.handles[m.ID]
+			delete(s.handles, m.ID)
+			if s.err == nil {
+				s.err = fmt.Errorf("server: query %d: %s", m.ID, m.Error)
+			}
+			s.mu.Unlock()
+			if h != nil {
+				h.deliver(nil, true)
+			}
+		case MsgHello:
+			// Duplicate hello: harmless.
+		}
+	}
+}
+
+// fail marks the session broken and completes all outstanding handles so no
+// driver goroutine blocks on a dead connection.
+func (s *RemoteSession) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	handles := s.handles
+	s.handles = make(map[int64]*remoteHandle)
+	s.mu.Unlock()
+	for _, h := range handles {
+		h.deliver(nil, true)
+	}
+}
+
+// Err returns the first connection-level or per-query error the session
+// observed. A per-query error frame completes its own handle with no
+// result AND poisons the session: subsequent StartQuery calls return the
+// stored error, so a replay fails loudly at the next interaction instead
+// of silently recording garbage metrics against a broken setup (benchmark
+// queries are machine-generated; an engine-side rejection means the run
+// configuration is wrong, not that one query was unlucky).
+func (s *RemoteSession) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// send marshals and writes one client message.
+func (s *RemoteSession) send(m *ClientMsg) error {
+	data, err := encodeMsg(m)
+	if err != nil {
+		return err
+	}
+	return s.ws.WriteMessage(data)
+}
+
+// StartQuery implements engine.Session. It is asynchronous like its
+// in-process counterpart: the message goes out, the handle fills in as
+// snapshot frames arrive. Queries are validated locally first so malformed
+// queries fail fast without a round trip.
+func (s *RemoteSession) StartQuery(q *query.Query) (engine.Handle, error) {
+	if s.dialErr != nil {
+		return nil, s.dialErr
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrWSClosed
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.nextID++
+	id := s.nextID
+	h := &remoteHandle{sess: s, id: id, done: make(chan struct{})}
+	s.handles[id] = h
+	s.mu.Unlock()
+
+	if err := s.send(&ClientMsg{Type: MsgQuery, ID: id, Query: q}); err != nil {
+		s.mu.Lock()
+		delete(s.handles, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return h, nil
+}
+
+// LinkVizs implements engine.Session (fire-and-forget, like the in-process
+// call which has no error return).
+func (s *RemoteSession) LinkVizs(from, to string) {
+	if s.dialErr == nil {
+		s.send(&ClientMsg{Type: MsgLink, From: from, To: to})
+	}
+}
+
+// DeleteViz implements engine.Session.
+func (s *RemoteSession) DeleteViz(name string) {
+	if s.dialErr == nil {
+		s.send(&ClientMsg{Type: MsgDeleteViz, Name: name})
+	}
+}
+
+// WorkflowStart implements engine.Session.
+func (s *RemoteSession) WorkflowStart() {
+	if s.dialErr == nil {
+		s.send(&ClientMsg{Type: MsgWorkflowStart})
+	}
+}
+
+// WorkflowEnd implements engine.Session.
+func (s *RemoteSession) WorkflowEnd() {
+	if s.dialErr == nil {
+		s.send(&ClientMsg{Type: MsgWorkflowEnd})
+	}
+}
+
+// Close implements engine.Session: it closes the connection, which makes
+// the server cancel in-flight queries and release the session's resources.
+func (s *RemoteSession) Close() {
+	if s.dialErr != nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ws.Close()
+	<-s.readDone
+}
+
+var _ engine.Session = (*RemoteSession)(nil)
+
+// remoteHandle is the client-side engine.Handle of one in-flight query:
+// Snapshot returns the freshest streamed result, Done closes on the final
+// frame, Cancel asks the server to stop (the final frame still closes Done).
+type remoteHandle struct {
+	sess *RemoteSession
+	id   int64
+
+	mu   sync.RWMutex
+	res  *query.Result
+	done chan struct{}
+	once sync.Once
+}
+
+// deliver installs a streamed snapshot. Final frames may carry nil (a query
+// cancelled before any rows, or a server-side error); the last good
+// intermediate then remains the fetchable result.
+func (h *remoteHandle) deliver(res *query.Result, final bool) {
+	h.mu.Lock()
+	if res != nil {
+		h.res = res
+	}
+	h.mu.Unlock()
+	if final {
+		h.once.Do(func() { close(h.done) })
+	}
+}
+
+// Snapshot implements engine.Handle.
+func (h *remoteHandle) Snapshot() *query.Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.res
+}
+
+// Done implements engine.Handle.
+func (h *remoteHandle) Done() <-chan struct{} { return h.done }
+
+// Cancel implements engine.Handle: best-effort, idempotent on the server.
+func (h *remoteHandle) Cancel() {
+	h.sess.mu.Lock()
+	closed := h.sess.closed
+	h.sess.mu.Unlock()
+	select {
+	case <-h.done:
+		return // already final; nothing to cancel
+	default:
+	}
+	if !closed {
+		h.sess.send(&ClientMsg{Type: MsgCancel, ID: h.id})
+	}
+}
+
+var _ engine.Handle = (*remoteHandle)(nil)

@@ -1,0 +1,147 @@
+// The idebench wire protocol: versioned JSON messages over one WebSocket
+// connection, one engine session per connection (paper Sec. 4.5 — the
+// driver/backend split puts the system adapter behind a connection, not a
+// function call).
+//
+// The client speaks first with every message type below except "hello";
+// the server streams zero or more intermediate "snapshot" frames per query
+// followed by exactly one final frame (final:true), or an "error" frame.
+// Frames for distinct queries interleave freely; seq increases per query so
+// a client can detect (harmless) reordering introduced by coalescing.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"idebench/internal/query"
+)
+
+// ProtoVersion is the wire-protocol version. The server states its version
+// in the hello frame; clients reject a mismatch rather than guessing.
+const ProtoVersion = 1
+
+// Client→server message types.
+const (
+	// MsgQuery starts asynchronous execution of Query under ID.
+	MsgQuery = "query"
+	// MsgCancel cancels the in-flight query ID (idempotent; the final
+	// snapshot frame still arrives, carrying whatever the engine had).
+	MsgCancel = "cancel"
+	// MsgLink declares a From→To visualization link on the session.
+	MsgLink = "link"
+	// MsgDeleteViz discards visualization Name on the session.
+	MsgDeleteViz = "delete_viz"
+	// MsgWorkflowStart/MsgWorkflowEnd bracket one workflow replay.
+	MsgWorkflowStart = "workflow_start"
+	MsgWorkflowEnd   = "workflow_end"
+)
+
+// Server→client message types.
+const (
+	// MsgHello is the first frame on every connection: protocol version,
+	// engine name and prepared row count.
+	MsgHello = "hello"
+	// MsgSnapshot carries one result snapshot for query ID. Final marks the
+	// last frame for that ID (execution finished or was cancelled).
+	MsgSnapshot = "snapshot"
+	// MsgError reports a per-query failure (bad query, engine not prepared);
+	// it is terminal for ID. Connection-level failures close the socket.
+	MsgError = "error"
+)
+
+// ClientMsg is any client→server message. Type selects which fields apply:
+// ID+Query for "query", ID for "cancel", From/To for "link", Name for
+// "delete_viz"; the workflow brackets carry the type alone.
+type ClientMsg struct {
+	Type  string       `json:"type"`
+	ID    int64        `json:"id,omitempty"`
+	Query *query.Query `json:"query,omitempty"`
+	From  string       `json:"from,omitempty"`
+	To    string       `json:"to,omitempty"`
+	Name  string       `json:"name,omitempty"`
+}
+
+// Validate checks structural well-formedness (the query itself is validated
+// engine-side like any local query).
+func (m *ClientMsg) Validate() error {
+	switch m.Type {
+	case MsgQuery:
+		if m.Query == nil {
+			return fmt.Errorf("server: %s message without query", m.Type)
+		}
+		if m.ID <= 0 {
+			return fmt.Errorf("server: %s message needs a positive id", m.Type)
+		}
+	case MsgCancel:
+		if m.ID <= 0 {
+			return fmt.Errorf("server: %s message needs a positive id", m.Type)
+		}
+	case MsgLink:
+		if m.From == "" || m.To == "" {
+			return fmt.Errorf("server: %s message needs from and to", m.Type)
+		}
+	case MsgDeleteViz:
+		if m.Name == "" {
+			return fmt.Errorf("server: %s message needs a name", m.Type)
+		}
+	case MsgWorkflowStart, MsgWorkflowEnd:
+	default:
+		return fmt.Errorf("server: unknown client message type %q", m.Type)
+	}
+	return nil
+}
+
+// ServerMsg is any server→client message. Type selects which fields apply:
+// Version/Engine/Rows/Seed for "hello", ID/Seq/Final/Result for "snapshot",
+// ID/Error for "error".
+type ServerMsg struct {
+	Type    string        `json:"type"`
+	ID      int64         `json:"id,omitempty"`
+	Seq     int64         `json:"seq,omitempty"`
+	Final   bool          `json:"final,omitempty"`
+	Result  *query.Result `json:"result,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Version int           `json:"version,omitempty"`
+	Engine  string        `json:"engine,omitempty"`
+	Rows    int64         `json:"rows,omitempty"`
+	// Seed is the dataset seed the server prepared with; clients computing
+	// ground truth locally must generate from the same seed or every
+	// accuracy metric is silently wrong. 0 means unknown.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// encodeMsg marshals a protocol message for the wire.
+func encodeMsg(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("server: encode %T: %w", v, err)
+	}
+	return data, nil
+}
+
+// decodeClientMsg parses and validates one client frame.
+func decodeClientMsg(data []byte) (*ClientMsg, error) {
+	var m ClientMsg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: decode client message: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// decodeServerMsg parses one server frame.
+func decodeServerMsg(data []byte) (*ServerMsg, error) {
+	var m ServerMsg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: decode server message: %w", err)
+	}
+	switch m.Type {
+	case MsgHello, MsgSnapshot, MsgError:
+		return &m, nil
+	default:
+		return nil, fmt.Errorf("server: unknown server message type %q", m.Type)
+	}
+}

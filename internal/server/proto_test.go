@@ -1,0 +1,165 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"idebench/internal/dataset"
+	"idebench/internal/query"
+)
+
+// testQuery builds a representative query exercising every proto-visible
+// field: 2D binning, multiple aggregates, IN + range predicates.
+func testQuery() *query.Query {
+	return &query.Query{
+		VizName: "viz_3",
+		Table:   "flights",
+		Bins: []query.Binning{
+			{Field: "carrier", Kind: dataset.Nominal},
+			{Field: "distance", Kind: dataset.Quantitative, Width: 250, Origin: 0},
+		},
+		Aggs: []query.Aggregate{
+			{Func: query.Count},
+			{Func: query.Avg, Field: "arr_delay"},
+		},
+		Filter: query.Filter{Predicates: []query.Predicate{
+			{Field: "origin", Op: query.OpIn, Values: []string{"BOS", "SFO"}},
+			{Field: "dep_delay", Op: query.OpRange, Lo: -10, Hi: 60},
+		}},
+	}
+}
+
+func testResult() *query.Result {
+	r := query.NewResult()
+	r.RowsSeen = 1234
+	r.TotalRows = 50000
+	r.Bins[query.BinKey{A: 3, B: 1}] = &query.BinValue{Values: []float64{17, 4.25}, Margins: []float64{0, 1.5}}
+	r.Bins[query.BinKey{A: -2, B: 0}] = &query.BinValue{Values: []float64{9, -3}, Margins: []float64{0, 0.75}}
+	return r
+}
+
+// TestClientMsgRoundTrip proves every client message type survives
+// encode→decode bit-for-bit, including the embedded query.Query.
+func TestClientMsgRoundTrip(t *testing.T) {
+	msgs := []*ClientMsg{
+		{Type: MsgQuery, ID: 7, Query: testQuery()},
+		{Type: MsgCancel, ID: 7},
+		{Type: MsgLink, From: "viz_1", To: "viz_2"},
+		{Type: MsgDeleteViz, Name: "viz_1"},
+		{Type: MsgWorkflowStart},
+		{Type: MsgWorkflowEnd},
+	}
+	for _, m := range msgs {
+		data, err := encodeMsg(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+		got, err := decodeClientMsg(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s: round trip mismatch:\n  sent %+v\n  got  %+v", m.Type, m, got)
+		}
+	}
+}
+
+// TestQuerySignatureSurvivesWire asserts the decoded query is semantically
+// the query that was sent: the signature (ground-truth cache key) must not
+// change crossing the wire, or remote replays would evaluate against the
+// wrong reference.
+func TestQuerySignatureSurvivesWire(t *testing.T) {
+	q := testQuery()
+	data, err := encodeMsg(&ClientMsg{Type: MsgQuery, ID: 1, Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeClientMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Query.Signature() != q.Signature() {
+		t.Errorf("signature changed over the wire:\n  sent %s\n  got  %s", q.Signature(), got.Query.Signature())
+	}
+}
+
+// TestServerMsgRoundTrip proves server frames (hello, snapshot, error)
+// survive the wire, including the embedded query.Result with its custom
+// bin-key JSON encoding.
+func TestServerMsgRoundTrip(t *testing.T) {
+	msgs := []*ServerMsg{
+		{Type: MsgHello, Version: ProtoVersion, Engine: "progressive", Rows: 50000, Seed: 7},
+		{Type: MsgSnapshot, ID: 7, Seq: 3, Result: testResult()},
+		{Type: MsgSnapshot, ID: 7, Seq: 4, Final: true, Result: testResult()},
+		{Type: MsgError, ID: 9, Error: "engine: unknown table"},
+	}
+	for _, m := range msgs {
+		data, err := encodeMsg(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+		got, err := decodeServerMsg(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s: round trip mismatch:\n  sent %+v\n  got  %+v", m.Type, m, got)
+		}
+	}
+}
+
+// TestResultBinsSurviveWire spot-checks the snapshot payload: bin keys and
+// values must come back exactly (the driver evaluates error metrics on
+// them).
+func TestResultBinsSurviveWire(t *testing.T) {
+	in := testResult()
+	data, err := encodeMsg(&ServerMsg{Type: MsgSnapshot, ID: 1, Seq: 1, Result: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeServerMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Result
+	if out.RowsSeen != in.RowsSeen || out.TotalRows != in.TotalRows || out.Complete != in.Complete {
+		t.Fatalf("progress metadata mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Bins) != len(in.Bins) {
+		t.Fatalf("bin count %d, want %d", len(out.Bins), len(in.Bins))
+	}
+	for k, bv := range in.Bins {
+		got, ok := out.Bins[k]
+		if !ok {
+			t.Fatalf("bin %v lost", k)
+		}
+		if !reflect.DeepEqual(bv, got) {
+			t.Errorf("bin %v mismatch: %+v vs %+v", k, got, bv)
+		}
+	}
+}
+
+// TestClientMsgValidation covers the structural checks that protect the
+// server's read loop.
+func TestClientMsgValidation(t *testing.T) {
+	bad := []*ClientMsg{
+		{Type: "nope"},
+		{Type: MsgQuery, ID: 1},              // no query
+		{Type: MsgQuery, Query: testQuery()}, // no id
+		{Type: MsgQuery, ID: -4, Query: testQuery()},
+		{Type: MsgCancel},          // no id
+		{Type: MsgLink, From: "a"}, // no to
+		{Type: MsgDeleteViz},       // no name
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("message %+v validated unexpectedly", m)
+		}
+	}
+	if _, err := decodeClientMsg([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON decoded unexpectedly")
+	}
+	if _, err := decodeServerMsg([]byte(`{"type":"mystery"}`)); err == nil {
+		t.Error("unknown server message type decoded unexpectedly")
+	}
+}

@@ -1,0 +1,344 @@
+// Minimal RFC 6455 WebSocket transport. The repo is dependency-free by
+// policy, so the serving layer carries its own framing: text messages,
+// client-to-server masking, ping/pong keepalive and close handshake — the
+// subset the idebench wire protocol needs, not a general-purpose library.
+package server
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// wsGUID is the fixed RFC 6455 handshake GUID.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// maxMessageBytes bounds a single WebSocket message; a snapshot for a 2D
+// binned visualization is a few hundred KB at most, so anything beyond this
+// is a protocol violation, not a big result.
+const maxMessageBytes = 64 << 20
+
+// WebSocket opcodes (RFC 6455 Sec. 5.2).
+const (
+	opContinuation = 0x0
+	opText         = 0x1
+	opBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+// ErrWSClosed is returned by reads and writes after the connection closed
+// (either peer sent a close frame, or Close was called locally).
+var ErrWSClosed = errors.New("server: websocket closed")
+
+// WSConn is one WebSocket connection. Reads must come from a single
+// goroutine; writes are internally serialized and may come from any
+// goroutine (the connection writer, and the reader answering pings).
+type WSConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // client side masks outgoing frames
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+// ReadMessage returns the next complete text/binary message payload,
+// transparently answering pings and completing the close handshake.
+func (c *WSConn) ReadMessage() ([]byte, error) {
+	var msg []byte
+	for {
+		fin, opcode, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch opcode {
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// Unsolicited pongs are legal no-ops.
+		case opClose:
+			c.writeClose()
+			return nil, ErrWSClosed
+		case opText, opBinary, opContinuation:
+			msg = append(msg, payload...)
+			if len(msg) > maxMessageBytes {
+				return nil, fmt.Errorf("server: websocket message exceeds %d bytes", maxMessageBytes)
+			}
+			if fin {
+				return msg, nil
+			}
+		default:
+			return nil, fmt.Errorf("server: unknown websocket opcode %#x", opcode)
+		}
+	}
+}
+
+// WriteMessage sends one text message as a single unfragmented frame.
+func (c *WSConn) WriteMessage(payload []byte) error {
+	return c.writeFrame(opText, payload)
+}
+
+// Close performs the closing handshake from this side and tears the
+// underlying connection down. Idempotent.
+func (c *WSConn) Close() error {
+	// Bound the wait for wmu: a peer that stopped reading can leave another
+	// goroutine stalled inside conn.Write holding the lock, and Close must
+	// not deadlock behind it (server drains rely on Close completing). The
+	// deadline unblocks any such write within a second; the close frame is
+	// best-effort either way.
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	c.writeClose()
+	return c.conn.Close()
+}
+
+// SetReadDeadline bounds the next ReadMessage.
+func (c *WSConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds subsequent writes. The server sets one per frame
+// so a client that stops reading cannot park a writer goroutine forever.
+func (c *WSConn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
+// writeClose sends the close frame once.
+func (c *WSConn) writeClose() {
+	c.wmu.Lock()
+	if !c.closed {
+		c.closed = true
+		// Best-effort: the peer may already be gone.
+		_ = c.writeFrameLocked(opClose, nil)
+	}
+	c.wmu.Unlock()
+}
+
+// readFrame reads one frame, unmasking if needed.
+func (c *WSConn) readFrame() (fin bool, opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return false, 0, nil, errors.New("server: websocket RSV bits set without extension")
+	}
+	opcode = hdr[0] & 0x0F
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxMessageBytes {
+		return false, 0, nil, fmt.Errorf("server: websocket frame of %d bytes exceeds limit", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return fin, opcode, payload, nil
+}
+
+// writeFrame sends one complete frame, masking when this is the client side.
+func (c *WSConn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrWSClosed
+	}
+	return c.writeFrameLocked(opcode, payload)
+}
+
+func (c *WSConn) writeFrameLocked(opcode byte, payload []byte) error {
+	// Header and payload go out in ONE Write: two small writes per frame
+	// would interact with Nagle + delayed ACK into ~40ms stalls per frame,
+	// which is fatal for a protocol whose deadlines are single-digit ms.
+	buf := make([]byte, 0, 14+len(payload))
+	buf = append(buf, 0x80|opcode)
+	maskBit := byte(0)
+	if c.client {
+		maskBit = 0x80
+	}
+	switch n := len(payload); {
+	case n < 126:
+		buf = append(buf, maskBit|byte(n))
+	case n <= 0xFFFF:
+		buf = append(buf, maskBit|126, byte(n>>8), byte(n))
+	default:
+		buf = append(buf, maskBit|127)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+	}
+	if c.client {
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		buf = append(buf, mask[:]...)
+		off := len(buf)
+		buf = append(buf, payload...)
+		for i := off; i < len(buf); i++ {
+			buf[i] ^= mask[(i-off)&3]
+		}
+	} else {
+		buf = append(buf, payload...)
+	}
+	_, err := c.conn.Write(buf)
+	return err
+}
+
+// setNoDelay disables Nagle on TCP transports: snapshot frames are small
+// and latency-critical (the driver's time requirements are milliseconds).
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+}
+
+// wsAccept computes the Sec-WebSocket-Accept value for a handshake key.
+func wsAccept(key string) string {
+	sum := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(sum[:])
+}
+
+// upgradeWS performs the server half of the opening handshake and hijacks
+// the HTTP connection. On failure it has already written an HTTP error.
+func upgradeWS(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket upgrade required", http.StatusUpgradeRequired)
+		return nil, errors.New("server: not a websocket upgrade request")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		http.Error(w, "unsupported websocket version", http.StatusBadRequest)
+		return nil, errors.New("server: unsupported websocket version")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("server: missing websocket key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "connection cannot be hijacked", http.StatusInternalServerError)
+		return nil, errors.New("server: response writer is not hijackable")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("server: hijack: %w", err)
+	}
+	setNoDelay(conn)
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAccept(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake response: %w", err)
+	}
+	return &WSConn{conn: conn, br: rw.Reader}, nil
+}
+
+// headerContainsToken reports whether a comma-separated header contains the
+// token (case-insensitive); "Connection: keep-alive, Upgrade" must match.
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dialWS performs the client half of the opening handshake against a
+// ws://host:port/path URL.
+func dialWS(rawURL string, timeout time.Duration) (*WSConn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %q: %w", rawURL, err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("server: dial %q: only ws:// is supported", rawURL)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Host, "80")
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", host, err)
+	}
+	setNoDelay(conn)
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake request: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake response: %w", err)
+	}
+	// 101 responses have no body; anything buffered past the header block is
+	// already WebSocket framing and stays in br.
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake rejected: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != wsAccept(key) {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake accept mismatch %q", got)
+	}
+	return &WSConn{conn: conn, br: br, client: true}, nil
+}

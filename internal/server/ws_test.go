@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer upgrades and echoes every message back until the peer closes.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := upgradeWS(w, r)
+		if err != nil {
+			return
+		}
+		defer ws.Close()
+		for {
+			msg, err := ws.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := ws.WriteMessage(msg); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func wsURL(srv *httptest.Server) string {
+	return "ws" + strings.TrimPrefix(srv.URL, "http") + "/ws"
+}
+
+// TestWSEcho exercises the full handshake plus framing at every length
+// class: 7-bit, 16-bit extended (>125) and 64-bit extended (>64KB) payloads,
+// all masked client→server and unmasked server→client.
+func TestWSEcho(t *testing.T) {
+	srv := echoServer(t)
+	c, err := dialWS(wsURL(srv), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sizes := []int{0, 1, 125, 126, 4096, 65535, 65536, 200_000}
+	for _, n := range sizes {
+		msg := bytes.Repeat([]byte{0xA5}, n)
+		if n > 0 {
+			msg[0] = 'x' // not all-identical, so mask bugs can't cancel out
+		}
+		if err := c.WriteMessage(msg); err != nil {
+			t.Fatalf("write %d bytes: %v", n, err)
+		}
+		got, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", n, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("echo mismatch at %d bytes: got %d bytes back", n, len(got))
+		}
+	}
+}
+
+// TestWSPing asserts the read loop answers pings transparently while
+// delivering data messages.
+func TestWSPing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := upgradeWS(w, r)
+		if err != nil {
+			return
+		}
+		defer ws.Close()
+		// Ping first; the client must answer with a pong carrying the same
+		// payload before we hand it the data message.
+		if err := ws.writeFrame(opPing, []byte("heartbeat")); err != nil {
+			return
+		}
+		fin, opcode, payload, err := ws.readFrame()
+		if err != nil || !fin || opcode != opPong || string(payload) != "heartbeat" {
+			ws.WriteMessage([]byte("bad pong"))
+			return
+		}
+		ws.WriteMessage([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	c, err := dialWS(wsURL(srv), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := c.ReadMessage() // answers the ping, then returns "ok"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ok" {
+		t.Fatalf("got %q, want ok", got)
+	}
+}
+
+// TestWSCloseHandshake asserts a peer close surfaces as ErrWSClosed and
+// subsequent writes fail.
+func TestWSCloseHandshake(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := upgradeWS(w, r)
+		if err != nil {
+			return
+		}
+		ws.Close()
+	}))
+	defer srv.Close()
+
+	c, err := dialWS(wsURL(srv), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.ReadMessage(); !errors.Is(err, ErrWSClosed) {
+		t.Fatalf("read after peer close: %v, want ErrWSClosed", err)
+	}
+	if err := c.WriteMessage([]byte("late")); !errors.Is(err, ErrWSClosed) {
+		t.Fatalf("write after close: %v, want ErrWSClosed", err)
+	}
+}
+
+// TestUpgradeRejectsPlainHTTP asserts a non-upgrade request gets an HTTP
+// error, not a hijacked socket.
+func TestUpgradeRejectsPlainHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := upgradeWS(w, r); err == nil {
+			t.Error("plain GET upgraded unexpectedly")
+		}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusUpgradeRequired)
+	}
+}
+
+// TestWSAcceptVector checks the handshake hash against the RFC 6455
+// Sec. 1.3 worked example.
+func TestWSAcceptVector(t *testing.T) {
+	got := wsAccept("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("wsAccept = %q, want %q", got, want)
+	}
+}
