@@ -32,6 +32,14 @@
 // prepared engine, recording aggregate throughput, latency percentiles and
 // the speedup against sequentially replaying the same workflows on one
 // session.
+//
+// With -ingest (default: mirrors -users), benchrun also runs the
+// live-ingestion sweep (internal/experiments.IngestSweepUsers): the same
+// user counts replay ingest-interleaved workflows while append-only batches
+// land, recording ingest throughput, deadline-violation rate and the
+// staleness distribution — and failing the artifact outright if any point's
+// quiesced results are not bitwise-identical to a cold prepare over the
+// final table.
 package main
 
 import (
@@ -58,6 +66,26 @@ type Result struct {
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// IngestPoint is one measured point of the live-ingestion sweep: U users
+// replaying ingest-interleaved workflows while append-only batches land.
+type IngestPoint struct {
+	Engine           string  `json:"engine"`
+	Users            int     `json:"users"`
+	Queries          int     `json:"queries"`
+	TRViolatedPct    float64 `json:"tr_violated_pct"`
+	WallClockMS      float64 `json:"wall_clock_ms"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	IngestedRows     int64   `json:"ingested_rows"`
+	IngestRowsPerSec float64 `json:"ingest_rows_per_sec"`
+	FreshPct         float64 `json:"fresh_pct"`
+	StalenessMean    float64 `json:"staleness_mean_rows"`
+	StalenessMax     float64 `json:"staleness_max_rows"`
+	// QuiesceBitwise records the correctness gate: after every batch was
+	// absorbed, a fresh COUNT query was bitwise identical to a cold exact
+	// scan over the final table.
+	QuiesceBitwise bool `json:"quiesce_bitwise"`
 }
 
 // UserPoint is one measured point of the multi-user scalability sweep.
@@ -88,6 +116,7 @@ type Output struct {
 	Benchmarks  []Result           `json:"benchmarks"`
 	Speedups    map[string]float64 `json:"speedups,omitempty"`
 	UserSweep   []UserPoint        `json:"user_sweep,omitempty"`
+	IngestSweep []IngestPoint      `json:"ingest_sweep,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -103,7 +132,7 @@ var baselinePairs = map[string]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
 	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
 	// A fixed iteration count beats go's time-based ramp-up for recorded
@@ -113,6 +142,7 @@ func main() {
 	users := flag.String("users", "auto", "comma-separated user counts for the multi-user sweep; empty skips, \"auto\" runs 1,2,4,8 only for full artifact runs (default -bench/-pkgs)")
 	usersEngines := flag.String("users-engines", "progressive,exactdb", "engines the user sweep contrasts")
 	usersRows := flag.Int("users-rows", core.SizeS, "dataset size for the user sweep")
+	ingestUsers := flag.String("ingest", "auto", "comma-separated user counts for the live-ingestion sweep; empty skips, \"auto\" mirrors -users")
 	compare := flag.String("compare", "", "baseline BENCH json to guard against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per guarded metric with -compare")
 	flag.Parse()
@@ -164,6 +194,18 @@ func main() {
 		}
 		doc.UserSweep = points
 	}
+	ingestList := *ingestUsers
+	if ingestList == "auto" {
+		ingestList = userList
+	}
+	if ingestList != "" {
+		points, err := runIngestSweep(ingestList, *usersEngines, *usersRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: ingest sweep: %v\n", err)
+			os.Exit(1)
+		}
+		doc.IngestSweep = points
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -182,6 +224,15 @@ func main() {
 	for _, p := range doc.UserSweep {
 		fmt.Printf("benchrun: users %s u=%d: %.1f q/s, %.2fx vs sequential replay\n",
 			p.Engine, p.Users, p.QueriesPerSec, p.SpeedupVsSequential)
+	}
+	for _, p := range doc.IngestSweep {
+		fmt.Printf("benchrun: ingest %s u=%d: %.1f q/s, %.0f rows/s ingested, %.2f%% violations, bitwise=%v\n",
+			p.Engine, p.Users, p.QueriesPerSec, p.IngestRowsPerSec, p.TRViolatedPct, p.QuiesceBitwise)
+		if !p.QuiesceBitwise {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL ingest %s u=%d: quiesced results not bitwise-identical to cold prepare\n",
+				p.Engine, p.Users)
+			os.Exit(1)
+		}
 	}
 
 	if *compare != "" {
@@ -253,6 +304,17 @@ var guardMetrics = []guardMetric{
 		extract: func(o *Output) (float64, bool) {
 			v, ok := o.Speedups["BenchmarkProgressiveConcurrent8/shared_vs_independent_gather"]
 			return v, ok
+		},
+	},
+	{
+		name: "users8_ingest_rows_per_sec (progressive)", higherIsBetter: true,
+		extract: func(o *Output) (float64, bool) {
+			for _, p := range o.IngestSweep {
+				if p.Engine == "progressive" && p.Users == 8 {
+					return p.IngestRowsPerSec, true
+				}
+			}
+			return 0, false
 		},
 	},
 }
@@ -364,6 +426,60 @@ func runUserSweep(userList, engines string, rows int) ([]UserPoint, error) {
 		}
 	}
 	return points, nil
+}
+
+// runIngestSweep executes the live-ingestion sweep in-process and fails the
+// artifact when a point misses its quiesce correctness gate.
+func runIngestSweep(userList, engines string, rows int) ([]IngestPoint, error) {
+	var counts []int
+	for _, s := range strings.Split(userList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		u, err := strconv.Atoi(s)
+		if err != nil || u < 1 {
+			return nil, fmt.Errorf("bad user count %q", s)
+		}
+		counts = append(counts, u)
+	}
+	cfg := experiments.Config{Rows: rows, Out: io.Discard}
+	for _, e := range strings.Split(engines, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			cfg.Engines = append(cfg.Engines, e)
+		}
+	}
+	sweep, err := experiments.IngestSweepUsers(cfg, counts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]IngestPoint, len(sweep))
+	for i, r := range sweep {
+		points[i] = IngestPoint{
+			Engine:           r.Driver,
+			Users:            r.Users,
+			Queries:          r.Queries,
+			TRViolatedPct:    r.TRViolatedPct,
+			WallClockMS:      r.WallClockMS,
+			QueriesPerSec:    r.QueriesPerSec,
+			IngestedRows:     r.IngestedRows,
+			IngestRowsPerSec: r.IngestRowsPerSec,
+			FreshPct:         nanToZero(r.FreshPct),
+			StalenessMean:    nanToZero(r.StalenessMean),
+			StalenessMax:     nanToZero(r.StalenessMax),
+			QuiesceBitwise:   r.BitwiseOK,
+		}
+	}
+	return points, nil
+}
+
+// nanToZero keeps the artifact JSON-marshalable (NaN means "no staleness
+// samples", which only happens when nothing was delivered).
+func nanToZero(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return v
 }
 
 // runPackage executes the benchmarks of one package and parses the output.

@@ -9,16 +9,29 @@
 //	idebench workloadgen -rows 100000 -count 10 -interactions 18 -out flows.json
 //	idebench run         -engine progressive -rows 500000 -tr 12ms -think 4ms
 //	idebench run         -engine progressive -users 8
+//	idebench run         -engine progressive -users 4 -ingest-every 3 -ingest-rows 2000
 //	idebench serve       -engine progressive -rows 500000 -addr :8373
 //	idebench run         -addr localhost:8373 -rows 500000 -users 8
+//	idebench run         -addr localhost:8373 -rows 500000 -users 4 -ingest-every 3
 //	idebench exp         -name fig5 [-rows 500000] [-quick]
 //	idebench exp         -name users
+//	idebench exp         -name ingest
 //
 // `run -users N` replays the workload as N concurrent simulated users, each
 // on its own engine session, and appends the user-scalability table
 // (throughput, p50/p95/p99 latency) to the summary. `exp -name users` sweeps
 // 1/2/4/8 users on the shared-scan progressive engine vs the independent
 // exactdb engine.
+//
+// `-ingest-every N` turns a replay ingest-aware: an append-only batch of
+// `-ingest-rows` rows (drawn from the deterministic copula source) lands
+// after every N workflow interactions; engines absorb the batches live,
+// results are evaluated against the ground truth of the data version their
+// watermark names, and the summary gains the staleness table. With -addr
+// the batches additionally ship to the server as ingest frames, which the
+// server applies and acknowledges to every live session. `exp -name ingest`
+// sweeps 1/2/4/8 users with live appends and checks the quiesced results
+// bitwise against a cold scan of the final table.
 //
 // `serve` exposes a prepared engine over the idebench wire protocol
 // (internal/server): HTTP on -addr with /ws (WebSocket, one engine session
@@ -50,6 +63,7 @@ import (
 	"idebench/internal/engine"
 	"idebench/internal/experiments"
 	"idebench/internal/groundtruth"
+	"idebench/internal/ingest"
 	"idebench/internal/report"
 	"idebench/internal/server"
 	"idebench/internal/workflow"
@@ -190,11 +204,16 @@ func cmdRun(args []string) error {
 	addr := fs.String("addr", "", "replay against a remote `idebench serve` at host:port instead of in-process (-rows/-seed must match the server)")
 	maxViol := fs.Float64("maxviol", -1, "fail if the TR-violation percentage exceeds this (negative disables); CI smoke guard")
 	expectStream := fs.Bool("expect-stream", false, "with -addr: fail unless at least one intermediate and one final snapshot frame arrived")
+	ingestEvery := fs.Int("ingest-every", 0, "interleave an ingest event after every N workflow interactions (0 disables live ingestion)")
+	ingestRows := fs.Int("ingest-rows", 1000, "rows per interleaved ingest batch (with -ingest-every)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *expectStream && *addr == "" {
 		return errors.New("-expect-stream requires -addr (in-process runs have no frames)")
+	}
+	if *ingestEvery > 0 && *useJoins {
+		return errors.New("-ingest-every with -joins is not supported (the generated ingest stream is de-normalized)")
 	}
 
 	db, err := core.BuildData(*rows, *useJoins, *seed)
@@ -233,10 +252,14 @@ func cmdRun(args []string) error {
 		fmt.Fprintf(os.Stderr, "idebench: note: %d users requested but only %d workflows; running %d concurrent users (add -count or -workflows for more)\n",
 			*users, len(flows), len(flows))
 	}
+	if *ingestEvery > 0 {
+		flows = workflow.InterleaveIngestAll(flows, *ingestEvery, *ingestRows)
+	}
 	var recs []driver.Record
 	var remoteStats *server.FrameStats
+	var harness *ingest.Harness
 	if *addr != "" {
-		recs, remoteStats, err = runRemote(*addr, db, flows, s, *users)
+		recs, remoteStats, harness, err = runRemote(*addr, db, flows, s, *users, *ingestEvery > 0)
 	} else {
 		var p *core.Prepared
 		p, err = core.Prepare(*engineName, db, s)
@@ -244,9 +267,20 @@ func cmdRun(args []string) error {
 			return err
 		}
 		fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
-		if *users > 1 {
+		switch {
+		case *ingestEvery > 0:
+			app, ok := p.Engine.(engine.Appender)
+			if !ok {
+				return fmt.Errorf("engine %s does not support live ingestion", p.Engine.Name())
+			}
+			harness, err = newIngestHarness(db, s.Seed, ingest.EngineSink{A: app})
+			if err != nil {
+				return err
+			}
+			recs, err = p.RunIngest(flows, s, *users, harness)
+		case *users > 1:
 			recs, err = p.RunUsers(flows, s, *users)
-		} else {
+		default:
 			recs, err = p.Run(flows, s)
 		}
 	}
@@ -262,6 +296,25 @@ func cmdRun(args []string) error {
 		if err := report.RenderUserSweep(os.Stdout, report.SummarizeUsers(recs)); err != nil {
 			return err
 		}
+	}
+	if harness != nil {
+		fmt.Println()
+		ingRows := report.SummarizeIngest(recs)
+		wallByGroup := map[string]float64{}
+		for _, u := range report.SummarizeUsers(recs) {
+			wallByGroup[fmt.Sprintf("%s/%d", u.Driver, u.Users)] = u.WallClockMS
+		}
+		for i := range ingRows {
+			ingRows[i].IngestedRows = harness.IngestedRows()
+			if wall := wallByGroup[fmt.Sprintf("%s/%d", ingRows[i].Driver, ingRows[i].Users)]; wall > 0 {
+				ingRows[i].IngestRowsPerSec = float64(harness.IngestedRows()) / (wall / 1000)
+			}
+		}
+		if err := report.RenderIngestSweep(os.Stdout, ingRows); err != nil {
+			return err
+		}
+		fmt.Printf("ingested %d rows in %d batches (live watermark %d)\n",
+			harness.IngestedRows(), harness.Batches(), harness.Watermark())
 	}
 	if *detailed != "" {
 		if err := writeDetailed(*detailed, recs); err != nil {
@@ -285,17 +338,19 @@ func cmdRun(args []string) error {
 // runRemote replays flows against a remote `idebench serve` through the
 // WebSocket client, returning the records and the client's frame counters.
 // The driver code path is identical to the in-process one; only the
-// engine.Engine implementation behind it differs.
-func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s core.Settings, users int) ([]driver.Record, *server.FrameStats, error) {
+// engine.Engine implementation behind it differs. With ingestion enabled,
+// the client owns the ground-truth lineage (a local harness applies every
+// batch) while the same batches ship to the server as ingest frames.
+func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s core.Settings, users int, withIngest bool) ([]driver.Record, *server.FrameStats, *ingest.Harness, error) {
 	rem, err := server.NewRemote(addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer rem.Close()
 	// Surfaces a -rows/-seed mismatch before an expensive replay runs
 	// against the wrong ground truth.
 	if err := rem.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: s.Seed}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	fmt.Printf("remote engine: %s at %s (%d rows)\n", rem.Name(), addr, rem.Rows())
 
@@ -305,6 +360,14 @@ func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s 
 		ThinkTime:       s.ThinkTime,
 		DataSizeLabel:   core.SizeLabel(s.DataSize),
 	}
+	var h *ingest.Harness
+	if withIngest {
+		h, err = newIngestHarness(db, s.Seed, rem)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cfg.IngestSink = h
+	}
 	var recs []driver.Record
 	if users > 1 {
 		m := driver.NewMulti(rem, gt, driver.MultiConfig{
@@ -312,7 +375,7 @@ func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s 
 		})
 		res, merr := m.Run(flows)
 		if merr != nil {
-			return nil, nil, merr
+			return nil, nil, nil, merr
 		}
 		recs = res.Records
 	} else {
@@ -320,13 +383,42 @@ func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s 
 		var rerr error
 		recs, rerr = r.RunWorkflows(flows)
 		if rerr != nil {
-			return nil, nil, rerr
+			return nil, nil, nil, rerr
+		}
+	}
+	if h != nil {
+		// Quiesce: ingest frames are asynchronous; wait (bounded) until the
+		// server confirms it absorbed everything we fed it. A server-side
+		// rejection surfaces with its own message rather than as a timeout.
+		deadline := time.Now().Add(15 * time.Second)
+		for rem.Watermark() < h.Watermark() && time.Now().Before(deadline) {
+			if err := rem.Err(); err != nil {
+				return nil, nil, nil, fmt.Errorf("server rejected ingestion: %w", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := rem.Err(); err != nil {
+			return nil, nil, nil, fmt.Errorf("server rejected ingestion: %w", err)
+		}
+		if rem.Watermark() != h.Watermark() {
+			return nil, nil, nil, fmt.Errorf("server watermark %d never caught up to fed %d",
+				rem.Watermark(), h.Watermark())
 		}
 	}
 	st := rem.Stats()
-	fmt.Printf("network frames: %d intermediate, %d final, %d errors over %d sessions\n",
-		st.Intermediate.Load(), st.Final.Load(), st.Errors.Load(), st.Sessions.Load())
-	return recs, st, nil
+	fmt.Printf("network frames: %d intermediate, %d final, %d ingest, %d errors over %d sessions\n",
+		st.Intermediate.Load(), st.Final.Load(), st.Ingest.Load(), st.Errors.Load(), st.Sessions.Load())
+	return recs, st, h, nil
+}
+
+// newIngestHarness builds the deterministic batch stream + harness shared
+// by the in-process and remote ingest paths.
+func newIngestHarness(db *dataset.Database, seed int64, sinks ...ingest.Sink) (*ingest.Harness, error) {
+	src, err := ingest.NewSource(2000, seed+23)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.NewHarness(db, src, sinks...), nil
 }
 
 // checkStream enforces the e2e smoke contract: a streamed replay must have
@@ -389,12 +481,17 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
 
-	srv := server.New(p.Engine, server.Options{
+	opts := server.Options{
 		MaxConns:     *maxConns,
 		PollInterval: *poll,
 		Rows:         int64(db.Fact.NumRows()),
 		Seed:         *seed,
-	})
+	}
+	if app, ok := p.Engine.(engine.Appender); ok {
+		opts.Apply = ingest.NewApplier(db, app).Apply
+		fmt.Printf("live ingestion enabled: client ingest frames append to %s\n", p.Engine.Name())
+	}
+	srv := server.New(p.Engine, opts)
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -511,7 +608,7 @@ func cmdView(args []string) error {
 
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, all")
+	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, all")
 	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
 	count := fs.Int("workflows", 10, "workflows per type")
 	interactions := fs.Int("interactions", 18, "interactions per workflow")
@@ -567,6 +664,8 @@ func cmdExp(args []string) error {
 			_, err = experiments.Table1(cfg)
 		case "users":
 			_, err = experiments.UserSweep(cfg)
+		case "ingest":
+			_, err = experiments.IngestSweep(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
@@ -577,7 +676,7 @@ func cmdExp(args []string) error {
 	}
 
 	if *name == "all" {
-		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users"} {
+		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -53,6 +53,35 @@
 // All driver waiting goes through driver.Clock, so tests replay in
 // simulated time (driver.SimClock) instead of sleeping.
 //
+// # Live ingestion
+//
+// The fact table is not frozen at Prepare: engines implementing the
+// optional engine.Appender capability absorb append-only row batches while
+// queries run. Storage growth is copy-on-write (dataset.TableAppender): a
+// batch lands in amortized O(batch) on privately owned column buffers, a
+// fresh immutable table view is published per data version, and in-flight
+// plans keep scanning the view they compiled against. Each engine absorbs
+// per its execution model — exactdb grows its columns and rescans, sampledb
+// re-stratifies the batch into its offline sample, onlinedb appends to both
+// its heap and its sampling-order copy, and the progressive engine extends
+// the shared scan (sharedscan.Scanner.Extend) so every active, cached and
+// speculative query state folds the new rows exactly once mid-sweep.
+//
+// Every result snapshot carries a Watermark — the fact-row count of the
+// data version it reflects. The ingest subsystem (internal/ingest) defines
+// the batch wire format (fuzzed), a deterministic copula-backed batch
+// source, and the Harness that replays mixed query+ingest timelines: it
+// owns a versioned ground-truth lineage, evaluates every result against
+// the truth of the version its watermark names, and records the staleness
+// metric (live watermark minus result watermark) in
+// metrics.QueryMetrics.StalenessRows. Workflows gain ingest interactions
+// (workflow.KindIngest, interleaved via workflow.InterleaveIngest), the
+// server applies client ingest frames and broadcasts post-apply watermarks
+// to all live sessions, `idebench run -ingest-every N` replays ingest-aware
+// workloads in-process or over the wire, and `idebench exp -name ingest`
+// sweeps 1/2/4/8 users with live appends, gating on quiesced results being
+// bitwise-identical to a cold prepare over the final table (BENCH_5.json).
+//
 // # Network serving
 //
 // internal/server turns any prepared engine into a network service: an
@@ -81,5 +110,7 @@
 //
 // Per-PR performance numbers are recorded as machine-readable JSON at the
 // repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the
-// 1→8-user scalability sweep.
+// 1→8-user scalability sweep and BENCH_5.json adds the live-ingestion
+// sweep (ingest throughput, deadline-violation rate and staleness at
+// 1/2/4/8 users, plus the bitwise quiesce gate).
 package idebench

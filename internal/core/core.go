@@ -237,6 +237,34 @@ func (p *Prepared) RunUsers(flows []*workflow.Workflow, s Settings, users int) (
 	return res.Records, nil
 }
 
+// RunIngest replays the workflows (typically carrying interleaved ingest
+// events) as `users` concurrent simulated users with a live-ingestion sink
+// installed: ingest interactions apply batches through it and every result
+// is evaluated against the ground truth of the data version its watermark
+// names. users <= 1 replays one concurrent user, still through the
+// multi-runner so record annotations stay uniform.
+func (p *Prepared) RunIngest(flows []*workflow.Workflow, s Settings, users int, sink driver.IngestSink) ([]driver.Record, error) {
+	if users < 1 {
+		users = 1
+	}
+	m := driver.NewMulti(p.Engine, p.GT, driver.MultiConfig{
+		Config: driver.Config{
+			TimeRequirement: s.TimeRequirement,
+			ThinkTime:       s.ThinkTime,
+			DataSizeLabel:   SizeLabel(s.DataSize),
+			IngestSink:      sink,
+		},
+		Users:       users,
+		ThinkJitter: driver.DefaultThinkJitter,
+		Seed:        s.Seed,
+	})
+	res, err := m.Run(flows)
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
+
 // GenerateWorkflows builds the default workload against the database's fact
 // table: count workflows per type (4 pure types + mixed).
 func GenerateWorkflows(db *dataset.Database, count, interactions int, seed int64) ([]*workflow.Workflow, error) {

@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func smallSchema() *Schema {
+	return MustSchema([]Field{
+		{Name: "carrier", Kind: Nominal},
+		{Name: "delay", Kind: Quantitative},
+	})
+}
+
+func buildSmall(t *testing.T, rows int) *Table {
+	t.Helper()
+	b := NewBuilder("flights", smallSchema(), rows)
+	for i := 0; i < rows; i++ {
+		b.AppendString(0, fmt.Sprintf("C%d", i%3))
+		b.AppendNum(1, float64(10+i))
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestMinMaxInvalidatedOnMutation is the regression test for the memo
+// footgun: a memoized bound computed before a mutation must not survive it.
+func TestMinMaxInvalidatedOnMutation(t *testing.T) {
+	tbl := buildSmall(t, 4) // delay in [10, 13], memo warmed by Build
+	col := tbl.Column("delay")
+	if lo, hi, ok := col.MinMax(); !ok || lo != 10 || hi != 13 {
+		t.Fatalf("warm bounds = (%v, %v, %v), want (10, 13, true)", lo, hi, ok)
+	}
+	col.AppendNum(-5)
+	col.AppendNum(99)
+	lo, hi, ok := col.MinMax()
+	if !ok || lo != -5 || hi != 99 {
+		t.Fatalf("bounds after append = (%v, %v, %v), want (-5, 99, true)", lo, hi, ok)
+	}
+}
+
+// TestBuilderInvalidatesMidBuildMemo pins the same guard on the builder
+// path: calling MinMax between appends must not freeze the bounds Build
+// later warms.
+func TestBuilderInvalidatesMidBuildMemo(t *testing.T) {
+	b := NewBuilder("t", MustSchema([]Field{{Name: "x", Kind: Quantitative}}), 4)
+	b.AppendNum(0, 1)
+	b.columns[0].MinMax() // memoizes (1, 1)
+	b.AppendNum(0, 42)
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi, ok := tbl.Column("x").MinMax(); !ok || lo != 1 || hi != 42 {
+		t.Fatalf("bounds = (%v, %v, %v), want (1, 42, true)", lo, hi, ok)
+	}
+}
+
+// makeBatch builds an append batch sharing base's dictionaries, the shape
+// ingest materialization produces.
+func makeBatch(t *testing.T, base *Table, carriers []string, delays []float64) *Table {
+	t.Helper()
+	b := NewBuilder(base.Name, base.Schema, len(carriers))
+	b.SetDict(0, base.Columns[0].Dict)
+	for i := range carriers {
+		b.AppendString(0, carriers[i])
+		b.AppendNum(1, delays[i])
+	}
+	batch, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batch
+}
+
+func TestTableAppenderGrowsViews(t *testing.T) {
+	base := buildSmall(t, 10)
+	app := NewTableAppender(base, true)
+
+	v0 := app.View()
+	batch := makeBatch(t, base, []string{"C9", "C0"}, []float64{-100, 500})
+	v1, err := app.Append(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.NumRows() != 10 {
+		t.Errorf("old view grew to %d rows", v0.NumRows())
+	}
+	if v1.NumRows() != 12 {
+		t.Errorf("new view has %d rows, want 12", v1.NumRows())
+	}
+	// Old view must still read its original rows (snapshot semantics).
+	if got := v0.Column("delay").Nums[9]; got != 19 {
+		t.Errorf("old view row 9 = %v, want 19", got)
+	}
+	// New view sees the appended tail and the new dictionary code.
+	if got := v1.Column("carrier").ValueString(10); got != "C9" {
+		t.Errorf("appended nominal = %q, want C9", got)
+	}
+	if lo, hi, ok := v1.Column("delay").MinMax(); !ok || lo != -100 || hi != 500 {
+		t.Errorf("new view bounds = (%v, %v, %v), want (-100, 500, true)", lo, hi, ok)
+	}
+	if lo, hi, ok := v0.Column("delay").MinMax(); !ok || lo != 10 || hi != 19 {
+		t.Errorf("old view bounds = (%v, %v, %v), want (10, 19, true)", lo, hi, ok)
+	}
+}
+
+// TestTableAppenderCopyMode asserts that a non-adopting appender leaves the
+// base table's storage untouched: two lineages over the same base must not
+// interfere.
+func TestTableAppenderCopyMode(t *testing.T) {
+	base := buildSmall(t, 8)
+	a1 := NewTableAppender(base, false)
+	a2 := NewTableAppender(base, false)
+	batch := makeBatch(t, base, []string{"C1"}, []float64{7})
+	if _, err := a1.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if base.NumRows() != 8 || len(base.Column("delay").Nums) != 8 {
+		t.Fatalf("base table mutated by copy-mode appenders")
+	}
+	if a1.NumRows() != 9 || a2.NumRows() != 9 {
+		t.Fatalf("lineages = %d and %d rows, want 9 each", a1.NumRows(), a2.NumRows())
+	}
+}
+
+func TestTableAppenderRejectsForeignDict(t *testing.T) {
+	base := buildSmall(t, 4)
+	app := NewTableAppender(base, true)
+	b := NewBuilder(base.Name, base.Schema, 1)
+	b.AppendString(0, "C0") // fresh dict, not the lineage's
+	b.AppendNum(1, 1)
+	batch, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Append(batch); err == nil {
+		t.Fatal("append with a foreign dictionary should fail")
+	}
+}
+
+// TestDictConcurrentInternAndRead exercises the dictionary under the live
+// ingestion access pattern: one writer interning while readers look up,
+// render and enumerate. Run with -race.
+func TestDictConcurrentInternAndRead(t *testing.T) {
+	d := NewDict()
+	d.Code("base")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			d.Code(fmt.Sprintf("v%d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			d.Lookup("base")
+			d.Value(uint32(i % (d.Len() + 1)))
+			d.Values()
+		}
+	}()
+	wg.Wait()
+	if d.Len() != 2001 {
+		t.Fatalf("dict has %d values, want 2001", d.Len())
+	}
+}
+
+func TestValidateFKBatch(t *testing.T) {
+	dimSchema := MustSchema([]Field{{Name: "name", Kind: Nominal}})
+	db2 := NewBuilder("dim", dimSchema, 2)
+	db2.AppendString(0, "a")
+	db2.AppendString(0, "b")
+	dim, err := db2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factSchema := MustSchema([]Field{{Name: "fk", Kind: Quantitative}})
+	mk := func(vals ...float64) *Table {
+		fb := NewBuilder("fact", factSchema, len(vals))
+		for _, v := range vals {
+			fb.AppendNum(0, v)
+		}
+		tbl, err := fb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	db := &Database{Fact: mk(0, 1), Dimensions: []*Dimension{{Table: dim, FKColumn: "fk"}}}
+	if err := db.ValidateFKBatch(mk(0, 1, 1)); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if err := db.ValidateFKBatch(mk(2)); err == nil {
+		t.Error("out-of-range FK accepted")
+	}
+	if err := db.ValidateFKBatch(mk(0.5)); err == nil {
+		t.Error("non-integral FK accepted")
+	}
+}

@@ -49,10 +49,13 @@ func ReorderTable(t *Table, perm []uint32) (*Table, error) {
 }
 
 // seedMinMax pre-fills the memoized bounds of a freshly built column whose
-// value multiset is known to match another column's (a reorder). It must run
-// before any MinMax call on c.
+// value multiset is known (a reorder preserves it; an append extends it by
+// the batch's own bounds). It overwrites any previous memo state.
 func (c *Column) seedMinMax(lo, hi float64, ok bool) {
-	c.mmOnce.Do(func() { c.mmLo, c.mmHi, c.mmOK = lo, hi, ok })
+	c.mmMu.Lock()
+	c.mmDone = true
+	c.mmLo, c.mmHi, c.mmOK = lo, hi, ok
+	c.mmMu.Unlock()
 }
 
 // ReorderFact returns a database whose fact table is reordered by perm while

@@ -16,11 +16,14 @@ type Column struct {
 	Codes []uint32  // nominal storage (dictionary codes)
 	Dict  *Dict     // nominal dictionary, shared between derived tables
 
-	// Lazily-memoized value bounds. Columns are immutable once a table is
+	// Lazily-memoized value bounds. Tables are effectively immutable once
 	// built, so the first caller pays one tight O(n) pass and every later
 	// query plan gets the bounds for free (the engine's dense group-by fast
-	// path sizes its accumulator array from them).
-	mmOnce     sync.Once
+	// path sizes its accumulator array from them). Mutation — a Builder
+	// append, or the append-only growth path — invalidates the memo, so a
+	// stale bound can never leak into a plan compiled after an append.
+	mmMu       sync.Mutex
+	mmDone     bool
 	mmLo, mmHi float64
 	mmOK       bool
 }
@@ -37,25 +40,60 @@ func (c *Column) Len() int {
 // first use. ok is false for nominal or empty columns and for columns
 // containing NaN (whose values no finite interval bounds).
 func (c *Column) MinMax() (lo, hi float64, ok bool) {
-	c.mmOnce.Do(func() {
-		if c.Field.Kind != Quantitative || len(c.Nums) == 0 {
-			return
+	c.mmMu.Lock()
+	defer c.mmMu.Unlock()
+	if !c.mmDone {
+		c.mmDone = true
+		c.mmLo, c.mmHi, c.mmOK = 0, 0, false
+		if c.Field.Kind == Quantitative && len(c.Nums) > 0 {
+			lo, hi, ok := c.Nums[0], c.Nums[0], true
+			for _, v := range c.Nums {
+				if math.IsNaN(v) {
+					ok = false
+					break
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if ok {
+				c.mmLo, c.mmHi, c.mmOK = lo, hi, true
+			}
 		}
-		lo, hi := c.Nums[0], c.Nums[0]
-		for _, v := range c.Nums {
-			if math.IsNaN(v) {
-				return
-			}
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		c.mmLo, c.mmHi, c.mmOK = lo, hi, true
-	})
+	}
 	return c.mmLo, c.mmHi, c.mmOK
+}
+
+// InvalidateMinMax drops the memoized bounds; every in-place mutation of
+// quantitative storage must either call it (Column.AppendNum does per
+// value, Builder.Build once per build) or re-seed the memo with bounds
+// covering the new contents (the table-growth lineage does, via
+// seedMinMax). Without the guard a memoized bound computed before an
+// append would silently under-size the engine's dense group-by
+// accumulators for rows appended outside the old value range.
+func (c *Column) InvalidateMinMax() {
+	c.mmMu.Lock()
+	c.mmDone = false
+	c.mmMu.Unlock()
+}
+
+// AppendNum appends a quantitative value, invalidating the bounds memo.
+// It is the canonical mutator for growing a built column in place; bulk
+// paths (the Builder, which invalidates once at Build, and TableAppender,
+// which re-seeds the memo per batch) may bypass it, but must then maintain
+// the memo themselves exactly as those two do.
+func (c *Column) AppendNum(v float64) {
+	c.Nums = append(c.Nums, v)
+	c.InvalidateMinMax()
+}
+
+// AppendCode appends a dictionary code, which must be valid for c.Dict.
+// Nominal columns have no bounds memo, so no invalidation is needed.
+func (c *Column) AppendCode(code uint32) {
+	c.Codes = append(c.Codes, code)
 }
 
 // ValueString renders row i for reports and CSV export.
@@ -66,8 +104,12 @@ func (c *Column) ValueString(i int) string {
 	return formatFloat(c.Nums[i])
 }
 
-// Dict is an append-only string dictionary for a nominal column.
+// Dict is an append-only string dictionary for a nominal column. It is safe
+// for concurrent use: live ingestion interns new values into dictionaries
+// that are shared with engine copies whose scans, plan compilations and
+// report renderings run concurrently.
 type Dict struct {
+	mu     sync.RWMutex
 	values []string
 	index  map[string]uint32
 }
@@ -79,10 +121,18 @@ func NewDict() *Dict {
 
 // Code interns s and returns its code.
 func (d *Dict) Code(s string) uint32 {
+	d.mu.RLock()
+	c, ok := d.index[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if c, ok := d.index[s]; ok {
 		return c
 	}
-	c := uint32(len(d.values))
+	c = uint32(len(d.values))
 	d.values = append(d.values, s)
 	d.index[s] = c
 	return c
@@ -90,6 +140,8 @@ func (d *Dict) Code(s string) uint32 {
 
 // Lookup returns the code for s without interning.
 func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	c, ok := d.index[s]
 	return c, ok
 }
@@ -98,6 +150,8 @@ func (d *Dict) Lookup(s string) (uint32, bool) {
 // rather than panicking, because report rendering must never take the
 // benchmark down.
 func (d *Dict) Value(c uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(c) >= len(d.values) {
 		return fmt.Sprintf("<code:%d>", c)
 	}
@@ -105,15 +159,25 @@ func (d *Dict) Value(c uint32) string {
 }
 
 // Len returns the dictionary cardinality.
-func (d *Dict) Len() int { return len(d.values) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.values)
+}
 
-// Values returns the dictionary contents in code order. The returned slice
-// is shared; callers must not modify it.
-func (d *Dict) Values() []string { return d.values }
+// Values returns a copy of the dictionary contents in code order. (A shared
+// slice would race with concurrent interning under live ingestion.)
+func (d *Dict) Values() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.values...)
+}
 
-// Table is an immutable columnar table. All engines share Table values;
-// nothing mutates a table after construction, so concurrent scans need no
-// locking.
+// Table is an immutable columnar table view. All engines share Table
+// values; nothing mutates a table after construction, so concurrent scans
+// need no locking. Append-only growth goes through TableAppender
+// (append.go), which produces a fresh Table view per batch while in-flight
+// scans keep reading the view they compiled against.
 type Table struct {
 	Name    string
 	Schema  *Schema
@@ -192,7 +256,10 @@ func NewBuilder(name string, schema *Schema, capacity int) *Builder {
 	return &Builder{name: name, schema: schema, columns: cols}
 }
 
-// AppendNum appends a quantitative value to column i.
+// AppendNum appends a quantitative value to column i. The bounds memo is
+// not invalidated per value — a memo is pointless mid-build and Build
+// invalidates every column once — keeping the bulk-construction hot path
+// free of per-cell locking.
 func (b *Builder) AppendNum(i int, v float64) {
 	b.columns[i].Nums = append(b.columns[i].Nums, v)
 }
@@ -217,8 +284,14 @@ func (b *Builder) SetDict(i int, d *Dict) { b.columns[i].Dict = d }
 // Dict returns the dictionary of nominal column i.
 func (b *Builder) Dict(i int) *Dict { return b.columns[i].Dict }
 
-// Build finalizes the table.
+// Build finalizes the table. Bounds memos are invalidated first — the
+// builder appends raw storage for speed, so a MinMax call interleaved with
+// appends (the footgun the memo guard exists for) must not survive into
+// the built table's warmed bounds.
 func (b *Builder) Build() (*Table, error) {
+	for _, c := range b.columns {
+		c.InvalidateMinMax()
+	}
 	return NewTable(b.name, b.schema, b.columns)
 }
 

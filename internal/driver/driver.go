@@ -41,6 +41,23 @@ type Config struct {
 	// Clock supplies time; nil means WallClock. Tests inject a SimClock so
 	// think times and deadline waits run in simulated time.
 	Clock Clock
+	// IngestSink handles ingest interactions (nil: workflows containing
+	// them fail). With a sink installed the replay is ingest-aware: every
+	// delivered result is evaluated against the ground truth of the data
+	// version its watermark names, and its staleness (live watermark minus
+	// result watermark) is recorded. The ground-truth precompute prepass is
+	// skipped — references are version-dependent and resolved at fetch time.
+	IngestSink IngestSink
+}
+
+// IngestSink is the driver's window into a live-ingestion timeline
+// (implemented by ingest.Harness). Ingest applies one event and returns the
+// new live watermark; Watermark reads it; TruthAt resolves the exact
+// reference for q at the data version a result's watermark names.
+type IngestSink interface {
+	Ingest(rows int) (watermark int64, err error)
+	Watermark() int64
+	TruthAt(q *query.Query, watermark int64) (*query.Result, error)
 }
 
 func (c Config) precompute() bool {
@@ -98,12 +115,31 @@ type Runner struct {
 	clock  Clock
 	nextID int
 
+	// deferred queues the ground-truth evaluations of an ingest-aware
+	// replay, one entry per record in order. Versioned references cannot be
+	// pre-warmed (versions are minted at replay time), so instead of
+	// scanning reference tables inline between timed queries — competing
+	// with the engine for CPU exactly like the prepass PR 3 eliminated —
+	// the runner captures (query, result, live watermark) at fetch time and
+	// resolves the metrics after the replay. RunWorkflow resolves its own
+	// records; MultiRunner defers until every user finished and the wall
+	// clock is closed.
+	deferred     []deferredEval
+	deferResolve bool
+
 	// Multi-user annotations, set by MultiRunner.
 	user  int
 	users int
 	// thinkFor returns the think time before interaction idx+1; nil means
 	// the constant cfg.ThinkTime. MultiRunner installs per-user jitter.
 	thinkFor func(idx int) time.Duration
+}
+
+// deferredEval is one postponed ground-truth evaluation.
+type deferredEval struct {
+	q    *query.Query
+	res  *query.Result // nil: nothing fetchable at the deadline
+	live int64         // sink watermark at fetch time
 }
 
 // New builds a runner on the engine's shared default session. The engine
@@ -125,7 +161,7 @@ func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	if r.cfg.precompute() {
+	if r.cfg.precompute() && r.cfg.IngestSink == nil {
 		if err := r.warmGroundTruth(w); err != nil {
 			return nil, err
 		}
@@ -147,6 +183,14 @@ func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
 		if eff.Discarded != "" {
 			r.sess.DeleteViz(eff.Discarded)
 		}
+		if eff.IngestRows > 0 {
+			if r.cfg.IngestSink == nil {
+				return nil, fmt.Errorf("driver: workflow %s interaction %d: ingest event without an ingest sink", w.Name, idx)
+			}
+			if _, err := r.cfg.IngestSink.Ingest(eff.IngestRows); err != nil {
+				return nil, fmt.Errorf("driver: workflow %s interaction %d: %w", w.Name, idx, err)
+			}
+		}
 
 		recs, err := r.runQueries(w, idx, eff.Queries)
 		if err != nil {
@@ -160,7 +204,54 @@ func (r *Runner) RunWorkflow(w *workflow.Workflow) ([]Record, error) {
 			}
 		}
 	}
+	if !r.deferResolve {
+		if err := r.resolveDeferred(records); err != nil {
+			return nil, err
+		}
+	}
 	return records, nil
+}
+
+// resolveDeferred computes the postponed ground-truth evaluations of an
+// ingest-aware replay for recs, which must be exactly the records the
+// deferred queue was built for, in order. The queue is cleared. This runs
+// after the timed replay (MultiRunner calls it once the wall clock is
+// closed), so O(table) reference scans never compete with engine scans
+// racing their deadlines.
+func (r *Runner) resolveDeferred(recs []Record) error {
+	sink := r.cfg.IngestSink
+	if sink == nil {
+		return nil
+	}
+	if len(r.deferred) != len(recs) {
+		return fmt.Errorf("driver: %d deferred evaluations for %d records", len(r.deferred), len(recs))
+	}
+	for i, d := range r.deferred {
+		// Evaluate against the truth of the data version the result claims
+		// (its watermark); staleness is how far the live table had moved
+		// past that version when the result was fetched.
+		w := d.live
+		if d.res != nil && d.res.Watermark > 0 {
+			w = d.res.Watermark
+		}
+		gt, err := sink.TruthAt(d.q, w)
+		if err != nil {
+			return fmt.Errorf("driver: ground truth for %s: %w", d.q.VizName, err)
+		}
+		if d.res == nil {
+			recs[i].Metrics = metrics.Violated(gt)
+			continue
+		}
+		m := metrics.Evaluate(d.res, gt, false)
+		if s := float64(d.live - w); s > 0 {
+			m.StalenessRows = s
+		} else {
+			m.StalenessRows = 0
+		}
+		recs[i].Metrics = m
+	}
+	r.deferred = r.deferred[:0]
+	return nil
 }
 
 // think returns the think time after interaction idx.
@@ -232,15 +323,23 @@ func (r *Runner) runQueries(w *workflow.Workflow, interactionID int, qs []*query
 		ru.h.Cancel()
 		end := r.clock.Now()
 
-		gt, err := r.gt.Get(ru.q)
-		if err != nil {
-			return nil, fmt.Errorf("driver: ground truth for %s: %w", ru.q.VizName, err)
-		}
 		var m metrics.QueryMetrics
-		if res == nil {
-			m = metrics.Violated(gt)
+		if sink := r.cfg.IngestSink; sink != nil {
+			// Version-aware evaluation is postponed (see Runner.deferred):
+			// capture what fetch time alone can know and leave the metrics
+			// to resolveDeferred, so reference scans never run inside the
+			// timed window.
+			r.deferred = append(r.deferred, deferredEval{q: ru.q, res: res, live: sink.Watermark()})
 		} else {
-			m = metrics.Evaluate(res, gt, false)
+			gt, err := r.gt.Get(ru.q)
+			if err != nil {
+				return nil, fmt.Errorf("driver: ground truth for %s: %w", ru.q.VizName, err)
+			}
+			if res == nil {
+				m = metrics.Violated(gt)
+			} else {
+				m = metrics.Evaluate(res, gt, false)
+			}
 		}
 
 		r.nextID++

@@ -7,6 +7,7 @@ import (
 	"idebench/internal/dataset"
 	"idebench/internal/engine"
 	"idebench/internal/engine/exactdb"
+	"idebench/internal/engine/onlinedb"
 	"idebench/internal/engine/progressive"
 	"idebench/internal/enginetest"
 	"idebench/internal/groundtruth"
@@ -100,15 +101,28 @@ func TestRunWorkflowRecords(t *testing.T) {
 }
 
 func TestTRViolationOnTinyDeadline(t *testing.T) {
-	gt, e := prepared(t, exactdb.New(), 400000)
+	// A blocking engine with a heavy per-tuple cost model: the scan reliably
+	// takes tens of milliseconds, so a 1ns deadline always fires first even
+	// if the driver goroutine stalls between issuing and polling. (A plain
+	// columnar scan can finish inside a scheduler stall on a loaded host,
+	// making the deadline-vs-done select a coin flip.)
+	gt, e := prepared(t, onlinedb.New(onlinedb.Config{TupleOverhead: 512}), 100000)
 	r := New(e, gt, Config{
 		TimeRequirement: time.Nanosecond, // impossible deadline
-		DataSizeLabel:   "400k",
+		DataSizeLabel:   "100k",
 	})
+	// AVG forces onlinedb's blocking fallback: no intermediate reports, so
+	// nothing is fetchable until the (slow) scan completes.
+	blockingSpec := &workflow.VizSpec{
+		Name:  "a",
+		Table: "flights",
+		Bins:  []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs:  []query.Aggregate{{Func: query.Avg, Field: "dep_delay"}},
+	}
 	w := &workflow.Workflow{
 		Name: "tiny", Type: workflow.IndependentBrowsing,
 		Interactions: []workflow.Interaction{
-			{Kind: workflow.KindCreateViz, Viz: "a", Spec: vizSpec("a")},
+			{Kind: workflow.KindCreateViz, Viz: "a", Spec: blockingSpec},
 		},
 	}
 	recs, err := r.RunWorkflow(w)

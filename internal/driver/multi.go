@@ -103,6 +103,8 @@ func (m *MultiRunner) Run(flows []*workflow.Workflow) (*MultiResult, error) {
 	clock := m.cfg.clock()
 
 	// Warm ground truth up front, then disable the per-workflow prepass.
+	// Ingest-aware replays skip warming: references are version-dependent
+	// and resolve through the sink at fetch time.
 	warmCfg := m.cfg.Config
 	off := false
 	warmCfg.PrecomputeGroundTruth = &off
@@ -110,6 +112,9 @@ func (m *MultiRunner) Run(flows []*workflow.Workflow) (*MultiResult, error) {
 	for _, w := range flows {
 		if err := w.Validate(); err != nil {
 			return nil, err
+		}
+		if m.cfg.IngestSink != nil {
+			continue
 		}
 		if err := warm.warmGroundTruth(w); err != nil {
 			return nil, err
@@ -127,6 +132,7 @@ func (m *MultiRunner) Run(flows []*workflow.Workflow) (*MultiResult, error) {
 
 	res := &MultiResult{PerUser: make([][]Record, users), Users: users}
 	errs := make([]error, users)
+	runners := make([]*Runner, users)
 	start := clock.Now()
 	var wg sync.WaitGroup
 	for u := 0; u < users; u++ {
@@ -139,6 +145,12 @@ func (m *MultiRunner) Run(flows []*workflow.Workflow) (*MultiResult, error) {
 			r.user = u
 			r.users = users
 			r.thinkFor = m.thinkStream(u)
+			// Ingest-aware evaluations resolve below, once every user is
+			// done and the wall clock is closed — a finished user's
+			// reference scans must not steal CPU from users still racing
+			// deadlines.
+			r.deferResolve = true
+			runners[u] = r
 			recs, err := r.RunWorkflows(perUser[u])
 			res.PerUser[u] = recs
 			errs[u] = err
@@ -148,6 +160,11 @@ func (m *MultiRunner) Run(flows []*workflow.Workflow) (*MultiResult, error) {
 	res.WallClock = clock.Now().Sub(start)
 	for u, err := range errs {
 		if err != nil {
+			return nil, fmt.Errorf("driver: user %d: %w", u, err)
+		}
+	}
+	for u, r := range runners {
+		if err := r.resolveDeferred(res.PerUser[u]); err != nil {
 			return nil, fmt.Errorf("driver: user %d: %w", u, err)
 		}
 	}

@@ -110,6 +110,33 @@ type Engine interface {
 	WorkflowEnd()
 }
 
+// Appender is the optional live-ingestion capability: engines that can
+// absorb append-only row batches after Prepare implement it. rows is a
+// materialized batch — a small table with the fact schema whose nominal
+// columns share the prepared fact table's dictionaries and whose foreign
+// keys (on a star schema) resolve in the dimension tables — appended
+// atomically. ingest.Materialize produces and fully validates exactly this
+// shape; engines trust it rather than re-scanning the batch per append
+// (the dictionary-sharing part is still cheaply re-checked by the storage
+// appender).
+//
+// Semantics are per-engine: a blocking engine grows its storage so new
+// queries see the new rows; a sampling engine re-stratifies the tail into
+// its sample; a shared-scan progressive engine additionally folds the new
+// rows into every active query state exactly once, mid-sweep. In-flight
+// queries that cannot absorb the batch keep answering from the data version
+// they compiled against — which is why snapshots carry a Watermark.
+//
+// Append must be safe to call concurrently with queries and with other
+// sessions; calls for one engine are serialized by the caller (the ingest
+// harness applies batches one at a time).
+type Appender interface {
+	Append(rows *dataset.Table) error
+	// Watermark reports the fact-row count the engine has absorbed: the
+	// data version new queries answer against.
+	Watermark() int64
+}
+
 // ErrNotPrepared is returned by StartQuery before Prepare.
 var ErrNotPrepared = errors.New("engine: not prepared")
 

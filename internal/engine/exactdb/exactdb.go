@@ -27,6 +27,7 @@ type Engine struct {
 	mu   sync.RWMutex
 	db   *dataset.Database
 	opts engine.Options
+	app  *dataset.TableAppender // owns the private fact-copy lineage
 }
 
 // New returns an unprepared engine.
@@ -46,8 +47,39 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	e.mu.Lock()
 	e.db = copied
 	e.opts = opts.Normalize()
+	e.app = dataset.NewTableAppender(copied.Fact, true) // Prepare's copy is private
 	e.mu.Unlock()
 	return nil
+}
+
+// Append implements engine.Appender. A column store absorbs appends as
+// storage growth: the batch lands on the fact columns and the next query's
+// full exact scan recomputes over the grown table (the blocking execution
+// model has no standing per-query state to maintain incrementally).
+// In-flight scans keep reading the view they compiled against — their
+// results carry the pre-append watermark.
+func (e *Engine) Append(rows *dataset.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.db == nil {
+		return engine.ErrNotPrepared
+	}
+	newFact, err := e.app.Append(rows)
+	if err != nil {
+		return fmt.Errorf("exactdb: append: %w", err)
+	}
+	e.db = &dataset.Database{Fact: newFact, Dimensions: e.db.Dimensions}
+	return nil
+}
+
+// Watermark implements engine.Appender.
+func (e *Engine) Watermark() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.db == nil {
+		return 0
+	}
+	return int64(e.db.Fact.NumRows())
 }
 
 // StartQuery implements engine.Engine: it launches a parallel scan and
@@ -132,7 +164,10 @@ func (e *Engine) WorkflowStart() {}
 // WorkflowEnd implements engine.Engine.
 func (e *Engine) WorkflowEnd() {}
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.Engine   = (*Engine)(nil)
+	_ engine.Appender = (*Engine)(nil)
+)
 
 // copyDatabase deep-copies column storage (dictionaries are shared: they are
 // append-only and the engine never mutates them).

@@ -366,6 +366,7 @@ func (g *GroupState) SnapshotExact() *query.Result {
 	res.TotalRows = int64(g.plan.NumRows)
 	res.RowsSeen = int64(g.plan.NumRows)
 	res.Complete = true
+	res.Watermark = int64(g.plan.NumRows)
 	aggs := g.plan.Query.Aggs
 	for key, acc := range g.Groups {
 		bv := &query.BinValue{
@@ -408,6 +409,7 @@ func (g *GroupState) SnapshotScaled(rowsSeen, populationRows int64, weight, z fl
 	res.TotalRows = populationRows
 	res.RowsSeen = rowsSeen
 	res.Complete = rowsSeen >= populationRows && weight == 0
+	res.Watermark = populationRows
 	if rowsSeen == 0 {
 		return res
 	}

@@ -8,6 +8,7 @@
 package idelayer
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -48,6 +49,25 @@ func (e *Engine) Name() string { return "idelayer(" + e.backend.Name() + ")" }
 // Prepare implements engine.Engine by delegating to the backend.
 func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	return e.backend.Prepare(db, opts)
+}
+
+// Append implements engine.Appender when the backend does: the IDE layer
+// adds rendering latency, not storage, so live ingestion passes straight
+// through to the DBMS.
+func (e *Engine) Append(rows *dataset.Table) error {
+	a, ok := e.backend.(engine.Appender)
+	if !ok {
+		return fmt.Errorf("idelayer: backend %s does not support append", e.backend.Name())
+	}
+	return a.Append(rows)
+}
+
+// Watermark implements engine.Appender (0 when the backend cannot append).
+func (e *Engine) Watermark() int64 {
+	if a, ok := e.backend.(engine.Appender); ok {
+		return a.Watermark()
+	}
+	return 0
 }
 
 // StartQuery delegates to the backend and wraps the handle so the result

@@ -21,6 +21,12 @@ func TestMultiUserScenario(t *testing.T) {
 	}, true)
 }
 
+func TestIngestScenario(t *testing.T) {
+	enginetest.IngestScenario(t, func() engine.Engine {
+		return New(exactdb.New(), Config{RenderDelay: time.Millisecond})
+	}, true)
+}
+
 func TestName(t *testing.T) {
 	e := New(exactdb.New(), Config{})
 	if e.Name() != "idelayer(exactdb)" {

@@ -81,6 +81,12 @@ type Engine struct {
 	// sample order, mirroring a row store whose heap and sample index
 	// coexist.
 	permDB *dataset.Database
+	// heapApp/permApp own the two lineages under live ingestion. The heap
+	// lineage is created lazily on the first Append — Prepare shares the
+	// caller's table, and the one-time private copy (a heap that must own
+	// its pages once writes begin) should only be paid by ingesting runs.
+	heapApp *dataset.TableAppender
+	permApp *dataset.TableAppender
 }
 
 // New returns an unprepared engine.
@@ -117,8 +123,51 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	e.db = db
 	e.z = z
 	e.permDB = permDB
+	e.heapApp = nil
+	e.permApp = nil
 	e.mu.Unlock()
 	return nil
+}
+
+// Append implements engine.Appender: the batch is ingested row-at-a-time
+// with the modelled tuple overhead (a heap insert pays executor cost per
+// row, unlike the columnar engines' memcpy), then lands on both lineages —
+// the heap in arrival order for the blocking fallback, the sampling-order
+// copy as a tail for the online path. New queries see the grown views;
+// in-flight ones finish on the version they compiled against.
+func (e *Engine) Append(rows *dataset.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.db == nil {
+		return engine.ErrNotPrepared
+	}
+	ingestTable(rows, e.cfg.TupleOverhead)
+	if e.heapApp == nil {
+		// The heap table was shared with the caller at Prepare; own it now.
+		e.heapApp = dataset.NewTableAppender(e.db.Fact, false)
+		e.permApp = dataset.NewTableAppender(e.permDB.Fact, true) // reorder copy is private
+	}
+	heapFact, err := e.heapApp.Append(rows)
+	if err != nil {
+		return fmt.Errorf("onlinedb: append: %w", err)
+	}
+	permFact, err := e.permApp.Append(rows)
+	if err != nil {
+		return fmt.Errorf("onlinedb: append: %w", err)
+	}
+	e.db = &dataset.Database{Fact: heapFact, Dimensions: e.db.Dimensions}
+	e.permDB = &dataset.Database{Fact: permFact, Dimensions: e.permDB.Dimensions}
+	return nil
+}
+
+// Watermark implements engine.Appender.
+func (e *Engine) Watermark() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.db == nil {
+		return 0
+	}
+	return int64(e.db.Fact.NumRows())
 }
 
 // SupportsOnline reports whether q can run as online aggregation: exactly
@@ -243,7 +292,10 @@ func (e *Engine) WorkflowStart() {}
 // WorkflowEnd implements engine.Engine.
 func (e *Engine) WorkflowEnd() {}
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.Engine   = (*Engine)(nil)
+	_ engine.Appender = (*Engine)(nil)
+)
 
 // tupleSink defeats dead-code elimination of the overhead loop; updated
 // atomically because scans run on multiple goroutines.

@@ -17,6 +17,10 @@ func TestMultiUserScenario(t *testing.T) {
 	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{}) }, true)
 }
 
+func TestIngestScenario(t *testing.T) {
+	enginetest.IngestScenario(t, func() engine.Engine { return New(Config{}) }, true)
+}
+
 func TestName(t *testing.T) {
 	if New(Config{}).Name() != "onlinedb" {
 		t.Error("name wrong")

@@ -87,7 +87,8 @@ type Engine struct {
 	opts engine.Options
 	z    float64
 	scan *sharedscan.Scanner
-	def  *session // shared default session for engine-level query methods
+	app  *dataset.TableAppender // owns the permuted fact lineage
+	def  *session               // shared default session for engine-level query methods
 }
 
 // New returns an unprepared engine.
@@ -124,8 +125,44 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	e.opts = opts
 	e.z = z
 	e.scan = sharedscan.New(permDB.Fact.NumRows(), e.cfg.ChunkRows, opts.Parallelism)
-	e.def = nil // default session re-opens lazily against the new scan
+	e.app = dataset.NewTableAppender(permDB.Fact, true) // reorder materialized a private copy
+	e.def = nil                                         // default session re-opens lazily against the new scan
 	return nil
+}
+
+// Append implements engine.Appender: the batch lands as a tail segment of
+// the permuted storage (arrival order — the tail is not re-permuted, so the
+// sequential-scan property of every chunk dispatch is preserved), the
+// current view advances, and the shared scanner extends every registered
+// query state with the tail as one more uncovered interval. Active queries
+// therefore fold the new rows exactly once mid-sweep via the ordinary
+// interval clipping, cached complete states re-arm and absorb just the
+// delta, and quiesced results are exact over the grown table.
+func (e *Engine) Append(rows *dataset.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.db == nil {
+		return engine.ErrNotPrepared
+	}
+	newFact, err := e.app.Append(rows)
+	if err != nil {
+		return fmt.Errorf("progressive: append: %w", err)
+	}
+	e.db = &dataset.Database{Fact: newFact, Dimensions: e.db.Dimensions}
+	if err := e.scan.Extend(e.db, newFact.NumRows()); err != nil {
+		return fmt.Errorf("progressive: append: %w", err)
+	}
+	return nil
+}
+
+// Watermark implements engine.Appender.
+func (e *Engine) Watermark() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.db == nil {
+		return 0
+	}
+	return int64(e.db.Fact.NumRows())
 }
 
 // OpenSession implements engine.Engine: the session captures the prepared
@@ -197,7 +234,10 @@ func (e *Engine) ActiveScanConsumers() int {
 	return e.scan.ActiveConsumers()
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.Engine   = (*Engine)(nil)
+	_ engine.Appender = (*Engine)(nil)
+)
 
 // session is one analyst's scope on the prepared engine: its own reuse
 // cache, viz-name map and speculation round, all riding the engine's shared
@@ -225,13 +265,17 @@ type session struct {
 }
 
 // bindLocked late-binds an unprepared-at-open session to the engine's
-// current prepared state, if any. Caller holds s.mu.
+// current prepared state, and refreshes the table view of a session bound
+// to the engine's current scan — live ingestion publishes a grown view per
+// batch, and new queries must compile against it (a plan compiled on a
+// stale view could not cover the scanner's extended row range). A session
+// bound to an older scan (opened before a re-Prepare) keeps its state.
+// Caller holds s.mu.
 func (s *session) bindLocked() {
-	if s.db != nil {
-		return
-	}
 	s.e.mu.Lock()
-	s.db, s.z, s.scan = s.e.db, s.e.z, s.e.scan
+	if s.db == nil || s.scan == s.e.scan {
+		s.db, s.z, s.scan = s.e.db, s.e.z, s.e.scan
+	}
 	s.e.mu.Unlock()
 }
 
@@ -363,9 +407,11 @@ func (s *session) DeleteViz(name string) {
 }
 
 // WorkflowStart implements engine.Session: caches are per exploration
-// workflow, so each workflow starts cold. Speculation targets are withdrawn;
-// consumers still referenced by in-flight handles finish their scan and then
-// fall off the scheduler.
+// workflow, so each workflow starts cold. Speculation targets are withdrawn
+// and the dropped states are discarded from the scanner's extension
+// registry (they will not be asked to absorb future ingest batches);
+// consumers still referenced by in-flight handles finish their scan and
+// then fall off the scheduler.
 func (s *session) WorkflowStart() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -374,6 +420,9 @@ func (s *session) WorkflowStart() {
 	}
 	s.specs = nil
 	if s.db != nil {
+		for _, st := range s.states {
+			st.Discard()
+		}
 		s.states = make(map[string]*sharedscan.Consumer)
 		s.vizQueries = make(map[string]*query.Query)
 	}
@@ -390,8 +439,20 @@ func (s *session) WorkflowEnd() {
 }
 
 // Close implements engine.Session: the session's speculation targets leave
-// the scan; states referenced by in-flight handles finish on their own.
-func (s *session) Close() { s.WorkflowEnd() }
+// the scan and its cached states drop out of the extension registry; states
+// referenced by in-flight handles finish on their own.
+func (s *session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.specs {
+		st.Unspeculate()
+	}
+	s.specs = nil
+	for _, st := range s.states {
+		st.Discard()
+	}
+	s.states = make(map[string]*sharedscan.Consumer)
+}
 
 // stateProgress reports the scan progress of the session's cached state.
 func (s *session) stateProgress(q *query.Query) float64 {

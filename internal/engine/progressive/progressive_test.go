@@ -45,6 +45,14 @@ func TestMultiUserScenarioSpeculative(t *testing.T) {
 	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{Speculate: true}) }, true)
 }
 
+func TestIngestScenario(t *testing.T) {
+	enginetest.IngestScenario(t, func() engine.Engine { return New(Config{}) }, true)
+}
+
+func TestIngestScenarioSpeculative(t *testing.T) {
+	enginetest.IngestScenario(t, func() engine.Engine { return New(Config{Speculate: true}) }, true)
+}
+
 func TestName(t *testing.T) {
 	if New(Config{}).Name() != "progressive" {
 		t.Error("name wrong")

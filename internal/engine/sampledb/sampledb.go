@@ -50,6 +50,9 @@ type Engine struct {
 	sample   *dataset.Database // materialized sample table (same schema/name)
 	origRows int
 	z        float64
+	app      *dataset.TableAppender // owns the sample-table lineage
+	seed     int64
+	batchSeq int64 // appended batches, seeding each tail re-stratification
 }
 
 // New returns an unprepared engine.
@@ -85,6 +88,9 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	e.sample = &dataset.Database{Fact: sampleTable}
 	e.origRows = db.Fact.NumRows()
 	e.z = z
+	e.app = dataset.NewTableAppender(sampleTable, true) // SelectRows materialized a private copy
+	e.seed = opts.Seed
+	e.batchSeq = 0
 	e.mu.Unlock()
 
 	// Warm-up query: touch every sampled row once.
@@ -134,6 +140,86 @@ func (e *Engine) stratifiedRows(fact *dataset.Table, seed int64) ([]uint32, erro
 		}
 	}
 	return out, nil
+}
+
+// Append implements engine.Appender by re-stratifying the tail: the batch
+// is sampled with the same per-stratum rule the offline sample was built
+// with (proportional allocation at SampleRate, minimum one row per stratum
+// present in the batch, deterministic per batch sequence number), and the
+// chosen rows join the materialized sample while the represented population
+// grows by the whole batch. Estimates therefore keep tracking the live
+// table at the engine's fixed sampling rate — the offline-sampling
+// trade-off the paper measures, extended to a moving target.
+func (e *Engine) Append(rows *dataset.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sample == nil {
+		return engine.ErrNotPrepared
+	}
+	e.batchSeq++
+	picked, err := e.tailRows(rows, e.seed+17+31*e.batchSeq)
+	if err != nil {
+		return fmt.Errorf("sampledb: append: %w", err)
+	}
+	if len(picked) > 0 {
+		sub, err := dataset.SelectRows(rows, picked)
+		if err != nil {
+			return fmt.Errorf("sampledb: append: %w", err)
+		}
+		newSample, err := e.app.Append(sub)
+		if err != nil {
+			return fmt.Errorf("sampledb: append: %w", err)
+		}
+		e.sample = &dataset.Database{Fact: newSample}
+	}
+	e.origRows += rows.NumRows()
+	return nil
+}
+
+// tailRows picks the batch row indices to fold into the sample, mirroring
+// stratifiedRows on the batch alone.
+func (e *Engine) tailRows(batch *dataset.Table, seed int64) ([]uint32, error) {
+	n := batch.NumRows()
+	if n == 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	col := batch.Column(e.cfg.StrataColumn)
+	if col == nil || col.Field.Kind != dataset.Nominal {
+		k := max(1, int(float64(n)*e.cfg.SampleRate))
+		idx := stats.ReservoirSample(rng, n, k)
+		out := make([]uint32, len(idx))
+		for i, v := range idx {
+			out[i] = uint32(v)
+		}
+		return out, nil
+	}
+	strata := make(map[uint32][]uint32)
+	var codes []uint32
+	for i, code := range col.Codes {
+		if _, ok := strata[code]; !ok {
+			codes = append(codes, code)
+		}
+		strata[code] = append(strata[code], uint32(i))
+	}
+	// Iterate strata in first-appearance order so the picked set is
+	// deterministic for a given batch (map order would jitter replays).
+	var out []uint32
+	for _, code := range codes {
+		rows := strata[code]
+		k := max(1, int(float64(len(rows))*e.cfg.SampleRate))
+		for _, p := range stats.ReservoirSample(rng, len(rows), k) {
+			out = append(out, rows[p])
+		}
+	}
+	return out, nil
+}
+
+// Watermark implements engine.Appender: the represented population.
+func (e *Engine) Watermark() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return int64(e.origRows)
 }
 
 // scanChunk is the number of sample rows folded between cancellation
@@ -208,7 +294,10 @@ func (e *Engine) SampleRows() int {
 	return e.sample.Fact.NumRows()
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var (
+	_ engine.Engine   = (*Engine)(nil)
+	_ engine.Appender = (*Engine)(nil)
+)
 
 // warmupBinning picks any column for the warm-up scan.
 func warmupBinning(t *dataset.Table) query.Binning {

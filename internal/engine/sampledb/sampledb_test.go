@@ -19,6 +19,10 @@ func TestMultiUserScenario(t *testing.T) {
 	enginetest.MultiUserScenario(t, func() engine.Engine { return New(Config{}) }, false)
 }
 
+func TestIngestScenario(t *testing.T) {
+	enginetest.IngestScenario(t, func() engine.Engine { return New(Config{}) }, false)
+}
+
 func TestName(t *testing.T) {
 	if New(Config{}).Name() != "sampledb" {
 		t.Error("name wrong")

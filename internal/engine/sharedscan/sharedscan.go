@@ -42,13 +42,33 @@
 // all, coverage intact — and resume the moment foreground work drains. So
 // speculation consumes think time, never query time, and costs one shared
 // per-chunk fold instead of a competing full scan.
+//
+// # Live ingestion: Extend and delta consumers
+//
+// Extend grows the scanned table mid-flight: appended rows land as a tail
+// segment of the sequential storage, the cursor's wrap point moves, and
+// every registered consumer — attached or paused, mid-sweep or already
+// complete — gains the tail as one more uncovered interval. The existing
+// uncovered-interval clipping then delivers the new rows to each consumer
+// exactly once, interleaved with whatever of the old region it had left; a
+// consumer that had already completed is re-armed (fresh done epoch, stale
+// cached final dropped) and finishes again once the tail is folded. Because
+// the table view changed, Extend rebinds each consumer's compiled plan to
+// the new view; worker shards migrate their accumulated state to the new
+// plan on first touch (bin keys are plan-independent, so the merge is
+// exact). Partial snapshots taken mid-extension scale against the extended
+// population — the covered window is no longer a perfectly uniform sample
+// of old+tail, an approximation the staleness metric (not the CLT margins)
+// is the honest lens on; completed snapshots are exact regardless.
 package sharedscan
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"idebench/internal/dataset"
 	"idebench/internal/engine"
 	"idebench/internal/query"
 )
@@ -68,6 +88,7 @@ type Scanner struct {
 	pos    int         // next chunk start in [0, numRows)
 	active []*Consumer // attached, with unassigned rows; foreground first
 	idle   []int       // free worker ids; workers exit when active drains
+	all    map[*Consumer]struct{}
 }
 
 // New returns a scheduler over numRows rows of sequential storage, claiming
@@ -80,7 +101,8 @@ func New(numRows, chunkRows, workers int) *Scanner {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scanner{numRows: numRows, chunk: chunkRows, workers: workers}
+	s := &Scanner{numRows: numRows, chunk: chunkRows, workers: workers,
+		all: make(map[*Consumer]struct{})}
 	s.idle = make([]int, workers)
 	for i := range s.idle {
 		s.idle[i] = i
@@ -88,8 +110,62 @@ func New(numRows, chunkRows, workers int) *Scanner {
 	return s
 }
 
-// NumRows returns the scheduler's row count.
-func (s *Scanner) NumRows() int { return s.numRows }
+// NumRows returns the scheduler's current row count (grows under Extend).
+func (s *Scanner) NumRows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.numRows
+}
+
+// Extend grows the scan to newRows rows: db must be the extended table view
+// the appended tail belongs to. Every registered consumer's plan is rebound
+// to the new view and its uncovered ranges gain the rows between its old
+// target and newRows, so active states absorb the delta exactly once and
+// already-complete states re-arm and run again over just the tail. Callers
+// serialize Extend with their append path (one data version at a time).
+func (s *Scanner) Extend(db *dataset.Database, newRows int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if newRows < s.numRows {
+		return fmt.Errorf("sharedscan: extend to %d rows below current %d", newRows, s.numRows)
+	}
+	if newRows > s.numRows {
+		s.numRows = newRows
+	}
+	var firstErr error
+	// Plans are deduplicated by query signature: sessions routinely cache
+	// the same query, and this loop runs under the scheduler lock every
+	// worker needs per chunk claim — one compile per distinct query keeps
+	// the scan stall per batch proportional to the query mix, not the
+	// consumer count.
+	plans := make(map[string]*engine.Compiled)
+	for c := range s.all {
+		oldTarget := int(c.target.Load())
+		if oldTarget >= newRows {
+			continue // already bound to this version (or a newer view)
+		}
+		q := c.plan.Load().Query
+		sig := q.Signature()
+		plan, ok := plans[sig]
+		if !ok {
+			var err error
+			plan, err = engine.Compile(db, q)
+			if err != nil {
+				// A query that compiled against the old view failing against
+				// the grown one means the append broke an invariant; surface
+				// it and leave the consumer at its old version rather than
+				// corrupting it.
+				if firstErr == nil {
+					firstErr = fmt.Errorf("sharedscan: extend consumer: %w", err)
+				}
+				continue
+			}
+			plans[sig] = plan
+		}
+		c.extendLocked(plan, oldTarget, newRows)
+	}
+	return firstErr
+}
 
 // ActiveConsumers returns how many consumers are currently attached to the
 // scan (foreground and speculative). Observability for the serving layer's
@@ -101,19 +177,33 @@ func (s *Scanner) ActiveConsumers() int {
 }
 
 // NewConsumer creates a detached consumer for plan, which must be compiled
-// against the same (sequential-order) table the scanner was sized for.
+// against the current view of the scanner's table. The consumer's coverage
+// target is the plan's row count: if the scan is extended before the plan's
+// rows are fully dispatched the consumer rides along via Extend, and if the
+// plan was compiled against a view slightly ahead of the scanner (a query
+// racing an append) the cursor simply reaches the tail once Extend lands.
 func (s *Scanner) NewConsumer(plan *engine.Compiled) *Consumer {
 	c := &Consumer{
 		s:      s,
-		plan:   plan,
 		shards: make([]shard, s.workers),
 		done:   make(chan struct{}),
 	}
-	if s.numRows == 0 {
+	c.plan.Store(plan)
+	c.target.Store(int64(plan.NumRows))
+	if plan.NumRows == 0 {
+		c.completed = true
 		close(c.done)
 	} else {
-		c.needed = []span{{0, s.numRows}}
+		c.needed = []span{{0, plan.NumRows}}
 	}
+	// Publish only once fully initialized: from the moment the consumer is
+	// in s.all, a concurrent Extend may mutate needed/target/done under
+	// s.mu, and any state written here afterwards would race it (and could
+	// overwrite an already-granted tail span, wedging the consumer short of
+	// its target forever).
+	s.mu.Lock()
+	s.all[c] = struct{}{}
+	s.mu.Unlock()
 	return c
 }
 
@@ -235,21 +325,27 @@ func (s *Scanner) nextNeededLocked(pos int, fgOnly bool) int {
 
 // shard is one worker's private accumulator for one consumer. Only worker w
 // folds into shards[w], so the lock is uncontended on the hot path; snapshots
-// take all shard locks of a consumer to get a consistent merge.
+// take all shard locks of a consumer to get a consistent merge. plan records
+// which view gs's kernels read: when an Extend rebinds the consumer, the
+// shard migrates its accumulated state into a fresh state on the new plan
+// the next time it folds (bin keys are plan-independent, so Merge is exact).
 type shard struct {
-	mu sync.Mutex
-	gs *engine.GroupState
+	mu   sync.Mutex
+	gs   *engine.GroupState
+	plan *engine.Compiled
 }
 
 // Consumer is one query state riding the shared scan: the progressive
 // engine's unit of reuse and speculation. It accumulates rows exactly once
-// across attach/detach cycles and completes when every row has been folded.
+// across attach/detach cycles (and across Extend-grown tails) and completes
+// when every row of its current target version has been folded.
 type Consumer struct {
-	s    *Scanner
-	plan *engine.Compiled
+	s      *Scanner
+	plan   atomic.Pointer[engine.Compiled]
+	target atomic.Int64 // rows of the data version this consumer covers
 
 	// Scheduling state, guarded by s.mu.
-	needed   []span // uncovered, unassigned row ranges, ascending
+	needed   []span // uncovered, unassigned row ranges
 	attached bool
 	fgRefs   int  // live foreground handles
 	spec     bool // standing speculation target
@@ -265,16 +361,60 @@ type Consumer struct {
 	// merge gets in within one chunk fold.
 	gate sync.Mutex
 
-	done    chan struct{}
-	doneMu  sync.Mutex
-	doneCbs map[int]func()
-	cbSeq   int
-	finalMu sync.Mutex
-	final   *engine.GroupState // merged shards, cached after completion
+	// done is the current completion epoch's channel: closed when every row
+	// of the current target is folded, replaced by Extend when a completed
+	// consumer gains a tail to absorb. completed tracks the same condition
+	// for polling. Both are guarded by doneMu.
+	done      chan struct{}
+	completed bool
+	doneMu    sync.Mutex
+	doneCbs   map[int]func()
+	cbSeq     int
+	finalMu   sync.Mutex
+	final     *engine.GroupState // merged shards, cached after completion
 }
 
-// Plan returns the compiled plan the consumer accumulates for.
-func (c *Consumer) Plan() *engine.Compiled { return c.plan }
+// Plan returns the compiled plan the consumer currently accumulates for.
+func (c *Consumer) Plan() *engine.Compiled { return c.plan.Load() }
+
+// extendLocked grows the consumer's coverage to the new data version:
+// rebind the plan, add the uncovered tail, re-arm completion. Caller holds
+// s.mu.
+func (c *Consumer) extendLocked(plan *engine.Compiled, oldTarget, newRows int) {
+	c.plan.Store(plan)
+	c.needed = append(c.needed, span{oldTarget, newRows})
+	// Target store and final-cache clear share finalMu so a concurrent
+	// Snapshot can never observe the old target and then cache its merge as
+	// the (now stale) final state after this clear.
+	c.finalMu.Lock()
+	c.target.Store(int64(newRows))
+	c.final = nil
+	c.finalMu.Unlock()
+	c.doneMu.Lock()
+	if c.completed {
+		c.completed = false
+		c.done = make(chan struct{})
+	}
+	c.doneMu.Unlock()
+	if c.fgRefs > 0 || c.spec {
+		c.ensureAttachedLocked()
+	}
+}
+
+// Discard unregisters the consumer from the scan's extension registry (a
+// session dropping its cache): it receives no future data versions. An
+// in-flight foreground handle keeps the consumer scanning to its current
+// target; otherwise it detaches immediately.
+func (c *Consumer) Discard() {
+	s := c.s
+	s.mu.Lock()
+	delete(s.all, c)
+	c.spec = false
+	if c.fgRefs == 0 {
+		c.detachLocked()
+	}
+	s.mu.Unlock()
+}
 
 // takeLocked claims the intersection of [lo, hi) with the consumer's
 // uncovered ranges, removing it from needed. Caller holds s.mu.
@@ -307,16 +447,25 @@ func (c *Consumer) takeLocked(lo, hi int) []span {
 }
 
 // fold accumulates the claimed spans into worker w's shard and completes the
-// consumer when the last row lands.
+// consumer when the last row of its current target lands. The shard's state
+// migrates to the consumer's current plan first, so spans from an extended
+// tail are always folded with kernels bound to the view that contains them.
 func (c *Consumer) fold(w int, parts []span) {
 	// Turnstile: let a pending snapshot merge cut in (see gate).
 	c.gate.Lock()
 	//lint:ignore SA2001 empty critical section is the turnstile handoff
 	c.gate.Unlock()
+	plan := c.plan.Load()
 	sh := &c.shards[w]
 	sh.mu.Lock()
 	if sh.gs == nil {
-		sh.gs = engine.NewGroupState(c.plan)
+		sh.gs = engine.NewGroupState(plan)
+		sh.plan = plan
+	} else if sh.plan != plan {
+		ngs := engine.NewGroupState(plan)
+		ngs.Merge(sh.gs)
+		sh.gs = ngs
+		sh.plan = plan
 	}
 	n := 0
 	for _, sp := range parts {
@@ -325,20 +474,25 @@ func (c *Consumer) fold(w int, parts []span) {
 	}
 	total := c.folded.Add(int64(n))
 	sh.mu.Unlock()
-	if int(total) == c.s.numRows {
+	if total == c.target.Load() {
 		c.finish()
 	}
 }
 
-// finish closes the done channel and runs completion callbacks, once.
+// finish closes the current done epoch and runs completion callbacks, once
+// per epoch. Completion is re-validated under doneMu: the caller observed
+// folded == target, but an Extend may have grown the target in between —
+// completing then would close the re-armed epoch with the tail still
+// uncovered and deliver a partial snapshot as final. (If the Extend lands
+// after this validation instead, its re-arm runs behind the same mutex and
+// reopens the epoch — the old version genuinely had completed.)
 func (c *Consumer) finish() {
 	c.doneMu.Lock()
-	select {
-	case <-c.done:
+	if c.completed || c.folded.Load() != c.target.Load() {
 		c.doneMu.Unlock()
 		return
-	default:
 	}
+	c.completed = true
 	close(c.done)
 	cbs := make([]func(), 0, len(c.doneCbs))
 	for _, fn := range c.doneCbs {
@@ -351,32 +505,37 @@ func (c *Consumer) finish() {
 	}
 }
 
-// Done is closed when every row has been folded.
-func (c *Consumer) Done() <-chan struct{} { return c.done }
+// Done returns the current completion epoch's channel, closed when every
+// row of the current target version has been folded. After an Extend the
+// channel is a fresh one; callers holding a channel from a previous version
+// were truthfully told that version completed.
+func (c *Consumer) Done() <-chan struct{} {
+	c.doneMu.Lock()
+	defer c.doneMu.Unlock()
+	return c.done
+}
 
-// IsDone reports whether the consumer has folded every row.
+// IsDone reports whether the consumer has folded every row of its current
+// target version.
 func (c *Consumer) IsDone() bool {
-	select {
-	case <-c.done:
-		return true
-	default:
-		return false
-	}
+	c.doneMu.Lock()
+	defer c.doneMu.Unlock()
+	return c.completed
 }
 
 // WhenDone registers fn to run at completion (immediately if already done).
-// The returned func deregisters fn if it has not yet run — callers whose
-// interest ends early (a cancelled handle) must call it, or the closure and
-// everything it retains would sit in the callback list of a consumer that
-// may never complete.
+// A callback registered before an Extend fires when the extended target
+// completes — the handle it finishes then reflects the newest absorbed data
+// version. The returned func deregisters fn if it has not yet run — callers
+// whose interest ends early (a cancelled handle) must call it, or the
+// closure and everything it retains would sit in the callback list of a
+// consumer that may never complete.
 func (c *Consumer) WhenDone(fn func()) (deregister func()) {
 	c.doneMu.Lock()
-	select {
-	case <-c.done:
+	if c.completed {
 		c.doneMu.Unlock()
 		fn()
 		return func() {}
-	default:
 	}
 	if c.doneCbs == nil {
 		c.doneCbs = make(map[int]func())
@@ -395,12 +554,17 @@ func (c *Consumer) WhenDone(fn func()) (deregister func()) {
 // RowsSeen returns the number of rows folded so far.
 func (c *Consumer) RowsSeen() int64 { return c.folded.Load() }
 
-// Progress returns the folded fraction in [0, 1].
+// Target returns the row count of the data version the consumer is folding
+// toward — its result watermark.
+func (c *Consumer) Target() int64 { return c.target.Load() }
+
+// Progress returns the folded fraction of the current target in [0, 1].
 func (c *Consumer) Progress() float64 {
-	if c.s.numRows == 0 {
+	target := c.target.Load()
+	if target == 0 {
 		return 1
 	}
-	return float64(c.folded.Load()) / float64(c.s.numRows)
+	return float64(c.folded.Load()) / float64(target)
 }
 
 // Acquire attaches the consumer on behalf of a foreground handle. Each
@@ -512,7 +676,7 @@ func (c *Consumer) mergeShards() (*engine.GroupState, int64) {
 		c.shards[i].mu.Lock()
 	}
 	seen := c.folded.Load()
-	merged := engine.NewGroupState(c.plan)
+	merged := engine.NewGroupState(c.plan.Load())
 	for i := range c.shards {
 		if gs := c.shards[i].gs; gs != nil {
 			merged.Merge(gs)
@@ -524,9 +688,10 @@ func (c *Consumer) mergeShards() (*engine.GroupState, int64) {
 	return merged, seen
 }
 
-// Snapshot renders the current estimate: exact once every row is folded,
-// otherwise scaled with CLT margins at critical value z — the contiguous
-// permutation window seen so far is a uniform sample of the table.
+// Snapshot renders the current estimate: exact once every row of the
+// current target version is folded, otherwise scaled with CLT margins at
+// critical value z over the window seen so far. The result's watermark is
+// the target version's row count.
 func (c *Consumer) Snapshot(z float64) *query.Result {
 	c.finalMu.Lock()
 	final := c.final
@@ -535,13 +700,19 @@ func (c *Consumer) Snapshot(z float64) *query.Result {
 		return final.SnapshotExact()
 	}
 	merged, seen := c.mergeShards()
-	if int(seen) == c.s.numRows {
-		c.finalMu.Lock()
+	// Cache-or-scale decision under finalMu: extendLocked stores the grown
+	// target and clears the stale final atomically with respect to this
+	// block, so a merge of the old version can never be cached as the final
+	// state of the new one.
+	c.finalMu.Lock()
+	target := c.target.Load()
+	if seen == target {
 		if c.final == nil {
 			c.final = merged
 		}
 		c.finalMu.Unlock()
 		return merged.SnapshotExact()
 	}
-	return merged.SnapshotScaled(seen, int64(c.s.numRows), 0, z)
+	c.finalMu.Unlock()
+	return merged.SnapshotScaled(seen, target, 0, z)
 }

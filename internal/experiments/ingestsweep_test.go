@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIngestSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := IngestSweepUsers(quickCfg(&buf), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 2 engines × 2 user counts", len(rows))
+	}
+	for _, r := range rows {
+		if r.Queries == 0 {
+			t.Errorf("%s users=%d executed no queries", r.Driver, r.Users)
+		}
+		if r.IngestedRows == 0 {
+			t.Errorf("%s users=%d applied no ingest batches", r.Driver, r.Users)
+		}
+		if r.IngestRowsPerSec <= 0 {
+			t.Errorf("%s users=%d has no ingest throughput", r.Driver, r.Users)
+		}
+		if !r.BitwiseOK {
+			t.Errorf("%s users=%d failed the quiesce bitwise gate", r.Driver, r.Users)
+		}
+		// More users replay more workflows, so more ingest events land.
+		if r.Users == 2 && r.IngestedRows == 0 {
+			t.Errorf("%s users=2 ingested nothing", r.Driver)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Live ingestion") || !strings.Contains(out, "quiesce_bitwise=true") {
+		t.Errorf("sweep output missing sections:\n%s", out)
+	}
+	if strings.Contains(out, "quiesce_bitwise=false") {
+		t.Errorf("sweep reported a failed quiesce gate:\n%s", out)
+	}
+}

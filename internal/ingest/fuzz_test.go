@@ -1,0 +1,97 @@
+package ingest_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"idebench/internal/ingest"
+)
+
+// FuzzIngestRecord fuzzes the ingest-batch wire format: decoding arbitrary
+// JSON must never panic, anything DecodeBatch accepts must re-encode to a
+// fixpoint (decode→encode→decode is identity), and materialization of an
+// accepted batch against a real schema must either succeed or fail with an
+// error — never corrupt state. Seeds come from the datagen-backed source,
+// so the corpus starts from documents shaped like real ingest traffic.
+func FuzzIngestRecord(f *testing.F) {
+	src, err := ingest.NewSource(2000, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		b, err := src.Next(3 + i*5)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := b.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Awkward shapes: wrong arity, empty rows, type confusion, huge and
+	// tiny numbers, quoting hazards, nulls and nested junk.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"table":"flights","rows":[]}`))
+	f.Add([]byte(`{"table":"flights","rows":[["AA",1],[2]]}`))
+	f.Add([]byte(`{"table":"flights","rows":[[null]]}`))
+	f.Add([]byte(`{"table":"flights","rows":[[true,{"x":1}]]}`))
+	f.Add([]byte(`{"table":"flights","rows":[[1e999]]}`))
+	f.Add([]byte(`{"table":"fl'--ights","rows":[["O'Hare",-0.0,5e-324]]}`))
+	f.Add([]byte(`{"table":"flights","seq":-9,"rows":[["AA","SFO",12.5,430,1,2,3,4]]}`))
+
+	db := fuzzDB(f)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ingest.DecodeBatch(data)
+		if err != nil {
+			return // rejected documents are fine; panics are not
+		}
+		enc, err := b.Encode()
+		if err != nil {
+			t.Fatalf("accepted batch failed to encode: %v", err)
+		}
+		b2, err := ingest.DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded: %s", err, enc)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("decode→encode→decode changed the batch:\n was: %#v\n now: %#v", b, b2)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("encoding not a fixpoint:\n was: %s\n now: %s", enc, enc2)
+		}
+		// Materialization must not panic on any accepted document; it may
+		// reject (wrong table, arity, kinds, FK range).
+		if rows, err := ingest.Materialize(db, b); err == nil {
+			if rows.NumRows() != b.NumRows() {
+				t.Fatalf("materialized %d rows from a %d-row batch", rows.NumRows(), b.NumRows())
+			}
+		}
+	})
+}
+
+// fuzzJSONEquiv guards against a subtle trap: two JSON documents that
+// decode to the same batch must encode identically (the canonical form).
+func TestBatchEncodingCanonical(t *testing.T) {
+	a, err := ingest.DecodeBatch([]byte(`{"rows":[["x",1]],"table":"t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ingest.DecodeBatch([]byte(`{"table":"t","rows":[["x",1.0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := a.Encode()
+	eb, _ := b.Encode()
+	if string(ea) != string(eb) {
+		t.Fatalf("equivalent documents encode differently:\n %s\n %s", ea, eb)
+	}
+	var raw json.RawMessage = ea
+	_ = raw
+}

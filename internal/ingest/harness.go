@@ -1,0 +1,227 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/query"
+)
+
+// Sink receives each applied ingest event. The harness hands every sink
+// both forms of the batch — the wire document and its materialization
+// against the live view — so in-process engines append the table while a
+// network forwarder ships the document.
+type Sink interface {
+	ApplyBatch(b *Batch, rows *dataset.Table) error
+}
+
+// EngineSink adapts an engine.Appender into a Sink.
+type EngineSink struct{ A engine.Appender }
+
+// ApplyBatch implements Sink.
+func (s EngineSink) ApplyBatch(_ *Batch, rows *dataset.Table) error { return s.A.Append(rows) }
+
+// Harness owns one live ingestion timeline: the versioned ground-truth
+// lineage (a private copy of the base database, grown batch by batch), the
+// batch source, and the sinks every event fans out to. It implements the
+// driver's IngestSink contract, which is how mixed query+ingest workflows
+// replay: ingest interactions call Ingest, and every fetched result is
+// evaluated against the ground truth of the data version its watermark
+// names — so accuracy metrics stay meaningful under staleness instead of
+// comparing a pre-append answer to a post-append truth.
+type Harness struct {
+	src   BatchSource
+	sinks []Sink
+
+	mu       sync.Mutex
+	gt       *dataset.TableAppender
+	dims     []*dataset.Dimension
+	views    map[int64]*dataset.Database // watermark (rows) → view
+	truths   map[truthKey]*truthEntry    // (version, signature) → exact result
+	marks    []int64                     // sorted watermarks with views
+	base     int64                       // rows before any ingestion
+	ingested int64                       // rows appended so far
+	batches  int64
+}
+
+// truthKey identifies one exact reference: a data version and a query
+// signature. (The harness keeps its own versioned cache rather than one
+// groundtruth.Cache per version — same memoization, no extra dependency.)
+type truthKey struct {
+	version int64
+	sig     string
+}
+
+type truthEntry struct {
+	once sync.Once
+	res  *query.Result
+	err  error
+}
+
+// NewHarness builds a harness over base. The ground-truth lineage copies
+// base's fact storage once (base is typically shared with engines that hold
+// it by pointer), then grows by amortized appends.
+func NewHarness(base *dataset.Database, src BatchSource, sinks ...Sink) *Harness {
+	h := &Harness{
+		src:    src,
+		sinks:  sinks,
+		gt:     dataset.NewTableAppender(base.Fact, false),
+		dims:   base.Dimensions,
+		views:  make(map[int64]*dataset.Database),
+		truths: make(map[truthKey]*truthEntry),
+		base:   int64(base.Fact.NumRows()),
+	}
+	h.recordViewLocked(&dataset.Database{Fact: h.gt.View(), Dimensions: h.dims})
+	return h
+}
+
+// recordViewLocked indexes a view by its watermark. Caller holds h.mu (or
+// is the constructor).
+func (h *Harness) recordViewLocked(db *dataset.Database) {
+	w := int64(db.Fact.NumRows())
+	if _, ok := h.views[w]; !ok {
+		h.views[w] = db
+		h.marks = append(h.marks, w)
+	}
+}
+
+// Ingest draws the next batch of n rows from the source, applies it to the
+// ground-truth lineage and to every sink, and returns the new watermark.
+// Events are serialized: one data version exists at a time, everywhere.
+func (h *Harness) Ingest(n int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := h.src.Next(n)
+	if err != nil {
+		return 0, err
+	}
+	view := h.views[h.base+h.ingested]
+	rows, err := Materialize(view, b)
+	if err != nil {
+		return 0, err
+	}
+	newFact, err := h.gt.Append(rows)
+	if err != nil {
+		return 0, err
+	}
+	h.recordViewLocked(&dataset.Database{Fact: newFact, Dimensions: h.dims})
+	h.ingested += int64(rows.NumRows())
+	h.batches++
+	for _, s := range h.sinks {
+		if err := s.ApplyBatch(b, rows); err != nil {
+			return 0, fmt.Errorf("ingest: batch %d: %w", h.batches, err)
+		}
+	}
+	return h.base + h.ingested, nil
+}
+
+// Watermark returns the freshest ingested row count: base rows plus
+// everything applied so far. The staleness of a result is Watermark minus
+// the result's own watermark at fetch time.
+func (h *Harness) Watermark() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.base + h.ingested
+}
+
+// IngestedRows returns the total rows appended (excluding the base).
+func (h *Harness) IngestedRows() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ingested
+}
+
+// Batches returns the number of applied ingest events.
+func (h *Harness) Batches() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.batches
+}
+
+// ViewAt returns the table view of the given watermark (or the nearest
+// version at or below it, for watermarks that are not batch boundaries).
+func (h *Harness) ViewAt(watermark int64) *dataset.Database {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.viewAtLocked(watermark)
+}
+
+func (h *Harness) viewAtLocked(watermark int64) *dataset.Database {
+	if db, ok := h.views[watermark]; ok {
+		return db
+	}
+	// Engines only ever answer at batch boundaries, but be robust: take the
+	// nearest recorded version at or below the requested watermark.
+	i := sort.Search(len(h.marks), func(i int) bool { return h.marks[i] > watermark })
+	if i == 0 {
+		return h.views[h.marks[0]]
+	}
+	return h.views[h.marks[i-1]]
+}
+
+// TruthAt computes (and caches) the exact reference for q against the data
+// version named by watermark. Concurrent misses for the same (version,
+// signature) compute once.
+func (h *Harness) TruthAt(q *query.Query, watermark int64) (*query.Result, error) {
+	h.mu.Lock()
+	db := h.viewAtLocked(watermark)
+	key := truthKey{version: int64(db.Fact.NumRows()), sig: q.Signature()}
+	e, ok := h.truths[key]
+	if !ok {
+		e = &truthEntry{}
+		h.truths[key] = e
+	}
+	h.mu.Unlock()
+	e.once.Do(func() {
+		plan, err := engine.Compile(db, q)
+		if err != nil {
+			e.err = err
+			return
+		}
+		gs := engine.NewGroupState(plan)
+		gs.ScanRange(0, plan.NumRows)
+		e.res = gs.SnapshotExact()
+	})
+	return e.res, e.err
+}
+
+// FinalView returns the current (latest) database view — what a cold
+// Prepare after quiesce would ingest.
+func (h *Harness) FinalView() *dataset.Database {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.views[h.base+h.ingested]
+}
+
+// Applier applies wire batches to one engine, serialized: the server-side
+// receiving end of the ingest frame type. db provides the schema and the
+// shared dictionaries batches are materialized against (its row count may
+// be stale; only schema, dictionaries and dimension tables are read).
+type Applier struct {
+	mu  sync.Mutex
+	db  *dataset.Database
+	app engine.Appender
+}
+
+// NewApplier wraps a prepared appender engine.
+func NewApplier(db *dataset.Database, app engine.Appender) *Applier {
+	return &Applier{db: db, app: app}
+}
+
+// Apply materializes and appends one batch, returning the engine's
+// post-apply watermark.
+func (a *Applier) Apply(b *Batch) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rows, err := Materialize(a.db, b)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.app.Append(rows); err != nil {
+		return 0, err
+	}
+	return a.app.Watermark(), nil
+}

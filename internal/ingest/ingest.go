@@ -1,0 +1,196 @@
+// Package ingest is the live-ingestion subsystem: the wire format for
+// append-only row batches, their materialization against a prepared
+// database (dictionary interning, schema and foreign-key validation), a
+// deterministic batch source distributed like the benchmark's synthetic
+// data, and the Harness that replays mixed query+ingest timelines — owning
+// the versioned ground-truth lineage and fanning each batch out to every
+// engine that implements engine.Appender.
+//
+// The benchmark's static-table assumption is the one IDEBench shares with
+// most of the systems it measures; this subsystem removes it. Batches are
+// strictly append-only (no updates or deletes), which keeps every engine's
+// incremental-maintenance story monotone: absorbing a batch can only add
+// rows to bins, never retract them.
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"idebench/internal/dataset"
+)
+
+// Value is one cell of an ingested row: a nominal string or a quantitative
+// number, discriminated by IsStr. On the wire it is a bare JSON string or
+// number, so a batch document reads like a row dump:
+//
+//	{"table":"flights","rows":[["AA","SFO",12.5,430], ...]}
+type Value struct {
+	Str   string
+	Num   float64
+	IsStr bool
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.IsStr {
+		return json.Marshal(v.Str)
+	}
+	return json.Marshal(v.Num)
+}
+
+// UnmarshalJSON implements json.Unmarshaler: accepts exactly a JSON string
+// or a finite JSON number.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("ingest: empty value")
+	}
+	if data[0] == '"' {
+		v.IsStr = true
+		v.Num = 0
+		return json.Unmarshal(data, &v.Str)
+	}
+	// JSON has no NaN/Inf literals and ParseFloat fails (ErrRange) on
+	// magnitudes that would saturate to ±Inf, so a successful parse is
+	// always a storable finite float64.
+	f, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("ingest: value %s is neither string nor finite number", data)
+	}
+	v.IsStr = false
+	v.Str = ""
+	v.Num = f
+	return nil
+}
+
+// Row is one ingested row's values in schema field order.
+type Row []Value
+
+// Batch is one append-only ingest event: rows appended atomically to one
+// table. Seq is the event's position in its stream (informational on the
+// wire; the server broadcasts its post-apply watermark separately).
+type Batch struct {
+	Table string `json:"table"`
+	Rows  []Row  `json:"rows"`
+	Seq   int64  `json:"seq,omitempty"`
+}
+
+// Validate checks structural well-formedness independent of any schema:
+// named table, at least one row, rectangular rows with at least one column.
+func (b *Batch) Validate() error {
+	if b.Table == "" {
+		return fmt.Errorf("ingest: batch without table")
+	}
+	if len(b.Rows) == 0 {
+		return fmt.Errorf("ingest: batch with no rows")
+	}
+	arity := len(b.Rows[0])
+	if arity == 0 {
+		return fmt.Errorf("ingest: batch rows have no columns")
+	}
+	for i, r := range b.Rows {
+		if len(r) != arity {
+			return fmt.Errorf("ingest: batch row %d has %d values, row 0 has %d", i, len(r), arity)
+		}
+	}
+	return nil
+}
+
+// DecodeBatch parses and structurally validates one batch document.
+func DecodeBatch(data []byte) (*Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("ingest: decode batch: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Encode marshals the batch for the wire.
+func (b *Batch) Encode() ([]byte, error) {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: encode batch: %w", err)
+	}
+	return data, nil
+}
+
+// NumRows returns the batch size.
+func (b *Batch) NumRows() int { return len(b.Rows) }
+
+// Materialize converts a batch into an appendable table against db: values
+// are validated against the fact schema (arity and kind per field), nominal
+// strings are interned into the fact table's dictionaries (shared with
+// every engine copy, so the resulting codes are valid everywhere), and on a
+// normalized schema the foreign keys are checked against the dimension
+// tables. The returned table is exactly what engine.Appender.Append and
+// dataset.TableAppender.Append consume.
+func Materialize(db *dataset.Database, b *Batch) (*dataset.Table, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	fact := db.Fact
+	if b.Table != fact.Name {
+		return nil, fmt.Errorf("ingest: batch targets table %q, prepared fact table is %q", b.Table, fact.Name)
+	}
+	schema := fact.Schema
+	bld := dataset.NewBuilder(fact.Name, schema, len(b.Rows))
+	for j, f := range schema.Fields {
+		if f.Kind == dataset.Nominal {
+			bld.SetDict(j, fact.Columns[j].Dict)
+		}
+	}
+	for i, row := range b.Rows {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("ingest: row %d has %d values for %d fields", i, len(row), schema.Len())
+		}
+		for j, f := range schema.Fields {
+			v := row[j]
+			switch {
+			case f.Kind == dataset.Nominal && !v.IsStr:
+				return nil, fmt.Errorf("ingest: row %d: field %q is nominal, got number %v", i, f.Name, v.Num)
+			case f.Kind == dataset.Quantitative && v.IsStr:
+				return nil, fmt.Errorf("ingest: row %d: field %q is quantitative, got string %q", i, f.Name, v.Str)
+			case f.Kind == dataset.Nominal:
+				bld.AppendString(j, v.Str)
+			default:
+				bld.AppendNum(j, v.Num)
+			}
+		}
+	}
+	tbl, err := bld.Build()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: materialize: %w", err)
+	}
+	if err := db.ValidateFKBatch(tbl); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	return tbl, nil
+}
+
+// FromTable converts rows [lo, hi) of t into a batch (the inverse of
+// Materialize, used by the deterministic source and as fuzz seeds).
+func FromTable(t *dataset.Table, lo, hi int) *Batch {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.NumRows() {
+		hi = t.NumRows()
+	}
+	b := &Batch{Table: t.Name}
+	for r := lo; r < hi; r++ {
+		row := make(Row, len(t.Columns))
+		for j, c := range t.Columns {
+			if c.Field.Kind == dataset.Nominal {
+				row[j] = Value{IsStr: true, Str: c.Dict.Value(c.Codes[r])}
+			} else {
+				row[j] = Value{Num: c.Nums[r]}
+			}
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return b
+}

@@ -50,6 +50,15 @@ type QueryMetrics struct {
 	// Bias is Σ(delivered values)/Σ(true values for those bins); >1 means
 	// systematic over-estimation.
 	Bias float64
+
+	// StalenessRows is the live-ingestion staleness of the result: how many
+	// ingested rows the freshest data had that the delivered result's
+	// watermark does not reflect (0 = perfectly fresh). It is -1 outside
+	// ingest-aware runs and for queries that delivered nothing (records
+	// must stay JSON-marshalable, which rules out the NaN convention the
+	// error metrics use); aggregations skip negative values, so the
+	// staleness distribution covers delivered results only.
+	StalenessRows float64
 }
 
 // Violated returns the canonical metrics value for a query that delivered
@@ -68,6 +77,7 @@ func Violated(gt *query.Result) QueryMetrics {
 		MarginAvg:      math.NaN(),
 		MarginStdev:    math.NaN(),
 		Bias:           math.NaN(),
+		StalenessRows:  -1,
 	}
 }
 
@@ -77,7 +87,8 @@ func Violated(gt *query.Result) QueryMetrics {
 // engine that still counts as violating (the driver normally passes false
 // here and uses Violated for nil results).
 func Evaluate(res, gt *query.Result, trViolated bool) QueryMetrics {
-	m := QueryMetrics{TRViolated: trViolated, HasResult: true, BinsInGT: len(gt.Bins)}
+	m := QueryMetrics{TRViolated: trViolated, HasResult: true, BinsInGT: len(gt.Bins),
+		StalenessRows: -1}
 	if res == nil {
 		return Violated(gt)
 	}

@@ -47,6 +47,7 @@ type resultJSON struct {
 	RowsSeen  int64     `json:"rows_seen"`
 	TotalRows int64     `json:"total_rows"`
 	Complete  bool      `json:"complete"`
+	Watermark int64     `json:"watermark,omitempty"`
 }
 
 type binJSON struct {
@@ -62,6 +63,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		RowsSeen:  r.RowsSeen,
 		TotalRows: r.TotalRows,
 		Complete:  r.Complete,
+		Watermark: r.Watermark,
 	}
 	for _, k := range r.SortedKeys() {
 		bv := r.Bins[k]
@@ -84,6 +86,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	r.RowsSeen = in.RowsSeen
 	r.TotalRows = in.TotalRows
 	r.Complete = in.Complete
+	r.Watermark = in.Watermark
 	for _, b := range in.Bins {
 		if len(b.Margins) != len(b.Values) {
 			return fmt.Errorf("query: bin %v has %d margins for %d values",

@@ -42,6 +42,13 @@ type Result struct {
 	// Complete reports whether the result is exact (all rows processed, or
 	// an exact engine finished).
 	Complete bool
+	// Watermark is the data-version this result reflects, measured in fact
+	// rows: the result was computed against the table as of its first
+	// Watermark rows. Under live ingestion the driver's staleness metric is
+	// the gap between the live row count at fetch time and this watermark.
+	// Engines without ingestion leave it equal to TotalRows (0 on legacy
+	// wire documents means unknown).
+	Watermark int64
 }
 
 // NewResult allocates an empty result.
@@ -82,6 +89,7 @@ func (r *Result) Clone() *Result {
 		RowsSeen:  r.RowsSeen,
 		TotalRows: r.TotalRows,
 		Complete:  r.Complete,
+		Watermark: r.Watermark,
 	}
 	for k, v := range r.Bins {
 		nv := &BinValue{

@@ -13,14 +13,17 @@ import (
 	"idebench/internal/workflow"
 )
 
-// legacyDetailedHeader is the pre-multi-user column set: DetailedHeader
-// without the user/users columns. Reports saved by older builds still load
-// (`idebench analyze` on archived runs), with every record defaulting to
-// the single-user annotations.
-func legacyDetailedHeader() []string {
-	out := make([]string, 0, len(DetailedHeader)-2)
+// headerWithout derives a historical column set by dropping columns newer
+// builds added, so reports saved by older builds still load (`idebench
+// analyze` on archived runs) with the dropped annotations defaulting.
+func headerWithout(drop ...string) []string {
+	skip := make(map[string]bool, len(drop))
+	for _, d := range drop {
+		skip[d] = true
+	}
+	out := make([]string, 0, len(DetailedHeader))
 	for _, h := range DetailedHeader {
-		if h == "user" || h == "users" {
+		if skip[h] {
 			continue
 		}
 		out = append(out, h)
@@ -39,17 +42,30 @@ func ReadDetailedCSV(r io.Reader) ([]driver.Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("report: read header: %w", err)
 	}
-	want := DetailedHeader
-	hasUsers := true
-	if len(header) == len(DetailedHeader)-2 {
-		want = legacyDetailedHeader()
-		hasUsers = false
-	} else if len(header) != len(DetailedHeader) {
+	// Current header, the pre-ingestion one (no staleness column) and the
+	// pre-multi-user one (neither users nor staleness) are all accepted.
+	variants := []struct {
+		want                   []string
+		hasUsers, hasStaleness bool
+	}{
+		{DetailedHeader, true, true},
+		{headerWithout("staleness_rows"), true, false},
+		{headerWithout("staleness_rows", "user", "users"), false, false},
+	}
+	idx := -1
+	for i := range variants {
+		if len(header) == len(variants[i].want) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return nil, fmt.Errorf("report: header has %d columns, want %d", len(header), len(DetailedHeader))
 	}
+	match := variants[idx]
 	for i, h := range header {
-		if h != want[i] {
-			return nil, fmt.Errorf("report: column %d is %q, want %q", i, h, want[i])
+		if h != match.want[i] {
+			return nil, fmt.Errorf("report: column %d is %q, want %q", i, h, match.want[i])
 		}
 	}
 
@@ -64,7 +80,7 @@ func ReadDetailedCSV(r io.Reader) ([]driver.Record, error) {
 			return nil, fmt.Errorf("report: line %d: %w", line+1, err)
 		}
 		line++
-		row, err := parseDetailedRow(rec, hasUsers)
+		row, err := parseDetailedRow(rec, match.hasUsers, match.hasStaleness)
 		if err != nil {
 			return nil, fmt.Errorf("report: line %d: %w", line, err)
 		}
@@ -73,7 +89,7 @@ func ReadDetailedCSV(r io.Reader) ([]driver.Record, error) {
 	return out, nil
 }
 
-func parseDetailedRow(rec []string, hasUsers bool) (driver.Record, error) {
+func parseDetailedRow(rec []string, hasUsers, hasStaleness bool) (driver.Record, error) {
 	var r driver.Record
 	p := &rowParser{rec: rec}
 
@@ -111,6 +127,17 @@ func parseDetailedRow(rec []string, hasUsers bool) (driver.Record, error) {
 	}
 	if r.Users <= 0 {
 		r.Users = 1
+	}
+	m.StalenessRows = -1
+	if hasStaleness {
+		if s := p.str(); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				p.err = fmt.Errorf("field staleness_rows: %w", err)
+			} else {
+				m.StalenessRows = v
+			}
+		}
 	}
 	r.SQL = p.str()
 	m.HasResult = !m.TRViolated

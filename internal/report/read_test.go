@@ -72,7 +72,7 @@ func TestReadDetailedCSVLegacyHeader(t *testing.T) {
 	}
 	drop := map[int]bool{}
 	for i, h := range DetailedHeader {
-		if h == "user" || h == "users" {
+		if h == "user" || h == "users" || h == "staleness_rows" {
 			drop[i] = true
 		}
 	}

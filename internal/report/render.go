@@ -74,14 +74,15 @@ func RenderCDF(w io.Writer, s Summary, width, height int) error {
 	return nil
 }
 
-// DetailedHeader lists the detailed report's CSV columns (paper Table 1).
+// DetailedHeader lists the detailed report's CSV columns (paper Table 1,
+// extended with the multi-user and live-ingestion annotations).
 var DetailedHeader = []string{
 	"id", "interaction", "viz_name", "driver", "data_size", "think_time",
 	"time_req", "workflow", "start_time", "end_time", "tr_violated",
 	"bin_dims", "binning_type", "agg_type", "bins_ofm", "bins_delivered",
 	"bins_in_gt", "rel_error_avg", "rel_error_stdev", "missing_bins",
 	"cosine_distance", "margin_avg", "margin_stdev", "bias", "smape",
-	"concurrent_queries", "user", "users", "sql",
+	"concurrent_queries", "user", "users", "staleness_rows", "sql",
 }
 
 // WriteDetailedCSV streams records as the detailed per-query report.
@@ -121,6 +122,7 @@ func WriteDetailedCSV(w io.Writer, records []driver.Record) error {
 			strconv.Itoa(r.ConcurrentQs),
 			strconv.Itoa(r.User),
 			strconv.Itoa(r.Users),
+			fmtStaleness(m.StalenessRows),
 			r.SQL,
 		}
 		if err := cw.Write(row); err != nil {
@@ -136,6 +138,15 @@ func fmtNaN(v float64) string {
 		return ""
 	}
 	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// fmtStaleness renders the staleness column: empty for the -1 "not an
+// ingest run / nothing delivered" sentinel.
+func fmtStaleness(v float64) string {
+	if v < 0 || math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 func fmtMS(v float64) string {

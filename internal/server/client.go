@@ -8,6 +8,7 @@ import (
 
 	"idebench/internal/dataset"
 	"idebench/internal/engine"
+	"idebench/internal/ingest"
 	"idebench/internal/query"
 )
 
@@ -23,6 +24,7 @@ type FrameStats struct {
 	Final        atomic.Int64 // final snapshot frames received
 	Errors       atomic.Int64 // error frames received
 	Sessions     atomic.Int64 // sessions (connections) opened
+	Ingest       atomic.Int64 // ingest (watermark broadcast) frames received
 }
 
 // Remote is a network-backed engine.Engine: every method is forwarded over
@@ -36,6 +38,9 @@ type Remote struct {
 	rows  int64
 	seed  int64
 	stats FrameStats
+	// wm tracks the highest watermark any session's ingest frame reported:
+	// the remote engine's confirmed data version.
+	wm atomic.Int64
 
 	mu  sync.Mutex
 	def *RemoteSession
@@ -54,6 +59,7 @@ func NewRemote(addr string) (*Remote, error) {
 	r.rows = sess.rows
 	r.seed = sess.seed
 	r.def = sess
+	r.wm.Store(sess.rows)
 	return r, nil
 }
 
@@ -125,6 +131,7 @@ func (r *Remote) dial() (*RemoteSession, error) {
 	s := &RemoteSession{
 		ws:         ws,
 		stats:      &r.stats,
+		wm:         &r.wm,
 		engineName: hello.Engine,
 		rows:       hello.Rows,
 		seed:       hello.Seed,
@@ -155,13 +162,46 @@ func (r *Remote) WorkflowEnd() { r.def.WorkflowEnd() }
 // are closed by their users (the driver defers sess.Close per user).
 func (r *Remote) Close() { r.def.Close() }
 
-var _ engine.Engine = (*Remote)(nil)
+// Ingest ships one batch to the server over the default session. The call
+// is asynchronous: the server's ingest broadcast (on every session)
+// confirms application and advances Watermark. A server-side rejection of
+// an earlier frame (engine without the append capability, draining,
+// malformed batch) arrives as an error frame on the default session and
+// fails the next Ingest call here, so a feeder cannot keep pumping batches
+// into a void.
+func (r *Remote) Ingest(b *ingest.Batch) error {
+	if err := r.def.Err(); err != nil {
+		return err
+	}
+	return r.def.send(&ClientMsg{Type: MsgIngest, Batch: b})
+}
+
+// Err surfaces the first connection- or server-reported error on the
+// default session (ingest rejections land here: ingest frames carry no
+// query id, so no handle observes them).
+func (r *Remote) Err() error { return r.def.Err() }
+
+// ApplyBatch implements ingest.Sink, so a Remote slots into an
+// ingest.Harness exactly like an in-process engine: the client-side harness
+// owns the ground-truth lineage while the server's engine absorbs the same
+// batches.
+func (r *Remote) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error { return r.Ingest(b) }
+
+// Watermark returns the highest data version the server has confirmed via
+// ingest broadcasts (the prepared row count before any ingestion).
+func (r *Remote) Watermark() int64 { return r.wm.Load() }
+
+var (
+	_ engine.Engine = (*Remote)(nil)
+	_ ingest.Sink   = (*Remote)(nil)
+)
 
 // RemoteSession is one WebSocket connection speaking the wire protocol —
 // the client half of the server's session-per-connection model.
 type RemoteSession struct {
 	ws         *WSConn
 	stats      *FrameStats
+	wm         *atomic.Int64 // shared watermark tracker (nil for bare sessions)
 	engineName string
 	rows       int64
 	seed       int64
@@ -214,11 +254,28 @@ func (s *RemoteSession) readLoop() {
 			h := s.handles[m.ID]
 			delete(s.handles, m.ID)
 			if s.err == nil {
-				s.err = fmt.Errorf("server: query %d: %s", m.ID, m.Error)
+				if m.ID == 0 {
+					// Not tied to a query handle (an ingest rejection).
+					s.err = fmt.Errorf("server: %s", m.Error)
+				} else {
+					s.err = fmt.Errorf("server: query %d: %s", m.ID, m.Error)
+				}
 			}
 			s.mu.Unlock()
 			if h != nil {
 				h.deliver(nil, true)
+			}
+		case MsgIngest:
+			s.stats.Ingest.Add(1)
+			if s.wm != nil {
+				// Monotone max: broadcasts from different sessions may
+				// arrive out of order.
+				for {
+					cur := s.wm.Load()
+					if m.Watermark <= cur || s.wm.CompareAndSwap(cur, m.Watermark) {
+						break
+					}
+				}
 			}
 		case MsgHello:
 			// Duplicate hello: harmless.

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"idebench/internal/ingest"
 	"idebench/internal/query"
 )
 
@@ -36,6 +37,13 @@ const (
 	MsgWorkflowStart = "workflow_start"
 	MsgWorkflowEnd   = "workflow_end"
 )
+
+// MsgIngest flows both ways: a client frame carries an append-only Batch
+// the server applies to its engine; the server then broadcasts an ingest
+// frame with the post-apply Watermark to every live session, so all
+// connected analysts learn the data moved (and by how much) regardless of
+// who fed it.
+const MsgIngest = "ingest"
 
 // Server→client message types.
 const (
@@ -60,6 +68,8 @@ type ClientMsg struct {
 	From  string       `json:"from,omitempty"`
 	To    string       `json:"to,omitempty"`
 	Name  string       `json:"name,omitempty"`
+	// Batch is the appended rows of an "ingest" frame.
+	Batch *ingest.Batch `json:"batch,omitempty"`
 }
 
 // Validate checks structural well-formedness (the query itself is validated
@@ -85,6 +95,13 @@ func (m *ClientMsg) Validate() error {
 		if m.Name == "" {
 			return fmt.Errorf("server: %s message needs a name", m.Type)
 		}
+	case MsgIngest:
+		if m.Batch == nil {
+			return fmt.Errorf("server: %s message without batch", m.Type)
+		}
+		if err := m.Batch.Validate(); err != nil {
+			return err
+		}
 	case MsgWorkflowStart, MsgWorkflowEnd:
 	default:
 		return fmt.Errorf("server: unknown client message type %q", m.Type)
@@ -94,7 +111,7 @@ func (m *ClientMsg) Validate() error {
 
 // ServerMsg is any server→client message. Type selects which fields apply:
 // Version/Engine/Rows/Seed for "hello", ID/Seq/Final/Result for "snapshot",
-// ID/Error for "error".
+// ID/Error for "error", Watermark for "ingest".
 type ServerMsg struct {
 	Type    string        `json:"type"`
 	ID      int64         `json:"id,omitempty"`
@@ -105,6 +122,8 @@ type ServerMsg struct {
 	Version int           `json:"version,omitempty"`
 	Engine  string        `json:"engine,omitempty"`
 	Rows    int64         `json:"rows,omitempty"`
+	// Watermark is the engine's post-apply row count on "ingest" frames.
+	Watermark int64 `json:"watermark,omitempty"`
 	// Seed is the dataset seed the server prepared with; clients computing
 	// ground truth locally must generate from the same seed or every
 	// accuracy metric is silently wrong. 0 means unknown.
@@ -139,7 +158,7 @@ func decodeServerMsg(data []byte) (*ServerMsg, error) {
 		return nil, fmt.Errorf("server: decode server message: %w", err)
 	}
 	switch m.Type {
-	case MsgHello, MsgSnapshot, MsgError:
+	case MsgHello, MsgSnapshot, MsgError, MsgIngest:
 		return &m, nil
 	default:
 		return nil, fmt.Errorf("server: unknown server message type %q", m.Type)

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"idebench/internal/engine"
+	"idebench/internal/ingest"
 )
 
 // Options tunes the serving layer.
@@ -64,6 +65,11 @@ type Options struct {
 	// goroutine and accumulating final frames forever. 0 means
 	// DefaultWriteTimeout.
 	WriteTimeout time.Duration
+	// Apply handles client ingest frames: it applies the batch to the
+	// served engine and returns the post-apply watermark, which the server
+	// then broadcasts to every live session. nil (an engine without the
+	// append capability) rejects ingest frames with an error frame.
+	Apply func(b *ingest.Batch) (int64, error)
 }
 
 // DefaultMaxConns bounds concurrent sessions when Options.MaxConns is 0.
@@ -258,6 +264,42 @@ func (s *Server) removeConn(c *serverConn) {
 	s.mu.Unlock()
 }
 
+// handleIngest applies one client ingest frame and broadcasts the new
+// watermark to every live session (the feeder included — its confirmation
+// is the same frame everyone else gets). Ingestion during drain is
+// rejected: the drain contract is "finish what is in flight", not "accept
+// new writes".
+func (s *Server) handleIngest(from *serverConn, m *ClientMsg) {
+	s.mu.Lock()
+	apply := s.opts.Apply
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		from.push(&ServerMsg{Type: MsgError, ID: m.ID, Error: "server draining"})
+		return
+	}
+	if apply == nil {
+		from.push(&ServerMsg{Type: MsgError, ID: m.ID,
+			Error: fmt.Sprintf("engine %s does not accept ingestion", s.eng.Name())})
+		return
+	}
+	w, err := apply(m.Batch)
+	if err != nil {
+		from.push(&ServerMsg{Type: MsgError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	frame := &ServerMsg{Type: MsgIngest, Watermark: w}
+	for _, c := range conns {
+		c.push(frame)
+	}
+}
+
 // serverConn is one WebSocket connection bound to one engine session.
 type serverConn struct {
 	srv        *Server
@@ -270,9 +312,15 @@ type serverConn struct {
 	inflight map[int64]engine.Handle
 	pending  map[int64]*ServerMsg // unsent intermediates, coalesced per query
 	finals   []*ServerMsg         // finals + errors, FIFO, never dropped
-	draining bool
-	closing  bool // teardown begun: no new watchers may be added
-	inWrite  bool // writer holds a dequeued frame it hasn't written yet
+	// pendingIngest coalesces watermark broadcasts: watermarks are monotone
+	// and the client keeps only the max, so an unsent frame is strictly
+	// superseded by the next. Without coalescing, sustained ingestion would
+	// grow a slow bystander's never-dropped finals backlog with redundant
+	// frames until the overflow guard killed its session.
+	pendingIngest *ServerMsg
+	draining      bool
+	closing       bool // teardown begun: no new watchers may be added
+	inWrite       bool // writer holds a dequeued frame it hasn't written yet
 
 	wake      chan struct{}
 	closed    chan struct{}
@@ -309,6 +357,8 @@ func (c *serverConn) readLoop() {
 			if h != nil {
 				h.Cancel()
 			}
+		case MsgIngest:
+			c.srv.handleIngest(c, m)
 		case MsgLink:
 			c.sess.LinkVizs(m.From, m.To)
 		case MsgDeleteViz:
@@ -401,9 +451,16 @@ func (c *serverConn) finishQuery(id int64) {
 // results) and is torn down rather than buffered without bound.
 func (c *serverConn) push(m *ServerMsg) {
 	c.mu.Lock()
-	if m.Type == MsgSnapshot && !m.Final {
+	switch {
+	case m.Type == MsgSnapshot && !m.Final:
 		c.pending[m.ID] = m
-	} else {
+	case m.Type == MsgIngest:
+		// Keep the highest unsent watermark: concurrent feeders' broadcasts
+		// can reach this outbox out of order, and clients track the max.
+		if c.pendingIngest == nil || m.Watermark > c.pendingIngest.Watermark {
+			c.pendingIngest = m
+		}
+	default:
 		// A terminal frame supersedes any unsent intermediate for its query.
 		delete(c.pending, m.ID)
 		c.finals = append(c.finals, m)
@@ -433,6 +490,11 @@ func (c *serverConn) next() *ServerMsg {
 		c.inWrite = true
 		return m
 	}
+	if m := c.pendingIngest; m != nil {
+		c.pendingIngest = nil
+		c.inWrite = true
+		return m
+	}
 	for id, m := range c.pending {
 		delete(c.pending, id)
 		c.inWrite = true
@@ -453,7 +515,8 @@ func (c *serverConn) doneWrite() {
 func (c *serverConn) idle() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.inflight) == 0 && len(c.finals) == 0 && len(c.pending) == 0 && !c.inWrite
+	return len(c.inflight) == 0 && len(c.finals) == 0 && len(c.pending) == 0 &&
+		c.pendingIngest == nil && !c.inWrite
 }
 
 // writeLoop owns the socket's write side: it drains the outbox whenever

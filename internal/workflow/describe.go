@@ -55,6 +55,8 @@ func describeInteraction(in Interaction) string {
 		return fmt.Sprintf("link %s --> %s", in.From, in.To)
 	case KindDiscard:
 		return fmt.Sprintf("discard %s", in.Viz)
+	case KindIngest:
+		return fmt.Sprintf("ingest %d rows", in.Rows)
 	default:
 		return fmt.Sprintf("unknown interaction %q", in.Kind)
 	}

@@ -147,6 +147,34 @@ func (g *Generator) GenerateSet(count, interactions int, seed int64) ([]*Workflo
 	return out, nil
 }
 
+// InterleaveIngest returns a copy of w with an ingest event of `rows` rows
+// inserted after every `every` original interactions — the ingest-aware
+// workload shape: data keeps arriving while the analyst explores. The copy
+// is deterministic (no randomness), so interleaved workflow sets inherit
+// the generator's byte-identical-per-seed contract.
+func InterleaveIngest(w *Workflow, every, rows int) *Workflow {
+	if every <= 0 || rows <= 0 {
+		return w
+	}
+	out := &Workflow{Name: w.Name + "+ingest", Type: w.Type}
+	for i, in := range w.Interactions {
+		out.Interactions = append(out.Interactions, in)
+		if (i+1)%every == 0 && i != len(w.Interactions)-1 {
+			out.Interactions = append(out.Interactions, Interaction{Kind: KindIngest, Rows: rows})
+		}
+	}
+	return out
+}
+
+// InterleaveIngestAll applies InterleaveIngest to every workflow.
+func InterleaveIngestAll(flows []*Workflow, every, rows int) []*Workflow {
+	out := make([]*Workflow, len(flows))
+	for i, w := range flows {
+		out[i] = InterleaveIngest(w, every, rows)
+	}
+	return out
+}
+
 // genState tracks the evolving graph shape during generation.
 type genState struct {
 	g    *Generator

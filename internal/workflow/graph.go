@@ -58,7 +58,7 @@ func (g *Graph) Links() [][2]string {
 }
 
 // Effect describes what one interaction requires from the engine: the
-// queries to run concurrently, plus link/discard notifications.
+// queries to run concurrently, plus link/discard/ingest notifications.
 type Effect struct {
 	// Queries to start simultaneously (one per visualization to update).
 	Queries []*query.Query
@@ -66,6 +66,9 @@ type Effect struct {
 	NewLink *[2]string
 	// Discarded is set for discard interactions.
 	Discarded string
+	// IngestRows is set for ingest interactions: the batch size to draw
+	// from the replay's batch source and append before continuing.
+	IngestRows int
 }
 
 // Apply folds one interaction into the graph and returns its effect.
@@ -147,6 +150,16 @@ func (g *Graph) Apply(in Interaction) (*Effect, error) {
 			v.out = out
 		}
 		return &Effect{Discarded: in.Viz}, nil
+
+	case KindIngest:
+		if in.Rows <= 0 {
+			return nil, fmt.Errorf("workflow: ingest with %d rows", in.Rows)
+		}
+		// Ingestion changes the data under every standing visualization but
+		// triggers no queries by itself: live engines absorb the batch into
+		// their standing states, and the next interaction's queries (or the
+		// driver's staleness metric) observe how fresh the answers are.
+		return &Effect{IngestRows: in.Rows}, nil
 
 	default:
 		return nil, fmt.Errorf("workflow: unknown interaction kind %q", in.Kind)

@@ -45,12 +45,16 @@ type InteractionKind string
 
 // Interaction kinds (paper Sec. 4.3: "creating a visualization ...,
 // filtering/selecting ..., linking visualizations ..., and discarding").
+// KindIngest extends the paper's repertoire for ingest-aware workloads: an
+// append-only batch of new rows arrives between user interactions, and
+// standing visualizations must keep answering while it is absorbed.
 const (
 	KindCreateViz InteractionKind = "create"
 	KindFilter    InteractionKind = "filter"
 	KindSelect    InteractionKind = "select"
 	KindLink      InteractionKind = "link"
 	KindDiscard   InteractionKind = "discard"
+	KindIngest    InteractionKind = "ingest"
 )
 
 // VizSpec describes a visualization: its data source, binning and
@@ -74,6 +78,10 @@ type Interaction struct {
 	// From/To name the link endpoints (link only).
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
+	// Rows is the batch size of an ingest event (ingest only). The rows
+	// themselves are drawn at replay time from the run's deterministic
+	// batch source, so workflow documents stay compact.
+	Rows int `json:"rows,omitempty"`
 }
 
 // Workflow is a named sequence of interactions.
@@ -123,6 +131,10 @@ func (w *Workflow) Validate() error {
 				return fmt.Errorf("workflow %s[%d]: discard of unknown viz %q", w.Name, i, in.Viz)
 			}
 			delete(live, in.Viz)
+		case KindIngest:
+			if in.Rows <= 0 {
+				return fmt.Errorf("workflow %s[%d]: ingest with %d rows", w.Name, i, in.Rows)
+			}
 		default:
 			return fmt.Errorf("workflow %s[%d]: unknown interaction kind %q", w.Name, i, in.Kind)
 		}
