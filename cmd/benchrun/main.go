@@ -40,6 +40,15 @@
 // staleness distribution — and failing the artifact outright if any point's
 // quiesced results are not bitwise-identical to a cold prepare over the
 // final table.
+//
+// With -overload (default: mirrors -users), benchrun also runs the
+// open-loop overload sweep (internal/experiments.OverloadSweepRates): a
+// Poisson arrival generator walks an offered-load ladder against a served
+// progressive engine with tightened admission caps, recording p50/p99/p99.9
+// latency tails, explicit-rejection and shedding counts, and the post-drain
+// consumer leak check per rate. The artifact fails unless the shedding knee
+// appears inside the ladder, the admitted-query p99 stays bounded past it,
+// and no rate leaks a shared-scan consumer.
 package main
 
 import (
@@ -57,6 +66,7 @@ import (
 
 	"idebench/internal/core"
 	"idebench/internal/experiments"
+	"idebench/internal/report"
 )
 
 // Result is one parsed benchmark line.
@@ -117,6 +127,11 @@ type Output struct {
 	Speedups    map[string]float64 `json:"speedups,omitempty"`
 	UserSweep   []UserPoint        `json:"user_sweep,omitempty"`
 	IngestSweep []IngestPoint      `json:"ingest_sweep,omitempty"`
+	// OverloadSweep is the open-loop overload ladder; OverloadKnee the index
+	// of the first rate where admission control or shedding engaged (-1 when
+	// the sweep never saturated — which fails the artifact).
+	OverloadSweep []report.OverloadPoint `json:"overload_sweep,omitempty"`
+	OverloadKnee  int                    `json:"overload_knee,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -132,7 +147,7 @@ var baselinePairs = map[string]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
 	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
 	// A fixed iteration count beats go's time-based ramp-up for recorded
@@ -143,6 +158,7 @@ func main() {
 	usersEngines := flag.String("users-engines", "progressive,exactdb", "engines the user sweep contrasts")
 	usersRows := flag.Int("users-rows", core.SizeS, "dataset size for the user sweep")
 	ingestUsers := flag.String("ingest", "auto", "comma-separated user counts for the live-ingestion sweep; empty skips, \"auto\" mirrors -users")
+	overload := flag.String("overload", "auto", "comma-separated arrival-rate ladder (queries/s) for the open-loop overload sweep; empty skips, \"auto\" runs the default ladder whenever -users runs")
 	compare := flag.String("compare", "", "baseline BENCH json to guard against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per guarded metric with -compare")
 	flag.Parse()
@@ -206,6 +222,23 @@ func main() {
 		}
 		doc.IngestSweep = points
 	}
+	overloadList := *overload
+	if overloadList == "auto" {
+		if userList == "" {
+			overloadList = ""
+		} else {
+			overloadList = "default"
+		}
+	}
+	if overloadList != "" {
+		points, err := runOverloadSweep(overloadList, *usersRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: overload sweep: %v\n", err)
+			os.Exit(1)
+		}
+		doc.OverloadSweep = points
+		doc.OverloadKnee = report.FindKnee(points)
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -233,6 +266,20 @@ func main() {
 				p.Engine, p.Users)
 			os.Exit(1)
 		}
+	}
+	if len(doc.OverloadSweep) > 0 {
+		for _, p := range doc.OverloadSweep {
+			fmt.Printf("benchrun: overload %.0f/s: offered=%d done=%d rejected=%.1f%% shed=%d done_p99=%.1fms p99.9=%.1fms leaked=%d\n",
+				p.Rate, p.Offered, p.Completed, p.RejectedPct, p.Shed, p.DoneP99, p.DoneP999, p.LeakedConsumers)
+		}
+		if failures := overloadGate(doc.OverloadSweep, doc.OverloadKnee); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchrun: FAIL overload: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchrun: overload knee at %.0f/s; admitted p99 bounded past it, 0 leaked consumers\n",
+			doc.OverloadSweep[doc.OverloadKnee].Rate)
 	}
 
 	if *compare != "" {
@@ -468,6 +515,72 @@ func runIngestSweep(userList, engines string, rows int) ([]IngestPoint, error) {
 			StalenessMean:    nanToZero(r.StalenessMean),
 			StalenessMax:     nanToZero(r.StalenessMax),
 			QuiesceBitwise:   r.BitwiseOK,
+		}
+	}
+	return points, nil
+}
+
+// maxDoneP99PastKnee is the overload gate's ceiling on admitted-query
+// time-to-final p99 at and past the shedding knee, milliseconds. Deadline
+// shedding cancels admitted queries a couple of deadlines after admission,
+// so even at 30x the capacity rate the tail must stay far under the load
+// generator's 2s hard timeout.
+const maxDoneP99PastKnee = 1500.0
+
+// overloadGate returns the failed overload-survival acceptance checks: the
+// knee must appear inside the ladder with explicit rejections or shedding,
+// admitted-query p99 must stay bounded past it, and no rate may leak a
+// shared-scan consumer.
+func overloadGate(points []report.OverloadPoint, knee int) []string {
+	var failures []string
+	if knee < 0 {
+		failures = append(failures, "no shedding knee inside the rate ladder: overload valves never engaged")
+	}
+	for _, p := range points {
+		if p.LeakedConsumers != 0 {
+			failures = append(failures, fmt.Sprintf("rate %.0f/s leaked %d scan consumers after drain", p.Rate, p.LeakedConsumers))
+		}
+		if p.Errors > 0 {
+			failures = append(failures, fmt.Sprintf("rate %.0f/s saw %d hard errors (overload must reject explicitly, not error)", p.Rate, p.Errors))
+		}
+	}
+	if knee >= 0 {
+		for _, p := range points[knee:] {
+			if p.Completed > 0 && p.DoneP99 > maxDoneP99PastKnee {
+				failures = append(failures, fmt.Sprintf("rate %.0f/s admitted done-p99 %.1fms exceeds %.0fms: shedding is not bounding the tail", p.Rate, p.DoneP99, maxDoneP99PastKnee))
+			}
+		}
+	}
+	return failures
+}
+
+// runOverloadSweep executes the open-loop overload ladder in-process.
+// rateList is "default" or comma-separated arrival rates per second.
+func runOverloadSweep(rateList string, rows int) ([]report.OverloadPoint, error) {
+	rates := experiments.DefaultOverloadRates
+	if rateList != "default" {
+		rates = nil
+		for _, s := range strings.Split(rateList, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			r, err := strconv.ParseFloat(s, 64)
+			if err != nil || r <= 0 {
+				return nil, fmt.Errorf("bad overload rate %q", s)
+			}
+			rates = append(rates, r)
+		}
+	}
+	points, err := experiments.OverloadSweepRates(experiments.Config{Rows: rows, Out: io.Discard}, rates, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	// NaN tails (a rate where nothing completed) would break json.Marshal.
+	for i := range points {
+		p := &points[i]
+		for _, f := range []*float64{&p.TTFSP50, &p.TTFSP99, &p.TTFSP999, &p.DoneP50, &p.DoneP99, &p.DoneP999} {
+			*f = nanToZero(*f)
 		}
 	}
 	return points, nil

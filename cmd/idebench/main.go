@@ -13,9 +13,11 @@
 //	idebench serve       -engine progressive -rows 500000 -addr :8373
 //	idebench run         -addr localhost:8373 -rows 500000 -users 8
 //	idebench run         -addr localhost:8373 -rows 500000 -users 4 -ingest-every 3
+//	idebench load        -addr localhost:8373 -rows 500000 -schedule ramp -rate 50 -rate2 2000
 //	idebench exp         -name fig5 [-rows 500000] [-quick]
 //	idebench exp         -name users
 //	idebench exp         -name ingest
+//	idebench exp         -name overload
 //
 // `run -users N` replays the workload as N concurrent simulated users, each
 // on its own engine session, and appends the user-scalability table
@@ -32,6 +34,17 @@
 // server applies and acknowledges to every live session. `exp -name ingest`
 // sweeps 1/2/4/8 users with live appends and checks the quiesced results
 // bitwise against a cold scan of the final table.
+//
+// `load` is the open-loop counterpart to `run -addr`: instead of replaying
+// workflows with think-time coupling, it offers queries at an absolute-time
+// arrival schedule (poisson, bursty, or ramp) that never slows down when the
+// server does — the honest way to measure overload. It prints the admission
+// and shedding counters with the admitted latency tails, and its -gate-*
+// flags turn the run into a CI assertion (bounded done-p99, zero hard
+// errors, knee crossed). `exp -name overload` runs the in-process sweep
+// across a whole rate ladder. The serve side exposes the matching knobs
+// (-max-inflight, -max-inflight-per-conn, -retry-hint, -late-factor,
+// -ping-interval, -idle-timeout).
 //
 // `serve` exposes a prepared engine over the idebench wire protocol
 // (internal/server): HTTP on -addr with /ws (WebSocket, one engine session
@@ -64,6 +77,7 @@ import (
 	"idebench/internal/experiments"
 	"idebench/internal/groundtruth"
 	"idebench/internal/ingest"
+	"idebench/internal/loadgen"
 	"idebench/internal/report"
 	"idebench/internal/server"
 	"idebench/internal/workflow"
@@ -84,6 +98,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "view":
@@ -111,7 +127,8 @@ Commands:
   workloadgen  generate benchmark workflows as JSON
   run          run the benchmark for one engine and setting (in-process, or -addr for a remote server)
   serve        serve an engine over the HTTP/WebSocket wire protocol
-  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, all)
+  load         drive a server with open-loop load (poisson/bursty/ramp arrivals, CI gates)
+  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, ingest, overload, all)
   view         inspect generated workflows (text or Graphviz DOT)
   analyze      re-aggregate a saved detailed report (summary + factor analysis)
 `)
@@ -463,6 +480,12 @@ func cmdServe(args []string) error {
 	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections (= engine sessions)")
 	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "admission cap on concurrently executing queries server-wide")
+	maxInflightConn := fs.Int("max-inflight-per-conn", server.DefaultMaxInflightPerConn, "admission cap on one connection's concurrent queries")
+	retryHint := fs.Duration("retry-hint", server.DefaultRetryHint, "suggested backoff sent with retryable rejections")
+	lateFactor := fs.Float64("late-factor", server.DefaultLateFactor, "shed queries still running past this multiple of their stated deadline (negative disables)")
+	pingInterval := fs.Duration("ping-interval", server.DefaultPingInterval, "server ping cadence for liveness (negative disables)")
+	idleTimeout := fs.Duration("idle-timeout", server.DefaultIdleTimeout, "disconnect connections with no inbound frame for this long (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -482,10 +505,16 @@ func cmdServe(args []string) error {
 	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
 
 	opts := server.Options{
-		MaxConns:     *maxConns,
-		PollInterval: *poll,
-		Rows:         int64(db.Fact.NumRows()),
-		Seed:         *seed,
+		MaxConns:           *maxConns,
+		PollInterval:       *poll,
+		Rows:               int64(db.Fact.NumRows()),
+		Seed:               *seed,
+		MaxInflight:        *maxInflight,
+		MaxInflightPerConn: *maxInflightConn,
+		RetryHint:          *retryHint,
+		LateFactor:         *lateFactor,
+		PingInterval:       *pingInterval,
+		IdleTimeout:        *idleTimeout,
 	}
 	if app, ok := p.Engine.(engine.Appender); ok {
 		opts.Apply = ingest.NewApplier(db, app).Apply
@@ -523,6 +552,108 @@ func cmdServe(args []string) error {
 		fmt.Println("drained, bye")
 		return nil
 	}
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8373", "server address to load")
+	workload := fs.String("workload", "uniform", "workload: "+strings.Join(loadgen.Names(), ", "))
+	schedule := fs.String("schedule", "poisson", "arrival schedule: poisson, bursty, ramp")
+	rate := fs.Float64("rate", 100, "arrivals/second (poisson rate, bursty base rate, ramp start rate)")
+	rate2 := fs.Float64("rate2", 0, "second rate: bursty burst rate / ramp end rate (default 10x -rate)")
+	period := fs.Duration("period", time.Second, "bursty: burst cadence")
+	burstLen := fs.Duration("burst-len", 200*time.Millisecond, "bursty: burst duration")
+	over := fs.Duration("over", 0, "ramp: sweep duration from -rate to -rate2 (default -duration)")
+	duration := fs.Duration("duration", 5*time.Second, "offered-load window")
+	sessions := fs.Int("sessions", 8, "connection/session pool size")
+	deadline := fs.Duration("deadline", 12*time.Millisecond, "per-query interactivity deadline (sent as the server's shedding hint)")
+	outstanding := fs.Int("outstanding", 4096, "client-side cap on outstanding operations")
+	reconnect := fs.Bool("reconnect", false, "transparently redial dropped connections with backoff")
+	rows := fs.Int("rows", core.SizeM, "dataset size the server was prepared with (for op synthesis)")
+	seed := fs.Int64("seed", 1, "dataset seed the server was prepared with")
+	gateDoneP99 := fs.Duration("gate-done-p99", 0, "fail unless admitted time-to-final p99 stays under this (0 disables)")
+	gateZeroErrors := fs.Bool("gate-zero-errors", false, "fail on any hard error (rejections and drops are not errors)")
+	gateRejects := fs.Bool("gate-rejects", false, "fail unless the server rejected or shed at least once (proves the run crossed the knee)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *rate2 <= 0 {
+		*rate2 = 10 * *rate
+	}
+	var sched loadgen.Schedule
+	switch *schedule {
+	case "poisson":
+		sched = loadgen.Poisson{Rate: *rate}
+	case "bursty":
+		sched = loadgen.Bursty{BaseRate: *rate, BurstRate: *rate2, Period: *period, BurstLen: *burstLen}
+	case "ramp":
+		rampOver := *over
+		if rampOver <= 0 {
+			rampOver = *duration
+		}
+		sched = loadgen.Ramp{From: *rate, To: *rate2, Over: rampOver}
+	default:
+		return fmt.Errorf("unknown schedule %q (want poisson, bursty or ramp)", *schedule)
+	}
+
+	// The generator synthesizes ops against the same deterministic dataset
+	// the server prepared; only the column metadata is used, so build the
+	// flat schema locally and never ship a byte of it.
+	db, err := core.BuildData(*rows, false, *seed)
+	if err != nil {
+		return err
+	}
+	wl, err := loadgen.New(*workload, db, *seed)
+	if err != nil {
+		return err
+	}
+	rem, err := server.NewRemoteWithOptions(*addr, server.RemoteOptions{Reconnect: *reconnect})
+	if err != nil {
+		return err
+	}
+	defer rem.Close()
+
+	fmt.Printf("open-loop %s/%s against %s: %v window, %d sessions, %v deadline\n",
+		*workload, sched.Name(), *addr, *duration, *sessions, *deadline)
+	st, err := loadgen.Run(rem, wl, sched, loadgen.Config{
+		Sessions:       *sessions,
+		Duration:       *duration,
+		Deadline:       *deadline,
+		MaxOutstanding: *outstanding,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("offered   %d (%.0f/s achieved)\n", st.Offered, st.OfferedRate)
+	fmt.Printf("completed %d (%.0f/s), rejected %d (%.1f%%), dropped %d, errors %d\n",
+		st.Completed, st.CompletedRate, st.Rejected, st.RejectedPct(), st.Dropped, st.Errors)
+	fmt.Printf("shed %d, deadline violations %d (%.1f%% of admitted), ingest ops %d\n",
+		st.Shed, st.Violations, st.ViolationPct(), st.IngestOps)
+	fmt.Printf("ttfs p50/p99/p99.9  %.2f / %.2f / %.2f ms\n", st.TTFS.P50, st.TTFS.P99, st.TTFS.P999)
+	fmt.Printf("done p50/p99/p99.9  %.2f / %.2f / %.2f ms\n", st.Done.P50, st.Done.P99, st.Done.P999)
+	fmt.Printf("elapsed %v\n", st.Elapsed.Round(time.Millisecond))
+
+	// Gates make the command a CI assertion: exit non-zero when the server's
+	// overload behavior regressed.
+	var failures []string
+	if *gateDoneP99 > 0 && st.Completed > 0 {
+		if limit := float64(*gateDoneP99) / float64(time.Millisecond); st.Done.P99 > limit {
+			failures = append(failures, fmt.Sprintf("admitted done-p99 %.2fms exceeds gate %v", st.Done.P99, *gateDoneP99))
+		}
+	}
+	if *gateZeroErrors && st.Errors > 0 {
+		failures = append(failures, fmt.Sprintf("%d hard errors (gate requires zero)", st.Errors))
+	}
+	if *gateRejects && st.Rejected == 0 && st.Shed == 0 {
+		failures = append(failures, "no rejections or shedding observed (gate requires the run to cross the knee)")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("load gates failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func writeDetailed(path string, recs []driver.Record) error {
@@ -608,7 +739,7 @@ func cmdView(args []string) error {
 
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, all")
+	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, overload, all")
 	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
 	count := fs.Int("workflows", 10, "workflows per type")
 	interactions := fs.Int("interactions", 18, "interactions per workflow")
@@ -666,6 +797,8 @@ func cmdExp(args []string) error {
 			_, err = experiments.UserSweep(cfg)
 		case "ingest":
 			_, err = experiments.IngestSweep(cfg)
+		case "overload":
+			_, err = experiments.OverloadSweep(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
@@ -676,7 +809,7 @@ func cmdExp(args []string) error {
 	}
 
 	if *name == "all" {
-		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest"} {
+		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest", "overload"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -97,6 +97,41 @@
 // latency an apples-to-apples comparison. See the wire-protocol section of
 // internal/engine/README.md.
 //
+// # Overload survival
+//
+// The serving layer survives offered load past its capacity by answering
+// what it admits and refusing the rest explicitly, never by queueing
+// without bound. Admission control caps concurrently executing queries
+// server-wide (server.Options.MaxInflight) and per connection
+// (MaxInflightPerConn, fairness on the shared scan); an arrival past either
+// cap gets an explicit reject frame with a retry hint — the session is not
+// poisoned, the client may simply try again later. Rejections are
+// classified for the client: over-capacity handshakes and per-query
+// rejects carry a retry hint (retryable), drain-time refusals are terminal.
+// Deadline-aware shedding complements admission: queries still running past
+// LateFactor multiples of their client-stated deadline are cancelled with
+// their partial final marked Shed (the client snapshotted at the deadline
+// anyway), and speculative shared-scan work detaches first whenever
+// admission pressure builds — foreground queries are never shed, only
+// late and speculative work. Ping-based liveness (PingInterval/IdleTimeout)
+// tears down silent connections so a vanished client cannot hold shared-scan
+// consumers, and every valve increments a counter surfaced on /healthz.
+//
+// server.Remote reconnects dropped connections with exponential backoff and
+// jitter when RemoteOptions.Reconnect is set, resuming at the server's live
+// watermark. The open-loop load generator (internal/loadgen, `idebench
+// load`) offers queries on an absolute-time arrival schedule — Poisson,
+// bursty, or ramp — that never slows down when the server does, avoiding
+// coordinated omission; workloads (hot-key, recency, read/ingest mixes) are
+// pluggable via loadgen.Register. The fault-injecting TCP proxy
+// (internal/faultnet) adds latency, jitter, mid-frame resets and
+// slow-reader throttling between client and server, backing a chaos test
+// wall that kills clients mid-query and mid-ingest and asserts zero leaked
+// shared-scan consumers and bitwise-correct quiesced results. `idebench exp
+// -name overload` sweeps a Poisson rate ladder through the shedding knee
+// and reports p99/p99.9 admitted latency plus rejection and violation rates
+// per rate (BENCH_6.json).
+//
 // # Continuous integration
 //
 // CI (.github/workflows/ci.yml) fans out into parallel jobs: lint
@@ -106,11 +141,17 @@
 // json as an artifact), and an end-to-end job that boots `idebench serve`,
 // replays an 8-user workflow set through the WebSocket client, and requires
 // streamed intermediates, finals, zero TR violations and a clean SIGTERM
-// drain.
+// drain. The overload e2e job serves with tight admission caps, ramps the
+// open-loop offered load past the knee with `idebench load`, and gates on
+// bounded admitted p99, explicit rejections, and zero inflight queries and
+// shared-scan consumers after the generator drains.
 //
 // Per-PR performance numbers are recorded as machine-readable JSON at the
 // repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the
-// 1→8-user scalability sweep and BENCH_5.json adds the live-ingestion
+// 1→8-user scalability sweep, BENCH_5.json adds the live-ingestion
 // sweep (ingest throughput, deadline-violation rate and staleness at
-// 1/2/4/8 users, plus the bitwise quiesce gate).
+// 1/2/4/8 users, plus the bitwise quiesce gate), and BENCH_6.json adds the
+// overload sweep (admitted latency tails, rejection/shed/violation rates
+// and the shedding knee across the offered-load ladder, gated on bounded
+// p99 past the knee and zero leaked scan consumers).
 package idebench

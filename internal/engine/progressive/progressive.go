@@ -234,9 +234,25 @@ func (e *Engine) ActiveScanConsumers() int {
 	return e.scan.ActiveConsumers()
 }
 
+// ShedSpeculation implements the engine.Shedder overload capability: it
+// detaches every purely speculative consumer (across all sessions) from the
+// shared scan and returns how many were shed. Foreground queries keep their
+// strict priority untouched; shed consumers retain their coverage and
+// resume if re-speculated or acquired later.
+func (e *Engine) ShedSpeculation() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scan == nil {
+		return 0
+	}
+	return e.scan.ShedSpeculative()
+}
+
 var (
-	_ engine.Engine   = (*Engine)(nil)
-	_ engine.Appender = (*Engine)(nil)
+	_ engine.Engine       = (*Engine)(nil)
+	_ engine.Appender     = (*Engine)(nil)
+	_ engine.Shedder      = (*Engine)(nil)
+	_ engine.ScanObserver = (*Engine)(nil)
 )
 
 // session is one analyst's scope on the prepared engine: its own reuse

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/engine"
+	"idebench/internal/ingest"
+	"idebench/internal/loadgen"
+	"idebench/internal/report"
+	"idebench/internal/server"
+)
+
+// OverloadDeadline is the per-query interactivity deadline of the overload
+// sweep — queries with no snapshot inside it count as violated, and the
+// server sheds admitted queries still running past its late budget.
+const OverloadDeadline = 12 * time.Millisecond
+
+// DefaultOverloadRates is the offered-load ladder (arrivals/second). The
+// upper rungs are far past what the tightened admission caps below admit, so
+// the sweep always walks through the knee.
+var DefaultOverloadRates = []float64{100, 250, 500, 1000, 2000, 4000}
+
+// OverloadSweep measures open-loop overload survival — `idebench exp -name
+// overload`, recorded as BENCH_6.json by benchrun. It serves a progressive
+// engine on a real loopback listener with deliberately tight admission caps
+// (the knee must appear inside the ladder, not at data-center scale), then
+// walks DefaultOverloadRates with a Poisson open-loop generator. At every
+// rate it reports the admitted-query latency tails (p50/p99/p99.9 of TTFS
+// and time-to-final), the explicit-rejection and shedding counts, and the
+// post-drain shared-scan consumer count, which must be zero: overload may
+// cost rejections, never leaks or unbounded tails.
+func OverloadSweep(cfg Config) ([]report.OverloadPoint, error) {
+	return OverloadSweepRates(cfg, DefaultOverloadRates, 2*time.Second)
+}
+
+// OverloadSweepRates is OverloadSweep with an explicit rate ladder and
+// per-point offered-load window.
+func OverloadSweepRates(cfg Config, rates []float64, window time.Duration) ([]report.OverloadPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("experiments: empty overload rate ladder")
+	}
+
+	db, err := core.BuildData(cfg.Rows, false, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := core.DefaultSettings()
+	s.DataSize = cfg.Rows
+	s.Seed = cfg.Seed
+	p, err := core.Prepare("progressive", db, s)
+	if err != nil {
+		return nil, err
+	}
+	scanObs, _ := p.Engine.(engine.ScanObserver)
+
+	// Tight caps force the knee inside the ladder: a shallow admission queue
+	// and a short late budget mean the upper rungs must be survived by
+	// rejecting and shedding, not by buffering.
+	opts := server.Options{
+		Rows:               int64(db.Fact.NumRows()),
+		Seed:               cfg.Seed,
+		MaxConns:           64,
+		MaxInflight:        16,
+		MaxInflightPerConn: 8,
+		PollInterval:       time.Millisecond,
+	}
+	if app, ok := p.Engine.(engine.Appender); ok {
+		opts.Apply = ingest.NewApplier(db, app).Apply
+	}
+	srv := server.New(p.Engine, opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: srv}
+	serveDone := make(chan struct{})
+	go func() { hsrv.Serve(l); close(serveDone) }()
+	defer func() { hsrv.Close(); <-serveDone }()
+	addr := l.Addr().String()
+
+	var points []report.OverloadPoint
+	for i, rate := range rates {
+		// Fresh client per point: session state, handle maps, and frame
+		// stats start clean at every rung.
+		rem, err := server.NewRemote(addr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overload dial at %.0f/s: %w", rate, err)
+		}
+		wl, err := loadgen.New("uniform", db, cfg.Seed+int64(i))
+		if err != nil {
+			rem.Close()
+			return nil, err
+		}
+		st, err := loadgen.Run(rem, wl, loadgen.Poisson{Rate: rate}, loadgen.Config{
+			Sessions: 8,
+			Duration: window,
+			Deadline: OverloadDeadline,
+			Seed:     cfg.Seed + int64(100+i),
+		})
+		rem.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overload at %.0f/s: %w", rate, err)
+		}
+
+		// The leak gate: after the point's clients are gone, the shared scan
+		// must drain to zero consumers before the next rung starts.
+		leaked := 0
+		if scanObs != nil {
+			deadline := time.Now().Add(10 * time.Second)
+			for scanObs.ActiveScanConsumers() > 0 && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			leaked = scanObs.ActiveScanConsumers()
+		}
+
+		points = append(points, report.OverloadPoint{
+			Rate:            rate,
+			OfferedRate:     st.OfferedRate,
+			Offered:         st.Offered,
+			Started:         st.Started,
+			Completed:       st.Completed,
+			Rejected:        st.Rejected,
+			Dropped:         st.Dropped,
+			Errors:          st.Errors,
+			Shed:            st.Shed,
+			Violations:      st.Violations,
+			RejectedPct:     st.RejectedPct(),
+			ViolationPct:    st.ViolationPct(),
+			TTFSP50:         st.TTFS.P50,
+			TTFSP99:         st.TTFS.P99,
+			TTFSP999:        st.TTFS.P999,
+			DoneP50:         st.Done.P50,
+			DoneP99:         st.Done.P99,
+			DoneP999:        st.Done.P999,
+			LeakedConsumers: leaked,
+		})
+	}
+
+	fmt.Fprintln(cfg.Out, "=== Overload survival: open-loop Poisson arrivals vs tightened admission caps ===")
+	if err := report.RenderOverloadSweep(cfg.Out, points); err != nil {
+		return nil, err
+	}
+	return points, nil
+}

@@ -1,0 +1,325 @@
+// Package loadgen is the open-loop load generator of the overload
+// experiments: arrivals fire on a Schedule (Poisson, bursty, ramp)
+// regardless of how long earlier operations take, so offered load is a
+// property of the generator, never of the server's response times. This is
+// the opposite of the driver's closed-loop model (K analysts with think
+// time, each waiting for their own queries): a closed loop self-throttles
+// under overload and hides the latency cliff, an open loop walks straight
+// into it — which is the point. Workloads (hot-key bias, recency bias,
+// read/ingest mixes) come from a pluggable registry.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/ingest"
+	"idebench/internal/metrics"
+)
+
+// Config tunes one open-loop run.
+type Config struct {
+	// Sessions is the connection/session pool size the arrivals are spread
+	// over round-robin (default 8).
+	Sessions int
+	// Duration is the offered-load window (default 2s). Operations in
+	// flight when it closes still run to completion.
+	Duration time.Duration
+	// Deadline is the per-query interactivity deadline: a query with no
+	// usable snapshot by then counts as violated. It is also sent to the
+	// server as the shedding hint on sessions that support deadline hints
+	// (server.RemoteSession). Default 12ms — the benchmark's default TR
+	// at SizeS scale.
+	Deadline time.Duration
+	// MaxOutstanding caps concurrently outstanding operations client-side
+	// (default 4096); arrivals past the cap are dropped and counted, so a
+	// stalled server cannot accumulate unbounded goroutines in the
+	// generator itself.
+	MaxOutstanding int
+	// Seed drives the schedule's and workload's randomness.
+	Seed int64
+	// Ingest applies an ingest op's batch. Unset, the runner uses the
+	// engine's own Ingest method when it has one (server.Remote does);
+	// otherwise ingest ops count as errors.
+	Ingest func(b *ingest.Batch) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 12 * time.Millisecond
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats is the outcome of one open-loop run. Latencies are milliseconds.
+type Stats struct {
+	Workload string `json:"workload"`
+	Schedule string `json:"schedule"`
+	// Offered counts scheduled arrivals; Started those actually issued
+	// (Offered - Dropped); Completed the queries that delivered a final.
+	Offered   int64 `json:"offered"`
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	// Rejected counts explicit server admission rejections; Dropped the
+	// client-side MaxOutstanding drops; Errors everything else that failed.
+	Rejected int64 `json:"rejected"`
+	Dropped  int64 `json:"dropped"`
+	Errors   int64 `json:"errors"`
+	// Violations counts admitted queries with no usable snapshot inside
+	// Deadline; Shed those whose final was cut short by server-side
+	// deadline shedding.
+	Violations int64 `json:"violations"`
+	Shed       int64 `json:"shed"`
+	// IngestOps counts applied ingest operations.
+	IngestOps int64 `json:"ingest_ops"`
+	// TTFS summarizes time-to-first-snapshot of admitted queries; Done
+	// summarizes their time-to-final.
+	TTFS metrics.LatencySummary `json:"ttfs"`
+	Done metrics.LatencySummary `json:"done"`
+	// Elapsed is the wall-clock of the whole run (offer window + drain of
+	// in-flight operations).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// OfferedRate/CompletedRate are arrivals and completions per second
+	// over the offer window.
+	OfferedRate   float64 `json:"offered_rate"`
+	CompletedRate float64 `json:"completed_rate"`
+}
+
+// ViolationPct returns violated admitted queries as a percentage.
+func (s *Stats) ViolationPct() float64 {
+	admitted := s.Completed
+	if admitted == 0 {
+		return 0
+	}
+	return 100 * float64(s.Violations) / float64(admitted)
+}
+
+// RejectedPct returns rejections as a percentage of started operations.
+func (s *Stats) RejectedPct() float64 {
+	if s.Started == 0 {
+		return 0
+	}
+	return 100 * float64(s.Rejected) / float64(s.Started)
+}
+
+// deadliner is the optional session capability for the server's
+// deadline-aware shedding hint.
+type deadliner interface {
+	SetQueryDeadline(d time.Duration)
+}
+
+// rejecter/shedder are the optional handle capabilities the remote client
+// exposes; in-process handles have neither (nothing rejects or sheds them).
+type rejecter interface {
+	Rejected() (bool, time.Duration)
+}
+type shedder interface {
+	Shed() bool
+}
+
+// collector aggregates outcomes from the executor goroutines.
+type collector struct {
+	mu         sync.Mutex
+	ttfsMs     []float64
+	doneMs     []float64
+	completed  int64
+	rejected   int64
+	errors     int64
+	violations int64
+	shed       int64
+	ingestOps  int64
+}
+
+// Run offers wl's operations at sched's arrival times against eng for
+// cfg.Duration, then waits for everything in flight and returns the stats.
+// eng is typically a server.Remote (the open loop drives the full network
+// path) but any engine.Engine works.
+func Run(eng engine.Engine, wl Workload, sched Schedule, cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	sessions := make([]engine.Session, cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = eng.OpenSession()
+		if d, ok := sessions[i].(deadliner); ok {
+			d.SetQueryDeadline(cfg.Deadline)
+		}
+		defer sessions[i].Close()
+	}
+	applyIngest := cfg.Ingest
+	if applyIngest == nil {
+		if ig, ok := eng.(interface{ Ingest(b *ingest.Batch) error }); ok {
+			applyIngest = ig.Ingest
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	col := &collector{}
+	st := &Stats{Workload: wl.Name(), Schedule: sched.Name()}
+	// The hard timeout is the generator's own backstop: with server-side
+	// shedding at a couple of deadlines, nothing honest runs this long.
+	hard := 50 * cfg.Deadline
+	if hard < 2*time.Second {
+		hard = 2 * time.Second
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	start := time.Now()
+	next := start
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= cfg.Duration {
+			break
+		}
+		// Absolute arrival times: a slow dispatch iteration shortens the
+		// next sleep instead of stretching the schedule (open loop).
+		gap := sched.Gap(rng, st.Offered, elapsed)
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		op := wl.Next(rng, st.Offered)
+		st.Offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			st.Dropped++
+			continue
+		}
+		st.Started++
+		sess := sessions[int(st.Started)%len(sessions)]
+		wg.Add(1)
+		go func(op Op, sess engine.Session) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			execute(op, sess, applyIngest, cfg.Deadline, hard, col)
+		}(op, sess)
+	}
+	offerWindow := time.Since(start)
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	st.Completed = col.completed
+	st.Rejected = col.rejected
+	st.Errors = col.errors
+	st.Violations = col.violations
+	st.Shed = col.shed
+	st.IngestOps = col.ingestOps
+	st.TTFS = metrics.SummarizeLatencies(col.ttfsMs)
+	st.Done = metrics.SummarizeLatencies(col.doneMs)
+	secs := offerWindow.Seconds()
+	if secs > 0 {
+		st.OfferedRate = float64(st.Offered) / secs
+		st.CompletedRate = float64(st.Completed) / secs
+	}
+	return st, nil
+}
+
+// execute runs one operation to completion and records its outcome.
+func execute(op Op, sess engine.Session, applyIngest func(*ingest.Batch) error, deadline, hard time.Duration, col *collector) {
+	if op.Batch != nil {
+		err := fmt.Errorf("loadgen: engine cannot ingest")
+		if applyIngest != nil {
+			err = applyIngest(op.Batch)
+		}
+		col.mu.Lock()
+		if err != nil {
+			col.errors++
+		} else {
+			col.ingestOps++
+		}
+		col.mu.Unlock()
+		return
+	}
+
+	t0 := time.Now()
+	h, err := sess.StartQuery(op.Query)
+	if err != nil {
+		col.mu.Lock()
+		col.errors++
+		col.mu.Unlock()
+		return
+	}
+	// Poll for the first usable snapshot at ~deadline/20 resolution, then
+	// ride until the final lands (server-side shedding bounds how long that
+	// can take; the hard timeout is the local backstop).
+	poll := deadline / 20
+	if poll < 100*time.Microsecond {
+		poll = 100 * time.Microsecond
+	}
+	ttfs := time.Duration(-1)
+	hardT := t0.Add(hard)
+	done := false
+	for !done {
+		select {
+		case <-h.Done():
+			done = true
+		default:
+		}
+		if ttfs < 0 && h.Snapshot() != nil {
+			ttfs = time.Since(t0)
+		}
+		if done {
+			break
+		}
+		if time.Now().After(hardT) {
+			h.Cancel()
+			select {
+			case <-h.Done():
+			case <-time.After(5 * time.Second):
+			}
+			break
+		}
+		time.Sleep(poll)
+	}
+	if ttfs < 0 && h.Snapshot() != nil {
+		ttfs = time.Since(t0)
+	}
+	doneLat := time.Since(t0)
+
+	if r, ok := h.(rejecter); ok {
+		if rej, _ := r.Rejected(); rej {
+			col.mu.Lock()
+			col.rejected++
+			col.mu.Unlock()
+			return
+		}
+	}
+	shed := false
+	if sh, ok := h.(shedder); ok {
+		shed = sh.Shed()
+	}
+	violated := ttfs < 0 || ttfs > deadline
+	ttfsMs := math.NaN()
+	if ttfs >= 0 {
+		ttfsMs = float64(ttfs) / float64(time.Millisecond)
+	}
+	col.mu.Lock()
+	col.completed++
+	if shed {
+		col.shed++
+	}
+	if violated {
+		col.violations++
+	}
+	col.ttfsMs = append(col.ttfsMs, ttfsMs)
+	col.doneMs = append(col.doneMs, float64(doneLat)/float64(time.Millisecond))
+	col.mu.Unlock()
+}

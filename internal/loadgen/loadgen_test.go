@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/engine/progressive"
+)
+
+func testDB(t *testing.T) *dataset.Database {
+	t.Helper()
+	db, err := core.BuildData(20_000, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Poisson{Rate: 200}
+	var sum time.Duration
+	const n = 20_000
+	for i := int64(0); i < n; i++ {
+		sum += s.Gap(rng, i, 0)
+	}
+	mean := float64(sum) / n / float64(time.Second)
+	if math.Abs(mean-1.0/200) > 0.0005 {
+		t.Fatalf("mean gap %.6fs, want ~%.6fs", mean, 1.0/200)
+	}
+}
+
+func TestBurstySwitchesRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Bursty{BaseRate: 10, BurstRate: 1000, Period: 100 * time.Millisecond, BurstLen: 20 * time.Millisecond}
+	avg := func(elapsed time.Duration) float64 {
+		var sum time.Duration
+		const n = 5000
+		for i := int64(0); i < n; i++ {
+			sum += s.Gap(rng, i, elapsed)
+		}
+		return float64(sum) / n / float64(time.Second)
+	}
+	inBurst := avg(5 * time.Millisecond)   // inside the burst window
+	offBurst := avg(50 * time.Millisecond) // outside
+	if inBurst >= offBurst {
+		t.Fatalf("burst gap %.6fs not smaller than base gap %.6fs", inBurst, offBurst)
+	}
+	if math.Abs(inBurst-1.0/1000) > 0.0005 || math.Abs(offBurst-1.0/10) > 0.02 {
+		t.Fatalf("gaps %.6f/%.6f, want ~%.6f/~%.6f", inBurst, offBurst, 1.0/1000, 1.0/10)
+	}
+}
+
+func TestRampRate(t *testing.T) {
+	r := Ramp{From: 100, To: 500, Over: time.Second}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100},
+		{500 * time.Millisecond, 300},
+		{time.Second, 500},
+		{2 * time.Second, 500}, // holds at To past the ramp
+	}
+	for _, c := range cases {
+		if got := r.RateAt(c.at); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("RateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"uniform", "hotkey", "recency", "ingest-mix"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("workload %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := New("no-such-workload", nil, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadsSynthesizeValidOps(t *testing.T) {
+	db := testDB(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range []string{"uniform", "hotkey", "recency"} {
+		wl, err := New(name, db, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for seq := int64(0); seq < 200; seq++ {
+			op := wl.Next(rng, seq)
+			if op.Query == nil || op.Batch != nil {
+				t.Fatalf("%s seq %d: want a pure query op", name, seq)
+			}
+			q := op.Query
+			if q.Table != db.Fact.Name || len(q.Bins) != 1 || len(q.Aggs) != 1 {
+				t.Fatalf("%s seq %d: malformed query %+v", name, seq, q)
+			}
+			if len(q.Filter.Predicates) != 1 {
+				t.Fatalf("%s seq %d: want exactly one predicate", name, seq)
+			}
+		}
+	}
+}
+
+func TestIngestMixProducesBatches(t *testing.T) {
+	db := testDB(t)
+	wl, err := New("ingest-mix", db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	batches := 0
+	const n = 2000
+	for seq := int64(0); seq < n; seq++ {
+		op := wl.Next(rng, seq)
+		if op.Batch != nil {
+			batches++
+			if op.Batch.NumRows() == 0 {
+				t.Fatalf("seq %d: empty ingest batch", seq)
+			}
+		}
+	}
+	// Target mix is 10%; allow generous slack around the binomial draw.
+	if batches < n/20 || batches > n/5 {
+		t.Fatalf("ingest ops %d of %d, want ~10%%", batches, n)
+	}
+}
+
+// TestRunInProcessSmoke drives the open loop against an in-process
+// progressive engine: a low offered rate must complete everything it
+// offers with no errors, rejections, or drops.
+func TestRunInProcessSmoke(t *testing.T) {
+	db := testDB(t)
+	eng := progressive.New(progressive.Config{})
+	if err := eng.Prepare(db, engine.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := New("uniform", db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(eng, wl, Poisson{Rate: 100}, Config{
+		Sessions: 2,
+		Duration: 500 * time.Millisecond,
+		Deadline: 500 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered == 0 || st.Started != st.Offered {
+		t.Fatalf("offered %d started %d, want equal and > 0", st.Offered, st.Started)
+	}
+	if st.Completed != st.Started {
+		t.Fatalf("completed %d of %d started", st.Completed, st.Started)
+	}
+	if st.Errors != 0 || st.Rejected != 0 || st.Dropped != 0 {
+		t.Fatalf("errors=%d rejected=%d dropped=%d, want all 0", st.Errors, st.Rejected, st.Dropped)
+	}
+	if st.Done.Count != int(st.Completed) {
+		t.Fatalf("done summary count %d, want %d", st.Done.Count, st.Completed)
+	}
+	if st.OfferedRate <= 0 {
+		t.Fatalf("offered rate %v, want > 0", st.OfferedRate)
+	}
+}

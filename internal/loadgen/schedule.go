@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Schedule produces arrival times for the open-loop generator: Gap returns
+// the interval between arrival i-1 and arrival i. The runner sleeps the gap
+// and fires regardless of whether earlier operations completed — offered
+// load is a property of the schedule, never of the server's response times
+// (no think-time coupling, no coordinated omission).
+type Schedule interface {
+	// Name identifies the schedule in reports.
+	Name() string
+	// Gap returns the wait before arrival i (counting from 0), given the
+	// elapsed time since the run started.
+	Gap(rng *rand.Rand, i int64, elapsed time.Duration) time.Duration
+}
+
+// expGap draws an exponential inter-arrival time for a Poisson process at
+// rate arrivals/second.
+func expGap(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Second // degenerate: one lonely arrival per second
+	}
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// Poisson is a memoryless open-loop schedule at a constant mean rate — the
+// standard model for independent analysts arriving at a shared server.
+type Poisson struct {
+	Rate float64 // mean arrivals per second
+}
+
+func (p Poisson) Name() string { return "poisson" }
+
+func (p Poisson) Gap(rng *rand.Rand, _ int64, _ time.Duration) time.Duration {
+	return expGap(rng, p.Rate)
+}
+
+// Bursty is an on/off schedule: Poisson at BaseRate, except during a burst
+// window of BurstLen at the start of every Period, when arrivals come at
+// BurstRate. Models synchronized dashboards refreshing together.
+type Bursty struct {
+	BaseRate  float64       // arrivals/second outside bursts
+	BurstRate float64       // arrivals/second inside bursts
+	Period    time.Duration // burst cadence
+	BurstLen  time.Duration // burst duration (must be < Period)
+}
+
+func (b Bursty) Name() string { return "bursty" }
+
+func (b Bursty) Gap(rng *rand.Rand, _ int64, elapsed time.Duration) time.Duration {
+	rate := b.BaseRate
+	if b.Period > 0 && elapsed%b.Period < b.BurstLen {
+		rate = b.BurstRate
+	}
+	return expGap(rng, rate)
+}
+
+// Ramp sweeps the Poisson rate linearly From→To over the Over window (then
+// holds at To). The overload experiments use it to walk the offered load
+// past the server's shedding knee within one run.
+type Ramp struct {
+	From, To float64       // arrivals/second at start and end
+	Over     time.Duration // ramp duration
+}
+
+func (r Ramp) Name() string { return "ramp" }
+
+// RateAt returns the instantaneous target rate at the given elapsed time.
+func (r Ramp) RateAt(elapsed time.Duration) float64 {
+	if r.Over <= 0 || elapsed >= r.Over {
+		return r.To
+	}
+	frac := float64(elapsed) / float64(r.Over)
+	return r.From + (r.To-r.From)*frac
+}
+
+func (r Ramp) Gap(rng *rand.Rand, _ int64, elapsed time.Duration) time.Duration {
+	return expGap(rng, r.RateAt(elapsed))
+}

@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"idebench/internal/dataset"
+	"idebench/internal/ingest"
+	"idebench/internal/query"
+)
+
+// Op is one offered unit of work: exactly one of Query or Batch is set. A
+// query op opens a progressive query on a pooled session; an ingest op
+// ships an append-only batch to the engine.
+type Op struct {
+	Query *query.Query
+	Batch *ingest.Batch
+}
+
+// Workload synthesizes the operation stream one access pattern at a time.
+// Next is called from the runner's single dispatcher goroutine (arrivals
+// are generated in schedule order, then executed concurrently), so
+// implementations need no internal locking for per-call state.
+type Workload interface {
+	// Name identifies the workload in reports and the registry.
+	Name() string
+	// Next returns the seq-th operation (seq counts from 0).
+	Next(rng *rand.Rand, seq int64) Op
+}
+
+// Factory builds a workload against a concrete database; seed drives all
+// workload-internal randomness not covered by the runner's rng.
+type Factory func(db *dataset.Database, seed int64) (Workload, error)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named workload to the registry; later registrations of
+// the same name win (callers can override built-ins).
+func Register(name string, f Factory) {
+	regMu.Lock()
+	registry[name] = f
+	regMu.Unlock()
+}
+
+// New instantiates the named workload against db.
+func New(name string, db *dataset.Database, seed int64) (Workload, error) {
+	regMu.Lock()
+	f := registry[name]
+	regMu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("loadgen: unknown workload %q (have %v)", name, Names())
+	}
+	return f(db, seed)
+}
+
+// Names lists the registered workload names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("uniform", func(db *dataset.Database, seed int64) (Workload, error) {
+		return newTableWorkload(db, "uniform")
+	})
+	Register("hotkey", func(db *dataset.Database, seed int64) (Workload, error) {
+		return newTableWorkload(db, "hotkey")
+	})
+	Register("recency", func(db *dataset.Database, seed int64) (Workload, error) {
+		return newTableWorkload(db, "recency")
+	})
+	// ingest-mix: 90% hotkey reads, 10% ingest batches of 500 rows — the
+	// read side must stay interactive while appends land.
+	Register("ingest-mix", func(db *dataset.Database, seed int64) (Workload, error) {
+		base, err := newTableWorkload(db, "hotkey")
+		if err != nil {
+			return nil, err
+		}
+		src, err := ingest.NewSource(2000, seed+23)
+		if err != nil {
+			return nil, err
+		}
+		return &mixWorkload{name: "ingest-mix", base: base, src: src, ingestP: 0.10, batchRows: 500}, nil
+	})
+}
+
+// fieldInfo summarizes one fact-table attribute for query synthesis.
+type fieldInfo struct {
+	field  dataset.Field
+	lo, hi float64  // quantitative domain
+	values []string // nominal domain, in dictionary (frequency) order
+}
+
+// tableWorkload synthesizes single-viz aggregate queries over the fact
+// table under one of three access patterns:
+//
+//   - uniform: filter values drawn uniformly from the domain — every query
+//     signature is roughly equally likely, defeating the reuse cache.
+//   - hotkey: nominal filter values drawn Zipf-distributed over the
+//     dictionary, so a few hot keys dominate — the favorable case for
+//     signature-keyed state reuse and speculation.
+//   - recency: range filters biased to the top of a quantitative domain
+//     (the "new data" end under append-only ingestion), with
+//     exponentially-distributed lookback windows.
+type tableWorkload struct {
+	name   string
+	table  string
+	fields []fieldInfo
+	nom    []int // indices of nominal fields
+	quant  []int // indices of quantitative fields
+	zipf   *rand.Zipf
+}
+
+func newTableWorkload(db *dataset.Database, name string) (*tableWorkload, error) {
+	tbl := db.Fact
+	if tbl.NumRows() == 0 {
+		return nil, dataset.ErrNoRows
+	}
+	w := &tableWorkload{name: name, table: tbl.Name}
+	for i, f := range tbl.Schema.Fields {
+		m := fieldInfo{field: f}
+		col := tbl.Columns[i]
+		if f.Kind == dataset.Quantitative {
+			m.lo, m.hi = math.Inf(1), math.Inf(-1)
+			for _, v := range col.Nums {
+				if v < m.lo {
+					m.lo = v
+				}
+				if v > m.hi {
+					m.hi = v
+				}
+			}
+			if m.hi <= m.lo {
+				m.hi = m.lo + 1
+			}
+			w.quant = append(w.quant, len(w.fields))
+		} else {
+			m.values = append(m.values, col.Dict.Values()...)
+			if len(m.values) == 0 {
+				continue
+			}
+			w.nom = append(w.nom, len(w.fields))
+		}
+		w.fields = append(w.fields, m)
+	}
+	if len(w.nom) == 0 || len(w.quant) == 0 {
+		return nil, fmt.Errorf("loadgen: table %q needs nominal and quantitative fields", tbl.Name)
+	}
+	return w, nil
+}
+
+func (w *tableWorkload) Name() string { return w.name }
+
+func (w *tableWorkload) Next(rng *rand.Rand, seq int64) Op {
+	// Group by a nominal field; aggregate a quantitative one. COUNT vs AVG
+	// split mirrors the dominant aggregates of the trace-derived generator.
+	groupBy := w.fields[w.nom[int(seq)%len(w.nom)]]
+	agg := query.Aggregate{Func: query.Count}
+	if rng.Float64() < 0.45 {
+		af := w.fields[w.quant[rng.Intn(len(w.quant))]]
+		agg = query.Aggregate{Func: query.Avg, Field: af.field.Name}
+	}
+	q := &query.Query{
+		VizName: fmt.Sprintf("load-%s-%d", w.name, seq),
+		Table:   w.table,
+		Bins:    []query.Binning{{Field: groupBy.field.Name, Kind: dataset.Nominal}},
+		Aggs:    []query.Aggregate{agg},
+	}
+	switch w.name {
+	case "hotkey":
+		// Zipf over the filter field's dictionary: rank 0 is the hot key.
+		// The filter field is a different nominal column than the group-by
+		// so predicates stay selective.
+		ff := w.fields[w.nom[(int(seq)+1)%len(w.nom)]]
+		if w.zipf == nil {
+			w.zipf = rand.NewZipf(rng, 1.2, 1, uint64(len(ff.values)-1))
+		}
+		v := ff.values[int(w.zipf.Uint64())%len(ff.values)]
+		q.Filter = query.Filter{Predicates: []query.Predicate{
+			{Field: ff.field.Name, Op: query.OpIn, Values: []string{v}},
+		}}
+	case "recency":
+		// Lookback window anchored at the top of the domain, length drawn
+		// exponentially with mean 10% of the span: most queries touch the
+		// fresh tail, a heavy minority reach deep history.
+		qf := w.fields[w.quant[int(seq)%len(w.quant)]]
+		span := qf.hi - qf.lo
+		frac := rng.ExpFloat64() * 0.10
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < 0.01 {
+			frac = 0.01
+		}
+		q.Filter = query.Filter{Predicates: []query.Predicate{
+			{Field: qf.field.Name, Op: query.OpRange, Lo: qf.hi - span*frac, Hi: qf.hi},
+		}}
+	default: // uniform
+		ff := w.fields[w.nom[rng.Intn(len(w.nom))]]
+		v := ff.values[rng.Intn(len(ff.values))]
+		q.Filter = query.Filter{Predicates: []query.Predicate{
+			{Field: ff.field.Name, Op: query.OpIn, Values: []string{v}},
+		}}
+	}
+	return Op{Query: q}
+}
+
+// mixWorkload interleaves ingest batches into a read workload with
+// probability ingestP per arrival.
+type mixWorkload struct {
+	name      string
+	base      Workload
+	src       *ingest.Source
+	ingestP   float64
+	batchRows int
+}
+
+func (w *mixWorkload) Name() string { return w.name }
+
+func (w *mixWorkload) Next(rng *rand.Rand, seq int64) Op {
+	if rng.Float64() < w.ingestP {
+		b, err := w.src.Next(w.batchRows)
+		if err == nil {
+			return Op{Batch: b}
+		}
+		// Source failure: fall through to a read so the arrival still
+		// offers load (the error is a generator bug, not a server state).
+	}
+	return w.base.Next(rng, seq)
+}

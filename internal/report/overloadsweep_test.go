@@ -1,0 +1,50 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFindKnee(t *testing.T) {
+	pts := []OverloadPoint{
+		{Rate: 100},
+		{Rate: 200, Shed: 3},
+		{Rate: 400, Rejected: 50, Shed: 10},
+	}
+	if got := FindKnee(pts); got != 1 {
+		t.Fatalf("knee at %d, want 1 (first point with shedding)", got)
+	}
+	if got := FindKnee(pts[:1]); got != -1 {
+		t.Fatalf("under-capacity sweep knee = %d, want -1", got)
+	}
+	if got := FindKnee(nil); got != -1 {
+		t.Fatalf("empty sweep knee = %d, want -1", got)
+	}
+}
+
+func TestRenderOverloadSweep(t *testing.T) {
+	pts := []OverloadPoint{
+		{Rate: 100, Offered: 200, Completed: 200, TTFSP99: 2.5, DoneP99: 8.1, DoneP999: 9.9},
+		{Rate: 800, Offered: 1600, Completed: 900, Rejected: 650, RejectedPct: 41.0,
+			Shed: 40, ViolationPct: 3.5, TTFSP99: 11.0, DoneP99: 24.0, DoneP999: 31.0},
+	}
+	var buf bytes.Buffer
+	if err := RenderOverloadSweep(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rate/s", "done_p99.9", "<- knee", "knee at 800"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := RenderOverloadSweep(&buf, pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no knee") {
+		t.Fatalf("under-capacity render missing no-knee note:\n%s", buf.String())
+	}
+}

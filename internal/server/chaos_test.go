@@ -1,0 +1,315 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/engine/progressive"
+	"idebench/internal/faultnet"
+	"idebench/internal/ingest"
+	"idebench/internal/query"
+)
+
+// chaosCountQuery builds a deterministic COUNT-by-nominal query so quiesced
+// results can be compared bitwise (integral counts have no fold-order
+// noise).
+func chaosCountQuery(t *testing.T, db *dataset.Database) *query.Query {
+	t.Helper()
+	for _, fld := range db.Fact.Schema.Fields {
+		if fld.Kind == dataset.Nominal {
+			return &query.Query{
+				VizName: "chaos-count",
+				Table:   db.Fact.Name,
+				Bins:    []query.Binning{{Field: fld.Name, Kind: dataset.Nominal}},
+				Aggs:    []query.Aggregate{{Func: query.Count}},
+			}
+		}
+	}
+	t.Fatal("fact table has no nominal field")
+	return nil
+}
+
+// finalResult runs q on sess to completion and returns the final snapshot.
+func finalResult(t *testing.T, sess engine.Session, q *query.Query) *query.Result {
+	t.Helper()
+	h, err := sess.StartQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-h.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("query never completed")
+	}
+	res := h.Snapshot()
+	if res == nil || !res.Complete {
+		t.Fatalf("query did not deliver a complete final: %+v", res)
+	}
+	return res
+}
+
+// TestChaosKillClientMidQuery kills the whole client population with RSTs
+// while queries stream, and asserts the zero-leak invariant: every shared
+// scan consumer is released and the server forgets the connections.
+func TestChaosKillClientMidQuery(t *testing.T) {
+	f := newFixture(t, Options{PollInterval: time.Millisecond})
+	px, err := faultnet.New(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	rem, err := NewRemote(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	sess := rem.OpenSession().(*RemoteSession)
+	defer sess.Close()
+	stop := make(chan struct{})
+	collect := pumpQueries(t, sess, firstQuery(t, f.flows[0]), stop)
+
+	waitFor(t, 10*time.Second, "consumers to attach", func() bool { return f.eng.ActiveScanConsumers() > 0 })
+	px.ResetAll() // mid-query, mid-frame: abortive close, no WS handshake
+	close(stop)
+	handles := collect()
+
+	waitFor(t, 10*time.Second, "scan consumers released", func() bool { return f.eng.ActiveScanConsumers() == 0 })
+	waitFor(t, 10*time.Second, "server to forget connections", func() bool { return f.srv.ConnCount() == 0 })
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("handle %d still pending after chaos kill", i)
+		}
+	}
+	// The server survived: a fresh direct client completes a query.
+	rem2, err := NewRemote(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem2.Close()
+	finalResult(t, rem2.OpenSession(), chaosCountQuery(t, f.db))
+}
+
+// TestChaosKillClientMidIngest cuts the feeder mid-frame with an RST and
+// asserts the ingest atomicity contract: the watermark lands exactly on a
+// batch boundary (no torn batch), and the quiesced server answers bitwise
+// identically to a cold engine prepared on the same surviving batches.
+func TestChaosKillClientMidIngest(t *testing.T) {
+	f := newFixture(t, Options{})
+	f.srv.opts.Apply = ingest.NewApplier(f.db, f.eng).Apply
+	base := int64(f.db.Fact.NumRows())
+	const batchRows = 500
+
+	px, err := faultnet.New(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	feeder, err := NewRemote(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feeder.Close()
+
+	// Deterministic batch sequence the reconstruction below can replay.
+	batch := func(i int) *ingest.Batch {
+		lo := (i * batchRows) % (int(base) - batchRows)
+		return ingest.FromTable(f.db.Fact, lo, lo+batchRows)
+	}
+	feedErr := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			if err := feeder.Ingest(batch(i)); err != nil {
+				feedErr <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Let a couple of batches land, then arm a mid-frame reset: the next
+	// 16KiB chunk forwards and the connection dies by RST with the rest of
+	// the frame undelivered.
+	waitFor(t, 10*time.Second, "batches to apply", func() bool {
+		return f.eng.Watermark() >= base+2*batchRows
+	})
+	px.SetFaults(faultnet.Faults{ResetAfterBytes: 1}, faultnet.Faults{})
+	select {
+	case <-feedErr:
+	case <-time.After(10 * time.Second):
+		t.Fatal("feeder survived the injected reset")
+	}
+	waitFor(t, 10*time.Second, "server to forget the feeder", func() bool { return f.srv.ConnCount() == 0 })
+
+	// Atomicity: whatever was applied is a whole number of batches.
+	wm := f.eng.Watermark()
+	if wm < base || (wm-base)%batchRows != 0 {
+		t.Fatalf("watermark %d not on a batch boundary (base %d, batch %d)", wm, base, batchRows)
+	}
+	applied := int((wm - base) / batchRows)
+
+	// A fresh direct client sees the quiesced watermark in its hello and in
+	// its results.
+	rem, err := NewRemote(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	if rem.Rows() != wm {
+		t.Fatalf("fresh hello rows %d, want quiesced watermark %d", rem.Rows(), wm)
+	}
+	q := chaosCountQuery(t, f.db)
+	got := finalResult(t, rem.OpenSession(), q)
+
+	// Cold prepare on the same surviving batch prefix must agree bitwise.
+	db2 := testDBCopy(t)
+	app := dataset.NewTableAppender(db2.Fact, true)
+	for i := 0; i < applied; i++ {
+		rows, err := ingest.Materialize(db2, batch(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := app.Append(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2.Fact = tbl
+	}
+	eng2 := progressive.New(progressive.Config{})
+	if err := eng2.Prepare(db2, engine.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng2.OpenSession()
+	defer cold.Close()
+	want := finalResult(t, cold, q)
+
+	if got.Watermark != wm || got.TotalRows != wm {
+		t.Fatalf("quiesced result watermark/total = %d/%d, want %d", got.Watermark, got.TotalRows, wm)
+	}
+	if !reflect.DeepEqual(got.Bins, want.Bins) {
+		t.Fatalf("quiesced result diverges from cold prepare:\n got %v\nwant %v", got.Bins, want.Bins)
+	}
+	if n := f.eng.ActiveScanConsumers(); n != 0 {
+		t.Fatalf("leaked %d scan consumers after chaos ingest", n)
+	}
+}
+
+// testDBCopy rebuilds the fixture's dataset deterministically (same
+// generator, same seed — identical bytes).
+func testDBCopy(t *testing.T) *dataset.Database {
+	t.Helper()
+	db, err := core.BuildData(testRows, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestChaosSlowReaderDoesNotStallOthers throttles one client's read side to
+// a trickle while it streams queries; the server must coalesce rather than
+// block, other clients must stay interactive, and nothing may leak when the
+// slow client leaves.
+func TestChaosSlowReaderDoesNotStallOthers(t *testing.T) {
+	f := newFixture(t, Options{PollInterval: time.Millisecond})
+	px, err := faultnet.New(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	// 8 KiB/s toward the client: snapshot frames queue server-side
+	// immediately.
+	px.SetFaults(faultnet.Faults{}, faultnet.Faults{ThrottleBytesPerSec: 8 << 10})
+
+	slow, err := NewRemote(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	sess := slow.OpenSession().(*RemoteSession)
+	stop := make(chan struct{})
+	collect := pumpQueries(t, sess, firstQuery(t, f.flows[0]), stop)
+	waitFor(t, 10*time.Second, "slow client to attach", func() bool { return f.eng.ActiveScanConsumers() > 0 })
+
+	// Another client on a clean path completes promptly despite the hog.
+	fast, err := NewRemote(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	t0 := time.Now()
+	finalResult(t, fast.OpenSession(), chaosCountQuery(t, f.db))
+	if d := time.Since(t0); d > 10*time.Second {
+		t.Fatalf("fast client took %v behind a slow reader", d)
+	}
+
+	close(stop)
+	sess.Close()
+	collect()
+	waitFor(t, 10*time.Second, "scan consumers released", func() bool { return f.eng.ActiveScanConsumers() == 0 })
+}
+
+// TestChaosReconnectThroughFaults drives a reconnecting client through a
+// lossy, laggy proxy and repeatedly RSTs every connection: the session must
+// resurface each time with backoff, keep its watermark, and leave nothing
+// behind.
+func TestChaosReconnectThroughFaults(t *testing.T) {
+	f := newFixture(t, Options{})
+	px, err := faultnet.New(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	px.SetFaults(
+		faultnet.Faults{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
+		faultnet.Faults{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
+	)
+
+	rem, err := NewRemoteWithOptions(px.Addr(), RemoteOptions{Reconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	sess := rem.OpenSession().(*RemoteSession)
+	defer sess.Close()
+	q := chaosCountQuery(t, f.db)
+	wm := rem.Watermark()
+
+	for round := 0; round < 3; round++ {
+		finalResult(t, sess, q)
+		px.ResetAll()
+		// The read loop notices the RST and redials with backoff; queries
+		// racing the swap can fail their send — retry until the session is
+		// back.
+		waitFor(t, 20*time.Second, "session to reconnect", func() bool {
+			h, err := sess.StartQuery(q)
+			if err != nil {
+				return false
+			}
+			select {
+			case <-h.Done():
+			case <-time.After(10 * time.Second):
+				return false
+			}
+			snap := h.Snapshot()
+			return snap != nil && snap.Complete
+		})
+	}
+	if got := rem.Stats().Reconnects.Load(); got < 3 {
+		t.Fatalf("Reconnects = %d, want >= 3 after 3 injected resets", got)
+	}
+	if sess.Err() != nil {
+		t.Fatalf("session poisoned by retryable faults: %v", sess.Err())
+	}
+	if got := rem.Watermark(); got < wm {
+		t.Fatalf("watermark went backwards across reconnects: %d < %d", got, wm)
+	}
+	sess.Close()
+	waitFor(t, 10*time.Second, "scan consumers released", func() bool { return f.eng.ActiveScanConsumers() == 0 })
+	waitFor(t, 10*time.Second, "connections to drain", func() bool { return f.srv.ConnCount() <= 1 })
+}

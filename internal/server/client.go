@@ -1,7 +1,12 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +30,89 @@ type FrameStats struct {
 	Errors       atomic.Int64 // error frames received
 	Sessions     atomic.Int64 // sessions (connections) opened
 	Ingest       atomic.Int64 // ingest (watermark broadcast) frames received
+	Rejected     atomic.Int64 // reject (admission-control) frames received
+	Reconnects   atomic.Int64 // successful session reconnects
+}
+
+// RemoteOptions tunes client-side resilience.
+type RemoteOptions struct {
+	// Reconnect enables transparent redial: when a session's connection
+	// fails retryably (network fault, idle timeout, capacity close — see
+	// IsRetryable), the session re-establishes itself with exponential
+	// backoff + jitter and resumes at the last known watermark. In-flight
+	// queries at the moment of the loss complete with whatever snapshot they
+	// had (their server-side state died with the connection); subsequent
+	// queries run on the new connection. Off by default: benchmark replays
+	// must fail loudly, not paper over a flaky setup.
+	Reconnect bool
+	// MaxRetries caps consecutive redial attempts (default 5).
+	MaxRetries int
+	// BackoffBase is the first retry delay (default 50ms), doubled per
+	// attempt up to BackoffMax (default 2s), each sleep jittered uniformly
+	// over [d/2, d] so a rejected fleet does not retry in lockstep. A server
+	// Retry-After hint raises the floor.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth (default 2s).
+	BackoffMax time.Duration
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	return o
+}
+
+// IsRetryable classifies a connection-level failure: true when a fresh
+// connection attempt may succeed (overload rejection with a hint, idle
+// timeout, network fault), false when retrying cannot help (server
+// draining, protocol violation, version mismatch).
+func IsRetryable(err error) bool {
+	var ce *CloseError
+	if errors.As(err, &ce) {
+		switch ce.Code {
+		case CloseIdleTimeout, CloseTryLater:
+			return true
+		default:
+			// CloseGoingAway (drain) and CloseOverflow (abuse) are terminal.
+			return false
+		}
+	}
+	var he *HandshakeError
+	if errors.As(err, &he) {
+		return he.Status == http.StatusServiceUnavailable && he.Reason != ReasonDraining
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true // timeouts, resets, refused connections
+	}
+	// An abrupt mid-frame cut surfaces as EOF before the close handshake.
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// retryAfterHint extracts the server's stated backoff from a rejection, 0
+// when it stated none.
+func retryAfterHint(err error) time.Duration {
+	var he *HandshakeError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
+}
+
+// jitterDur spreads d uniformly over [d/2, d].
+func jitterDur(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // Remote is a network-backed engine.Engine: every method is forwarded over
@@ -34,6 +122,7 @@ type FrameStats struct {
 // network exactly as they do in-process.
 type Remote struct {
 	addr  string
+	opts  RemoteOptions
 	name  string
 	rows  int64
 	seed  int64
@@ -50,7 +139,12 @@ type Remote struct {
 // hello exchange on an initial connection, which becomes the engine-level
 // default session.
 func NewRemote(addr string) (*Remote, error) {
-	r := &Remote{addr: addr}
+	return NewRemoteWithOptions(addr, RemoteOptions{})
+}
+
+// NewRemoteWithOptions is NewRemote with explicit resilience options.
+func NewRemoteWithOptions(addr string, opts RemoteOptions) (*Remote, error) {
+	r := &Remote{addr: addr, opts: opts.withDefaults()}
 	sess, err := r.dial()
 	if err != nil {
 		return nil, err
@@ -105,31 +199,75 @@ func (r *Remote) OpenSession() engine.Session {
 	return sess
 }
 
-func (r *Remote) dial() (*RemoteSession, error) {
+// dialConn performs one connection attempt: handshake, hello exchange,
+// version check. No retries — callers decide the retry policy.
+func (r *Remote) dialConn() (*WSConn, *ServerMsg, error) {
 	ws, err := dialWS("ws://"+r.addr+"/ws", DialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	data, err := ws.ReadMessage()
 	if err != nil {
 		ws.Close()
-		return nil, fmt.Errorf("server: reading hello: %w", err)
+		return nil, nil, fmt.Errorf("server: reading hello: %w", err)
 	}
 	hello, err := decodeServerMsg(data)
 	if err != nil {
 		ws.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if hello.Type != MsgHello {
 		ws.Close()
-		return nil, fmt.Errorf("server: expected hello, got %q", hello.Type)
+		return nil, nil, fmt.Errorf("server: expected hello, got %q", hello.Type)
 	}
 	if hello.Version != ProtoVersion {
 		ws.Close()
-		return nil, fmt.Errorf("server: protocol version %d, client speaks %d", hello.Version, ProtoVersion)
+		return nil, nil, fmt.Errorf("server: protocol version %d, client speaks %d", hello.Version, ProtoVersion)
+	}
+	return ws, hello, nil
+}
+
+// redial retries dialConn after a retryable failure with exponential
+// backoff + jitter, honoring any server Retry-After hint as the floor.
+func (r *Remote) redial(cause error) (*WSConn, *ServerMsg, error) {
+	err := cause
+	backoff := r.opts.BackoffBase
+	if ra := retryAfterHint(err); ra > backoff {
+		backoff = ra
+	}
+	for attempt := 0; attempt < r.opts.MaxRetries; attempt++ {
+		if !IsRetryable(err) {
+			return nil, nil, err
+		}
+		time.Sleep(jitterDur(backoff))
+		var ws *WSConn
+		var hello *ServerMsg
+		ws, hello, err = r.dialConn()
+		if err == nil {
+			return ws, hello, nil
+		}
+		if ra := retryAfterHint(err); ra > backoff {
+			backoff = ra
+		}
+		backoff *= 2
+		if backoff > r.opts.BackoffMax {
+			backoff = r.opts.BackoffMax
+		}
+	}
+	return nil, nil, err
+}
+
+func (r *Remote) dial() (*RemoteSession, error) {
+	ws, hello, err := r.dialConn()
+	if err != nil && r.opts.Reconnect {
+		ws, hello, err = r.redial(err)
+	}
+	if err != nil {
+		return nil, err
 	}
 	s := &RemoteSession{
 		ws:         ws,
+		rem:        r,
 		stats:      &r.stats,
 		wm:         &r.wm,
 		engineName: hello.Engine,
@@ -199,7 +337,7 @@ var (
 // RemoteSession is one WebSocket connection speaking the wire protocol —
 // the client half of the server's session-per-connection model.
 type RemoteSession struct {
-	ws         *WSConn
+	rem        *Remote // owning Remote (nil only in tests); reconnect policy
 	stats      *FrameStats
 	wm         *atomic.Int64 // shared watermark tracker (nil for bare sessions)
 	engineName string
@@ -207,29 +345,52 @@ type RemoteSession struct {
 	seed       int64
 	dialErr    error
 
-	mu      sync.Mutex
-	nextID  int64
-	handles map[int64]*remoteHandle
-	err     error // first connection-level failure
-	closed  bool
+	mu       sync.Mutex
+	ws       *WSConn // current connection; swapped under mu on reconnect
+	nextID   int64
+	handles  map[int64]*remoteHandle
+	err      error // first connection-level failure
+	closed   bool
+	deadline time.Duration // attached to query frames as DeadlineMS
 
 	readDone chan struct{}
 }
 
+// conn returns the session's current connection (reconnects swap it).
+func (s *RemoteSession) conn() *WSConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ws
+}
+
+// SetQueryDeadline attaches d as the deadline hint (ClientMsg.DeadlineMS)
+// to every subsequent query on this session, arming the server's
+// deadline-aware shedding for them. 0 (the default) sends no hint.
+func (s *RemoteSession) SetQueryDeadline(d time.Duration) {
+	s.mu.Lock()
+	s.deadline = d
+	s.mu.Unlock()
+}
+
 // readLoop dispatches server frames to their handles until the connection
-// drops, then fails every outstanding handle.
+// drops, then — if the loss is retryable and reconnection is enabled —
+// re-establishes the connection and keeps going, otherwise fails every
+// outstanding handle.
 func (s *RemoteSession) readLoop() {
 	defer close(s.readDone)
 	for {
-		data, err := s.ws.ReadMessage()
+		data, err := s.conn().ReadMessage()
 		if err != nil {
+			if s.tryReconnect(err) {
+				continue
+			}
 			s.fail(fmt.Errorf("server: connection lost: %w", err))
 			return
 		}
 		m, err := decodeServerMsg(data)
 		if err != nil {
 			s.fail(err)
-			s.ws.Close()
+			s.conn().Close()
 			return
 		}
 		switch m.Type {
@@ -246,6 +407,9 @@ func (s *RemoteSession) readLoop() {
 			}
 			s.mu.Unlock()
 			if h != nil {
+				if m.Final && m.Shed {
+					h.markShed()
+				}
 				h.deliver(m.Result, m.Final)
 			}
 		case MsgError:
@@ -265,21 +429,86 @@ func (s *RemoteSession) readLoop() {
 			if h != nil {
 				h.deliver(nil, true)
 			}
+		case MsgReject:
+			// Admission control, not failure: the handle completes empty and
+			// reports why; the session stays healthy for the next query.
+			s.stats.Rejected.Add(1)
+			s.mu.Lock()
+			h := s.handles[m.ID]
+			delete(s.handles, m.ID)
+			s.mu.Unlock()
+			if h != nil {
+				h.reject(m.Error, time.Duration(m.RetryMS)*time.Millisecond)
+			}
 		case MsgIngest:
 			s.stats.Ingest.Add(1)
 			if s.wm != nil {
-				// Monotone max: broadcasts from different sessions may
-				// arrive out of order.
-				for {
-					cur := s.wm.Load()
-					if m.Watermark <= cur || s.wm.CompareAndSwap(cur, m.Watermark) {
-						break
-					}
-				}
+				casMax(s.wm, m.Watermark)
 			}
 		case MsgHello:
 			// Duplicate hello: harmless.
 		}
+	}
+}
+
+// casMax raises w to v if v is higher (monotone max: broadcasts from
+// different sessions may arrive out of order).
+func casMax(w *atomic.Int64, v int64) {
+	for {
+		cur := w.Load()
+		if v <= cur || w.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// tryReconnect handles a connection loss under the Reconnect policy: it
+// completes in-flight handles (their server-side state died with the
+// connection), redials with backoff + jitter, and swaps in the fresh
+// connection. Returns false when reconnection is off, the loss is terminal
+// (IsRetryable), the session was closed locally, or retries ran out — the
+// caller then fails the session. The shared watermark survives the swap:
+// queries on the new connection answer against at least the last version
+// any session confirmed.
+func (s *RemoteSession) tryReconnect(cause error) bool {
+	if s.rem == nil || !s.rem.opts.Reconnect || !IsRetryable(cause) {
+		return false
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	s.completeHandles()
+	ws, hello, err := s.rem.redial(cause)
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ws.Close()
+		return false
+	}
+	s.ws = ws
+	s.mu.Unlock()
+	if s.wm != nil {
+		casMax(s.wm, hello.Rows)
+	}
+	s.rem.stats.Reconnects.Add(1)
+	return true
+}
+
+// completeHandles closes every outstanding handle with whatever snapshot it
+// had, without poisoning the session.
+func (s *RemoteSession) completeHandles() {
+	s.mu.Lock()
+	handles := s.handles
+	s.handles = make(map[int64]*remoteHandle)
+	s.mu.Unlock()
+	for _, h := range handles {
+		h.deliver(nil, true)
 	}
 }
 
@@ -290,12 +519,8 @@ func (s *RemoteSession) fail(err error) {
 	if s.err == nil {
 		s.err = err
 	}
-	handles := s.handles
-	s.handles = make(map[int64]*remoteHandle)
 	s.mu.Unlock()
-	for _, h := range handles {
-		h.deliver(nil, true)
-	}
+	s.completeHandles()
 }
 
 // Err returns the first connection-level or per-query error the session
@@ -317,7 +542,7 @@ func (s *RemoteSession) send(m *ClientMsg) error {
 	if err != nil {
 		return err
 	}
-	return s.ws.WriteMessage(data)
+	return s.conn().WriteMessage(data)
 }
 
 // StartQuery implements engine.Session. It is asynchronous like its
@@ -343,11 +568,12 @@ func (s *RemoteSession) StartQuery(q *query.Query) (engine.Handle, error) {
 	}
 	s.nextID++
 	id := s.nextID
+	deadlineMS := int64(s.deadline / time.Millisecond)
 	h := &remoteHandle{sess: s, id: id, done: make(chan struct{})}
 	s.handles[id] = h
 	s.mu.Unlock()
 
-	if err := s.send(&ClientMsg{Type: MsgQuery, ID: id, Query: q}); err != nil {
+	if err := s.send(&ClientMsg{Type: MsgQuery, ID: id, Query: q, DeadlineMS: deadlineMS}); err != nil {
 		s.mu.Lock()
 		delete(s.handles, id)
 		s.mu.Unlock()
@@ -397,8 +623,9 @@ func (s *RemoteSession) Close() {
 		return
 	}
 	s.closed = true
+	ws := s.ws
 	s.mu.Unlock()
-	s.ws.Close()
+	ws.Close()
 	<-s.readDone
 }
 
@@ -411,10 +638,14 @@ type remoteHandle struct {
 	sess *RemoteSession
 	id   int64
 
-	mu   sync.RWMutex
-	res  *query.Result
-	done chan struct{}
-	once sync.Once
+	mu        sync.RWMutex
+	res       *query.Result
+	rejected  bool
+	rejReason string
+	rejRetry  time.Duration
+	shed      bool
+	done      chan struct{}
+	once      sync.Once
 }
 
 // deliver installs a streamed snapshot. Final frames may carry nil (a query
@@ -429,6 +660,50 @@ func (h *remoteHandle) deliver(res *query.Result, final bool) {
 	if final {
 		h.once.Do(func() { close(h.done) })
 	}
+}
+
+// reject completes the handle as refused at admission.
+func (h *remoteHandle) reject(reason string, retry time.Duration) {
+	h.mu.Lock()
+	h.rejected = true
+	h.rejReason = reason
+	h.rejRetry = retry
+	h.mu.Unlock()
+	h.once.Do(func() { close(h.done) })
+}
+
+// markShed records that the final snapshot came from deadline-aware
+// shedding (the server cancelled the late query; the result is the partial
+// estimate at the cancel).
+func (h *remoteHandle) markShed() {
+	h.mu.Lock()
+	h.shed = true
+	h.mu.Unlock()
+}
+
+// Rejected reports whether the server refused this query at admission
+// control, and the backoff it suggested (0 = terminal rejection). Load
+// generators use it to tell explicit rejections from failures.
+func (h *remoteHandle) Rejected() (bool, time.Duration) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rejected, h.rejRetry
+}
+
+// RejectReason returns the server's stated rejection reason ("" when the
+// query was admitted).
+func (h *remoteHandle) RejectReason() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rejReason
+}
+
+// Shed reports whether the final result was cut short by deadline-aware
+// shedding rather than run to completion.
+func (h *remoteHandle) Shed() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.shed
 }
 
 // Snapshot implements engine.Handle.

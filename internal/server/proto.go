@@ -20,7 +20,9 @@ import (
 
 // ProtoVersion is the wire-protocol version. The server states its version
 // in the hello frame; clients reject a mismatch rather than guessing.
-const ProtoVersion = 1
+// Version 2 added admission control: the "reject" frame, the client-side
+// deadline hint on "query", and the shed marker on final snapshots.
+const ProtoVersion = 2
 
 // Client→server message types.
 const (
@@ -56,6 +58,12 @@ const (
 	// MsgError reports a per-query failure (bad query, engine not prepared);
 	// it is terminal for ID. Connection-level failures close the socket.
 	MsgError = "error"
+	// MsgReject refuses query ID without executing it — admission control,
+	// not failure. RetryMS > 0 is the server's backoff hint (the query may
+	// succeed if re-offered after that long); RetryMS == 0 is terminal for
+	// this connection (e.g. the server is draining). Rejection never poisons
+	// the session: subsequent queries are admitted on their own merits.
+	MsgReject = "reject"
 )
 
 // ClientMsg is any client→server message. Type selects which fields apply:
@@ -70,6 +78,11 @@ type ClientMsg struct {
 	Name  string       `json:"name,omitempty"`
 	// Batch is the appended rows of an "ingest" frame.
 	Batch *ingest.Batch `json:"batch,omitempty"`
+	// DeadlineMS is the client's interactivity deadline for a "query" frame,
+	// in milliseconds. The server treats it as a shedding hint: work still
+	// running well past the deadline (Options.LateFactor multiples of it) is
+	// cancelled, its partial final marked Shed. 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Validate checks structural well-formedness (the query itself is validated
@@ -128,6 +141,13 @@ type ServerMsg struct {
 	// ground truth locally must generate from the same seed or every
 	// accuracy metric is silently wrong. 0 means unknown.
 	Seed int64 `json:"seed,omitempty"`
+	// RetryMS is the backoff hint on a "reject" frame, milliseconds; 0 marks
+	// the rejection terminal (see MsgReject).
+	RetryMS int64 `json:"retry_ms,omitempty"`
+	// Shed marks a final snapshot whose query was cancelled by deadline-aware
+	// shedding rather than run to completion: the result is the progressive
+	// estimate as of the cancel, valid but not converged.
+	Shed bool `json:"shed,omitempty"`
 }
 
 // encodeMsg marshals a protocol message for the wire.
@@ -158,7 +178,7 @@ func decodeServerMsg(data []byte) (*ServerMsg, error) {
 		return nil, fmt.Errorf("server: decode server message: %w", err)
 	}
 	switch m.Type {
-	case MsgHello, MsgSnapshot, MsgError, MsgIngest:
+	case MsgHello, MsgSnapshot, MsgError, MsgIngest, MsgReject:
 		return &m, nil
 	default:
 		return nil, fmt.Errorf("server: unknown server message type %q", m.Type)

@@ -40,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idebench/internal/engine"
@@ -70,6 +71,37 @@ type Options struct {
 	// then broadcasts to every live session. nil (an engine without the
 	// append capability) rejects ingest frames with an error frame.
 	Apply func(b *ingest.Batch) (int64, error)
+	// MaxInflight caps concurrently executing queries across every
+	// connection. Arrivals beyond it are refused with an explicit "reject"
+	// frame carrying a retry hint — admission control, so the queries the
+	// server does run keep their latency under overload instead of all of
+	// them missing their deadlines together. 0 means DefaultMaxInflight.
+	MaxInflight int
+	// MaxInflightPerConn caps one connection's concurrent queries — fairness
+	// on the shared scan: a single session blasting queries is rejected at
+	// this bound while everyone else still fits under MaxInflight. 0 means
+	// DefaultMaxInflightPerConn.
+	MaxInflightPerConn int
+	// RetryHint is the backoff the server suggests on retryable rejections.
+	// 0 means DefaultRetryHint.
+	RetryHint time.Duration
+	// LateFactor controls deadline-aware shedding: a query whose client
+	// stated a deadline (ClientMsg.DeadlineMS) and that is still running
+	// after LateFactor multiples of it is cancelled, its partial final
+	// marked Shed — the client snapshotted at the deadline anyway, so work
+	// this late only steals scan capacity from queries that can still make
+	// theirs. 0 means DefaultLateFactor; negative disables.
+	LateFactor float64
+	// PingInterval is how often the server pings each connection to elicit
+	// liveness traffic. 0 means DefaultPingInterval; negative disables.
+	PingInterval time.Duration
+	// IdleTimeout is the read-side liveness deadline: a connection that
+	// produces no inbound frame (data, ping or pong — clients answer pings
+	// transparently) for this long is torn down and its engine session
+	// released. Without it, a client that vanishes without a TCP reset holds
+	// its shared-scan consumers forever. 0 means DefaultIdleTimeout;
+	// negative disables.
+	IdleTimeout time.Duration
 }
 
 // DefaultMaxConns bounds concurrent sessions when Options.MaxConns is 0.
@@ -92,6 +124,32 @@ const DefaultWriteTimeout = 30 * time.Second
 // write timeout — abuse, answered by disconnect.
 const maxQueuedFinals = 4096
 
+// DefaultMaxInflight bounds concurrent queries server-wide. High enough
+// that closed-loop replays (a few queries per analyst) never see it; the
+// open-loop overload experiments tune it down to move the knee.
+const DefaultMaxInflight = 1024
+
+// DefaultMaxInflightPerConn bounds one connection's concurrent queries.
+const DefaultMaxInflightPerConn = 256
+
+// DefaultRetryHint is the suggested backoff on retryable rejections: a few
+// query lifetimes at the benchmark's interactivity deadlines.
+const DefaultRetryHint = 50 * time.Millisecond
+
+// DefaultLateFactor: work still running at twice the client's stated
+// deadline is shed. The client already took its deadline snapshot at 1×, so
+// 2× keeps a grace window for almost-done queries while bounding how long a
+// hopeless one can occupy the scan.
+const DefaultLateFactor = 2
+
+// DefaultPingInterval/DefaultIdleTimeout give three missed pings before a
+// silent connection is declared dead — far above any honest client's pause,
+// small enough that a vanished client's session is reclaimed promptly.
+const (
+	DefaultPingInterval = 10 * time.Second
+	DefaultIdleTimeout  = 30 * time.Second
+)
+
 func (o Options) withDefaults() Options {
 	if o.MaxConns <= 0 {
 		o.MaxConns = DefaultMaxConns
@@ -102,7 +160,54 @@ func (o Options) withDefaults() Options {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = DefaultWriteTimeout
 	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.MaxInflightPerConn <= 0 {
+		o.MaxInflightPerConn = DefaultMaxInflightPerConn
+	}
+	if o.RetryHint <= 0 {
+		o.RetryHint = DefaultRetryHint
+	}
+	if o.LateFactor == 0 {
+		o.LateFactor = DefaultLateFactor
+	}
+	if o.PingInterval == 0 {
+		o.PingInterval = DefaultPingInterval
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = DefaultIdleTimeout
+	}
 	return o
+}
+
+// Counters are the server's cumulative overload and liveness counters,
+// exposed on /healthz. All fields are monotone; read them with Load.
+type Counters struct {
+	// Admitted counts queries accepted past admission control.
+	Admitted atomic.Int64
+	// RejectedOverload counts queries refused at the global MaxInflight cap.
+	RejectedOverload atomic.Int64
+	// RejectedPerConn counts queries refused at the per-connection fairness
+	// cap while the server as a whole had room.
+	RejectedPerConn atomic.Int64
+	// RejectedDraining counts queries refused because the server was
+	// draining (terminal rejections).
+	RejectedDraining atomic.Int64
+	// ConnsRejected counts upgrade attempts refused pre-session (connection
+	// cap or drain).
+	ConnsRejected atomic.Int64
+	// ShedLate counts queries cancelled by deadline-aware shedding.
+	ShedLate atomic.Int64
+	// ShedSpeculative counts speculative scan consumers detached under
+	// admission pressure.
+	ShedSpeculative atomic.Int64
+	// DroppedIntermediates counts unsent intermediate snapshots superseded
+	// by fresher ones in the outbox (backpressure coalescing).
+	DroppedIntermediates atomic.Int64
+	// IdleDisconnects counts connections torn down by the read-side
+	// liveness deadline.
+	IdleDisconnects atomic.Int64
 }
 
 // Server serves one prepared engine. It is an http.Handler: "/ws" upgrades
@@ -111,6 +216,10 @@ type Server struct {
 	eng  engine.Engine
 	opts Options
 	mux  *http.ServeMux
+
+	ctr      Counters
+	inflight atomic.Int64 // queries executing across all connections
+	lastShed atomic.Int64 // monotonic ns of the last speculation shed
 
 	mu       sync.Mutex
 	conns    map[*serverConn]struct{}
@@ -183,6 +292,28 @@ func (s *Server) ConnCount() int {
 	return len(s.conns)
 }
 
+// Counters exposes the server's overload/liveness counters for tests and
+// embedding callers; /healthz reports the same numbers over HTTP.
+func (s *Server) Counters() *Counters { return &s.ctr }
+
+// shedSpeculation asks the engine to drop speculative scan work (if it has
+// the capability), rate-limited to once per 10ms so a rejection storm does
+// not convoy on the scheduler lock.
+func (s *Server) shedSpeculation() {
+	sh, ok := s.eng.(engine.Shedder)
+	if !ok {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.lastShed.Load()
+	if now-last < int64(10*time.Millisecond) || !s.lastShed.CompareAndSwap(last, now) {
+		return
+	}
+	if n := sh.ShedSpeculation(); n > 0 {
+		s.ctr.ShedSpeculative.Add(int64(n))
+	}
+}
+
 // health is the /healthz document.
 type health struct {
 	Engine   string `json:"engine"`
@@ -191,6 +322,25 @@ type health struct {
 	Conns    int    `json:"conns"`
 	MaxConns int    `json:"max_conns"`
 	Draining bool   `json:"draining"`
+	// Inflight is the number of queries currently executing.
+	Inflight int64 `json:"inflight"`
+	// Watermark is the engine's absorbed row count (engines with the append
+	// capability; otherwise the prepared row count).
+	Watermark int64 `json:"watermark"`
+	// ScanConsumers is the engine's attached shared-scan consumer count
+	// (engines with the observer capability; otherwise 0). After a full
+	// drain this must read 0 — anything else is a leak.
+	ScanConsumers int `json:"scan_consumers"`
+	// Cumulative overload/liveness counters (see Counters).
+	Admitted             int64 `json:"admitted"`
+	RejectedOverload     int64 `json:"rejected_overload"`
+	RejectedPerConn      int64 `json:"rejected_per_conn"`
+	RejectedDraining     int64 `json:"rejected_draining"`
+	ConnsRejected        int64 `json:"conns_rejected"`
+	ShedLate             int64 `json:"shed_late"`
+	ShedSpeculative      int64 `json:"shed_speculative"`
+	DroppedIntermediates int64 `json:"dropped_intermediates"`
+	IdleDisconnects      int64 `json:"idle_disconnects"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -204,20 +354,53 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Draining: s.draining,
 	}
 	s.mu.Unlock()
+	h.Inflight = s.inflight.Load()
+	h.Watermark = s.opts.Rows
+	if app, ok := s.eng.(engine.Appender); ok {
+		h.Watermark = app.Watermark()
+	}
+	if obs, ok := s.eng.(engine.ScanObserver); ok {
+		h.ScanConsumers = obs.ActiveScanConsumers()
+	}
+	h.Admitted = s.ctr.Admitted.Load()
+	h.RejectedOverload = s.ctr.RejectedOverload.Load()
+	h.RejectedPerConn = s.ctr.RejectedPerConn.Load()
+	h.RejectedDraining = s.ctr.RejectedDraining.Load()
+	h.ConnsRejected = s.ctr.ConnsRejected.Load()
+	h.ShedLate = s.ctr.ShedLate.Load()
+	h.ShedSpeculative = s.ctr.ShedSpeculative.Load()
+	h.DroppedIntermediates = s.ctr.DroppedIntermediates.Load()
+	h.IdleDisconnects = s.ctr.IdleDisconnects.Load()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h)
+}
+
+// rejectUpgrade writes a pre-upgrade 503 with a machine-readable reason so
+// clients can classify it: "overloaded" carries a Retry-After hint (the
+// house is full, come back), "draining" does not (the server is leaving).
+func (s *Server) rejectUpgrade(w http.ResponseWriter, reason string) {
+	s.ctr.ConnsRejected.Add(1)
+	w.Header().Set(rejectReasonHeader, reason)
+	if reason == ReasonOverloaded {
+		secs := int((s.opts.RetryHint + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	http.Error(w, "server "+reason, http.StatusServiceUnavailable)
 }
 
 func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		s.rejectUpgrade(w, ReasonDraining)
 		return
 	}
 	if len(s.conns) >= s.opts.MaxConns {
 		s.mu.Unlock()
-		http.Error(w, "connection limit reached", http.StatusServiceUnavailable)
+		s.rejectUpgrade(w, ReasonOverloaded)
 		return
 	}
 	s.mu.Unlock()
@@ -239,20 +422,43 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	// Re-check under the lock: Shutdown may have raced the upgrade.
+	// Re-check under the lock: Shutdown may have raced the upgrade. Past the
+	// 101 the rejection must travel as a close frame; the code tells the
+	// client whether reconnecting can help.
 	if s.draining || len(s.conns) >= s.opts.MaxConns {
+		draining := s.draining
 		s.mu.Unlock()
+		s.ctr.ConnsRejected.Add(1)
 		c.sess.Close()
-		ws.Close()
+		if draining {
+			ws.CloseWith(CloseGoingAway, "server draining")
+		} else {
+			ws.CloseWith(CloseTryLater, "connection limit reached")
+		}
 		return
 	}
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
 
-	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: s.opts.Rows, Seed: s.opts.Seed}
+	// Hello reports the live watermark when the engine grows under ingestion,
+	// so a reconnecting client resumes at the server's current version rather
+	// than the prepare-time row count.
+	rows := s.opts.Rows
+	if app, ok := s.eng.(engine.Appender); ok {
+		if wm := app.Watermark(); wm > rows {
+			rows = wm
+		}
+	}
+	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: rows, Seed: s.opts.Seed}
 	if data, err := encodeMsg(hello); err != nil || ws.WriteMessage(data) != nil {
 		c.teardown()
 		return
+	}
+	if s.opts.IdleTimeout > 0 {
+		ws.SetIdleTimeout(s.opts.IdleTimeout)
+	}
+	if s.opts.PingInterval > 0 {
+		go c.pingLoop(s.opts.PingInterval)
 	}
 	go c.writeLoop()
 	c.readLoop()
@@ -321,11 +527,46 @@ type serverConn struct {
 	draining      bool
 	closing       bool // teardown begun: no new watchers may be added
 	inWrite       bool // writer holds a dequeued frame it hasn't written yet
+	// closeCode/closeReason, when set before teardown, are sent in the close
+	// frame so the client can classify the disconnect (retryable/terminal).
+	closeCode   uint16
+	closeReason string
 
 	wake      chan struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
 	watchers  sync.WaitGroup
+}
+
+// setCloseReason records the close code the eventual teardown should send.
+// First caller wins: the first reason is the root cause.
+func (c *serverConn) setCloseReason(code uint16, reason string) {
+	c.mu.Lock()
+	if c.closeCode == 0 {
+		c.closeCode = code
+		c.closeReason = reason
+	}
+	c.mu.Unlock()
+}
+
+// pingLoop elicits liveness traffic: any live peer's ReadMessage answers
+// pings with pongs, which re-arm the server's idle read deadline. A write
+// failure means the connection is gone; teardown releases the session.
+func (c *serverConn) pingLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.ws.SetWriteDeadline(time.Now().Add(c.writeLimit))
+			if c.ws.WritePing() != nil {
+				c.teardown()
+				return
+			}
+		}
+	}
 }
 
 // readLoop decodes client frames until the connection drops, then tears the
@@ -335,6 +576,15 @@ func (c *serverConn) readLoop() {
 	for {
 		data, err := c.ws.ReadMessage()
 		if err != nil {
+			// A read deadline here is the idle-liveness timeout tripping: the
+			// peer sent nothing (not even pongs) for IdleTimeout — it is gone
+			// without having said so. Tell it why, should it still be
+			// half-listening, and release its session.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.srv.ctr.IdleDisconnects.Add(1)
+				c.setCloseReason(CloseIdleTimeout, "idle deadline exceeded")
+			}
 			return
 		}
 		m, err := decodeClientMsg(data)
@@ -372,10 +622,15 @@ func (c *serverConn) readLoop() {
 }
 
 func (c *serverConn) startQuery(m *ClientMsg) {
+	srv := c.srv
 	c.mu.Lock()
 	if c.draining || c.closing {
 		c.mu.Unlock()
-		c.push(&ServerMsg{Type: MsgError, ID: m.ID, Error: "server draining"})
+		// Terminal rejection (RetryMS 0): this connection accepts no further
+		// queries. Explicit, and unlike an error frame it does not poison
+		// the client session — in-flight queries still deliver their finals.
+		srv.ctr.RejectedDraining.Add(1)
+		c.push(&ServerMsg{Type: MsgReject, ID: m.ID, Error: "server draining"})
 		return
 	}
 	if _, dup := c.inflight[m.ID]; dup {
@@ -383,7 +638,29 @@ func (c *serverConn) startQuery(m *ClientMsg) {
 		c.push(&ServerMsg{Type: MsgError, ID: m.ID, Error: fmt.Sprintf("duplicate query id %d", m.ID)})
 		return
 	}
+	perConn := len(c.inflight)
 	c.mu.Unlock()
+
+	// Admission control, cheapest valve first: shed speculative scan work as
+	// pressure builds, then refuse queries — per-connection fairness before
+	// the global cap, so one firehose session cannot crowd everyone else out.
+	retryMS := int64(srv.opts.RetryHint / time.Millisecond)
+	if perConn >= srv.opts.MaxInflightPerConn {
+		srv.shedSpeculation()
+		srv.ctr.RejectedPerConn.Add(1)
+		c.push(&ServerMsg{Type: MsgReject, ID: m.ID, Error: "session query limit reached", RetryMS: retryMS})
+		return
+	}
+	if in := srv.inflight.Load(); in >= int64(srv.opts.MaxInflight) {
+		srv.shedSpeculation()
+		srv.ctr.RejectedOverload.Add(1)
+		c.push(&ServerMsg{Type: MsgReject, ID: m.ID, Error: "server query limit reached", RetryMS: retryMS})
+		return
+	} else if 4*in >= 3*int64(srv.opts.MaxInflight) {
+		// Approaching the cap: drop background speculation now so admitted
+		// foreground queries get the freed scan capacity.
+		srv.shedSpeculation()
+	}
 
 	h, err := c.sess.StartQuery(m.Query)
 	if err != nil {
@@ -400,19 +677,33 @@ func (c *serverConn) startQuery(m *ClientMsg) {
 	}
 	c.inflight[m.ID] = h
 	c.watchers.Add(1)
+	srv.inflight.Add(1)
+	srv.ctr.Admitted.Add(1)
 	c.mu.Unlock()
-	go c.watch(m.ID, h)
+	var lateBudget time.Duration
+	if m.DeadlineMS > 0 && srv.opts.LateFactor > 0 {
+		lateBudget = time.Duration(float64(m.DeadlineMS)*srv.opts.LateFactor) * time.Millisecond
+	}
+	go c.watch(m.ID, h, lateBudget)
 }
 
 // watch streams one query's snapshots: intermediates at the poll interval
 // while the result advances, then the final at completion. On connection
-// close it cancels the handle so the engine frees the query promptly.
-func (c *serverConn) watch(id int64, h engine.Handle) {
+// close it cancels the handle so the engine frees the query promptly. A
+// positive lateBudget arms deadline-aware shedding: a query still running
+// that long after admission is cancelled (its partial final marked Shed) —
+// the client took its deadline snapshot long ago, so every further chunk
+// this query folds is capacity stolen from queries that can still make
+// their deadlines.
+func (c *serverConn) watch(id int64, h engine.Handle, lateBudget time.Duration) {
+	defer c.srv.inflight.Add(-1)
 	defer c.watchers.Done()
 	ticker := time.NewTicker(c.poll)
 	defer ticker.Stop()
 	var seq int64
 	lastRows := int64(-1)
+	start := time.Now()
+	shed := false
 	for {
 		select {
 		case <-h.Done():
@@ -420,7 +711,7 @@ func (c *serverConn) watch(id int64, h engine.Handle) {
 			seq++
 			// Push before dropping from inflight so drain's idle check never
 			// sees "no queries, empty outbox" with the final still unqueued.
-			c.push(&ServerMsg{Type: MsgSnapshot, ID: id, Seq: seq, Final: true, Result: snap})
+			c.push(&ServerMsg{Type: MsgSnapshot, ID: id, Seq: seq, Final: true, Result: snap, Shed: shed})
 			c.finishQuery(id)
 			return
 		case <-c.closed:
@@ -428,6 +719,12 @@ func (c *serverConn) watch(id int64, h engine.Handle) {
 			c.finishQuery(id)
 			return
 		case <-ticker.C:
+			if lateBudget > 0 && !shed && time.Since(start) > lateBudget {
+				shed = true
+				c.srv.ctr.ShedLate.Add(1)
+				h.Cancel() // Done closes with the partial result; loop drains it
+				continue
+			}
 			snap := h.Snapshot()
 			if snap == nil || snap.RowsSeen == lastRows {
 				continue
@@ -453,6 +750,9 @@ func (c *serverConn) push(m *ServerMsg) {
 	c.mu.Lock()
 	switch {
 	case m.Type == MsgSnapshot && !m.Final:
+		if c.pending[m.ID] != nil {
+			c.srv.ctr.DroppedIntermediates.Add(1)
+		}
 		c.pending[m.ID] = m
 	case m.Type == MsgIngest:
 		// Keep the highest unsent watermark: concurrent feeders' broadcasts
@@ -468,6 +768,7 @@ func (c *serverConn) push(m *ServerMsg) {
 	overflow := len(c.finals) > maxQueuedFinals
 	c.mu.Unlock()
 	if overflow {
+		c.setCloseReason(CloseOverflow, "final backlog overflow")
 		go c.teardown() // not inline: push is called under watcher stacks
 		return
 	}
@@ -561,6 +862,9 @@ func (c *serverConn) drain(ctx context.Context) {
 	c.mu.Lock()
 	c.draining = true
 	c.mu.Unlock()
+	// The close frame at the end of a drain is a goodbye, not a fault: 1001
+	// tells the client the server is going away for good (terminal).
+	c.setCloseReason(CloseGoingAway, "server draining")
 
 	for !c.idle() {
 		select {
@@ -581,9 +885,14 @@ func (c *serverConn) teardown() {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closing = true
+		code, reason := c.closeCode, c.closeReason
 		c.mu.Unlock()
 		close(c.closed)
-		c.ws.Close()
+		if code != 0 {
+			c.ws.CloseWith(code, reason)
+		} else {
+			c.ws.Close()
+		}
 		// Watchers observe c.closed, cancel their handles and exit; the
 		// session must outlive them since cancellation goes through it.
 		c.watchers.Wait()

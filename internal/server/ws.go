@@ -43,6 +43,42 @@ const (
 // (either peer sent a close frame, or Close was called locally).
 var ErrWSClosed = errors.New("server: websocket closed")
 
+// Close codes the idebench protocol attaches to close frames so a peer can
+// tell WHY it was hung up on, not just that it was. 1001 is the RFC 6455
+// "going away" code; the 4xxx range is reserved for application use.
+const (
+	// CloseGoingAway: the server is draining and will not come back on this
+	// address; reconnecting is pointless (terminal).
+	CloseGoingAway uint16 = 1001
+	// CloseIdleTimeout: the peer failed the read-side liveness deadline (no
+	// frame, ping or pong inside Options.IdleTimeout). The connection state
+	// is gone but the server is healthy — reconnecting is reasonable.
+	CloseIdleTimeout uint16 = 4408
+	// CloseTryLater: the server refused the connection for capacity reasons
+	// after the upgrade already succeeded (the connection cap filled during
+	// the handshake). Transient — reconnecting with backoff is reasonable.
+	CloseTryLater uint16 = 4503
+	// CloseOverflow: the peer queued final frames faster than it read them
+	// for longer than the write timeout — a protocol abuse, not a transient
+	// condition (terminal).
+	CloseOverflow uint16 = 4413
+)
+
+// CloseError is the error ReadMessage returns when the peer's close frame
+// carried a status code, preserving the code and reason for classification
+// (retryable vs terminal — see IsRetryable).
+type CloseError struct {
+	Code   uint16
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("server: websocket closed by peer (code %d)", e.Code)
+	}
+	return fmt.Sprintf("server: websocket closed by peer (code %d: %s)", e.Code, e.Reason)
+}
+
 // WSConn is one WebSocket connection. Reads must come from a single
 // goroutine; writes are internally serialized and may come from any
 // goroutine (the connection writer, and the reader answering pings).
@@ -50,6 +86,9 @@ type WSConn struct {
 	conn   net.Conn
 	br     *bufio.Reader
 	client bool // client side masks outgoing frames
+	// idle, when set, is re-armed as a read deadline before every frame so
+	// any inbound traffic (data, ping, pong) proves liveness.
+	idle time.Duration
 
 	wmu    sync.Mutex
 	closed bool
@@ -73,6 +112,10 @@ func (c *WSConn) ReadMessage() ([]byte, error) {
 			// Unsolicited pongs are legal no-ops.
 		case opClose:
 			c.writeClose()
+			if len(payload) >= 2 {
+				code := binary.BigEndian.Uint16(payload[:2])
+				return nil, &CloseError{Code: code, Reason: string(payload[2:])}
+			}
 			return nil, ErrWSClosed
 		case opText, opBinary, opContinuation:
 			msg = append(msg, payload...)
@@ -91,6 +134,38 @@ func (c *WSConn) ReadMessage() ([]byte, error) {
 // WriteMessage sends one text message as a single unfragmented frame.
 func (c *WSConn) WriteMessage(payload []byte) error {
 	return c.writeFrame(opText, payload)
+}
+
+// WritePing sends a ping frame; the peer's ReadMessage answers with a pong
+// transparently, so any live peer resets its sender's idle deadline.
+func (c *WSConn) WritePing() error {
+	return c.writeFrame(opPing, nil)
+}
+
+// SetIdleTimeout arms read-side liveness: every frame read (including the
+// pongs elicited by WritePing) must arrive within d of the previous one or
+// ReadMessage fails with a timeout error. 0 disables.
+func (c *WSConn) SetIdleTimeout(d time.Duration) { c.idle = d }
+
+// CloseWith performs the closing handshake carrying a status code and reason
+// (RFC 6455 Sec. 5.5.1), then tears the connection down. Idempotent with
+// Close: whichever runs first sends its close frame.
+func (c *WSConn) CloseWith(code uint16, reason string) error {
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	c.wmu.Lock()
+	if !c.closed {
+		c.closed = true
+		payload := make([]byte, 2, 2+len(reason))
+		binary.BigEndian.PutUint16(payload, code)
+		// Close reasons are capped at 123 bytes by the control-frame limit.
+		if len(reason) > 123 {
+			reason = reason[:123]
+		}
+		payload = append(payload, reason...)
+		_ = c.writeFrameLocked(opClose, payload)
+	}
+	c.wmu.Unlock()
+	return c.conn.Close()
 }
 
 // Close performs the closing handshake from this side and tears the
@@ -126,6 +201,9 @@ func (c *WSConn) writeClose() {
 
 // readFrame reads one frame, unmasking if needed.
 func (c *WSConn) readFrame() (fin bool, opcode byte, payload []byte, err error) {
+	if c.idle > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.idle))
+	}
 	var hdr [2]byte
 	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
 		return false, 0, nil, err
@@ -271,6 +349,35 @@ func upgradeWS(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
 	return &WSConn{conn: conn, br: rw.Reader}, nil
 }
 
+// rejectReasonHeader names the handshake-rejection reason the server
+// attaches to pre-upgrade 503s, so clients can tell a transient full house
+// (retryable, with a Retry-After hint) from a terminal drain.
+const rejectReasonHeader = "X-Idebench-Reason"
+
+// Handshake-rejection reasons.
+const (
+	// ReasonOverloaded: the connection cap is reached; retry after the hint.
+	ReasonOverloaded = "overloaded"
+	// ReasonDraining: the server is shutting down; do not retry.
+	ReasonDraining = "draining"
+)
+
+// HandshakeError is a WebSocket upgrade rejected at the HTTP layer, carrying
+// the status, the server's stated reason, and its Retry-After hint (0 when
+// absent — a terminal rejection).
+type HandshakeError struct {
+	Status     int
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *HandshakeError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("server: handshake rejected: %d (%s)", e.Status, e.Reason)
+	}
+	return fmt.Sprintf("server: handshake rejected: %d", e.Status)
+}
+
 // headerContainsToken reports whether a comma-separated header contains the
 // token (case-insensitive); "Connection: keep-alive, Upgrade" must match.
 func headerContainsToken(h http.Header, name, token string) bool {
@@ -334,7 +441,14 @@ func dialWS(rawURL string, timeout time.Duration) (*WSConn, error) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusSwitchingProtocols {
 		conn.Close()
-		return nil, fmt.Errorf("server: handshake rejected: %s", resp.Status)
+		he := &HandshakeError{Status: resp.StatusCode, Reason: resp.Header.Get(rejectReasonHeader)}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			var secs int
+			if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil && secs >= 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, he
 	}
 	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != wsAccept(key) {
 		conn.Close()
