@@ -41,6 +41,14 @@
 // quiesced results are not bitwise-identical to a cold prepare over the
 // final table.
 //
+// With -restart (default: runs whenever -users runs), benchrun also runs the
+// durable warm-restart benchmark (internal/experiments.RestartBench): a data
+// directory is bootstrapped, grown by WAL-logged ingest batches with a
+// mid-run checkpoint, and recovered; the artifact records cold
+// datagen+prepare vs warm checkpoint-load+reordered-prepare+WAL-replay and
+// fails unless the recovered state is bitwise-correct and the warm boot
+// beats the cold one.
+//
 // With -overload (default: mirrors -users), benchrun also runs the
 // open-loop overload sweep (internal/experiments.OverloadSweepRates): a
 // Poisson arrival generator walks an offered-load ladder against a served
@@ -132,6 +140,9 @@ type Output struct {
 	// the sweep never saturated — which fails the artifact).
 	OverloadSweep []report.OverloadPoint `json:"overload_sweep,omitempty"`
 	OverloadKnee  int                    `json:"overload_knee,omitempty"`
+	// Restart is the durable warm-boot benchmark: cold datagen+prepare vs
+	// checkpoint-load+reordered-prepare+WAL-replay, with its bitwise gate.
+	Restart *experiments.RestartResult `json:"restart,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -147,7 +158,7 @@ var baselinePairs = map[string]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
 	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
 	// A fixed iteration count beats go's time-based ramp-up for recorded
@@ -159,6 +170,7 @@ func main() {
 	usersRows := flag.Int("users-rows", core.SizeS, "dataset size for the user sweep")
 	ingestUsers := flag.String("ingest", "auto", "comma-separated user counts for the live-ingestion sweep; empty skips, \"auto\" mirrors -users")
 	overload := flag.String("overload", "auto", "comma-separated arrival-rate ladder (queries/s) for the open-loop overload sweep; empty skips, \"auto\" runs the default ladder whenever -users runs")
+	restart := flag.String("restart", "auto", "run the durable warm-restart benchmark: \"auto\" (whenever -users runs), \"on\", or empty to skip")
 	compare := flag.String("compare", "", "baseline BENCH json to guard against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per guarded metric with -compare")
 	flag.Parse()
@@ -239,6 +251,15 @@ func main() {
 		doc.OverloadSweep = points
 		doc.OverloadKnee = report.FindKnee(points)
 	}
+	runRestart := *restart == "on" || (*restart == "auto" && userList != "")
+	if runRestart {
+		r, err := experiments.RestartBench(experiments.Config{Rows: *usersRows, Out: io.Discard}, 10, *usersRows/100)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: restart bench: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Restart = r
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -264,6 +285,19 @@ func main() {
 		if !p.QuiesceBitwise {
 			fmt.Fprintf(os.Stderr, "benchrun: FAIL ingest %s u=%d: quiesced results not bitwise-identical to cold prepare\n",
 				p.Engine, p.Users)
+			os.Exit(1)
+		}
+	}
+	if doc.Restart != nil {
+		r := doc.Restart
+		fmt.Printf("benchrun: restart %d+%d rows: cold prepare %.1fms vs warm %.1fms (load %.1fms + replay %.1fms of %d batches), checkpoint %.1fms/%dB, bitwise=%v\n",
+			r.Rows, r.IngestedRows, r.ColdPrepareMS, r.WarmTotalMS, r.WarmLoadMS, r.WALReplayMS, r.Batches, r.CheckpointMS, r.CheckpointBytes, r.Bitwise)
+		if !r.Bitwise {
+			fmt.Fprintln(os.Stderr, "benchrun: FAIL restart: warm-recovered results not bitwise-identical to ground truth")
+			os.Exit(1)
+		}
+		if !r.WarmBeatsCold {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL restart: warm boot %.1fms is not faster than cold prepare %.1fms\n", r.WarmTotalMS, r.ColdPrepareMS)
 			os.Exit(1)
 		}
 	}

@@ -11,6 +11,8 @@
 //	idebench run         -engine progressive -users 8
 //	idebench run         -engine progressive -users 4 -ingest-every 3 -ingest-rows 2000
 //	idebench serve       -engine progressive -rows 500000 -addr :8373
+//	idebench serve       -engine progressive -rows 500000 -data-dir ./state
+//	idebench inspect     -data-dir ./state
 //	idebench run         -addr localhost:8373 -rows 500000 -users 8
 //	idebench run         -addr localhost:8373 -rows 500000 -users 4 -ingest-every 3
 //	idebench load        -addr localhost:8373 -rows 500000 -schedule ramp -rate 50 -rate2 2000
@@ -54,6 +56,17 @@
 // apples-to-apples. The run and serve sides must agree on -rows and -seed
 // so the locally computed ground truth matches the served data.
 //
+// `serve -data-dir` makes the served state durable (internal/durable): the
+// prepared base is checkpointed once at boot, every ingest batch is written
+// and fsynced to a write-ahead log before the engine applies it, and a
+// background checkpointer bounds the log's length. After a crash — even a
+// kill -9 mid-ingest — restarting with the same -data-dir recovers the
+// newest verifying checkpoint, replays the WAL tail, and resumes serving at
+// the exact batch-aligned watermark that was last acknowledged, warm
+// (skipping datagen and the sampling reorder). `inspect` verifies a data
+// directory offline: per-file checksums, the manifest's content digest, and
+// the WAL's record chain.
+//
 // Run `idebench <command> -h` for each command's flags.
 package main
 
@@ -73,6 +86,7 @@ import (
 	"idebench/internal/datagen"
 	"idebench/internal/dataset"
 	"idebench/internal/driver"
+	"idebench/internal/durable"
 	"idebench/internal/engine"
 	"idebench/internal/experiments"
 	"idebench/internal/groundtruth"
@@ -100,6 +114,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "view":
@@ -128,6 +144,7 @@ Commands:
   run          run the benchmark for one engine and setting (in-process, or -addr for a remote server)
   serve        serve an engine over the HTTP/WebSocket wire protocol
   load         drive a server with open-loop load (poisson/bursty/ramp arrivals, CI gates)
+  inspect      verify and summarize a durable data directory (checkpoints + WAL)
   exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, ingest, overload, all)
   view         inspect generated workflows (text or Graphviz DOT)
   analyze      re-aggregate a saved detailed report (summary + factor analysis)
@@ -486,28 +503,120 @@ func cmdServe(args []string) error {
 	lateFactor := fs.Float64("late-factor", server.DefaultLateFactor, "shed queries still running past this multiple of their stated deadline (negative disables)")
 	pingInterval := fs.Duration("ping-interval", server.DefaultPingInterval, "server ping cadence for liveness (negative disables)")
 	idleTimeout := fs.Duration("idle-timeout", server.DefaultIdleTimeout, "disconnect connections with no inbound frame for this long (negative disables)")
+	dataDir := fs.String("data-dir", "", "durable state directory (checkpoints + ingest WAL); a restart recovers the last served state and resumes")
+	ckptWALBytes := fs.Int64("checkpoint-wal-bytes", 8<<20, "with -data-dir: write a background checkpoint once the WAL exceeds this many bytes")
+	ckptInterval := fs.Duration("checkpoint-interval", 2*time.Second, "with -data-dir: background checkpointer poll cadence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	db, err := core.BuildData(*rows, *useJoins, *seed)
-	if err != nil {
-		return err
-	}
 	s := core.DefaultSettings()
 	s.DataSize = *rows
 	s.UseJoins = *useJoins
 	s.Seed = *seed
-	p, err := core.Prepare(*engineName, db, s)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
 
+	var (
+		db  *dataset.Database
+		eng engine.Engine
+		st  *durable.Store
+	)
+	if *dataDir != "" {
+		var err error
+		st, err = durable.Open(*dataDir, durable.Options{Meta: durable.Meta{
+			Engine:   *engineName,
+			Seed:     *seed,
+			BaseRows: int64(*rows),
+		}})
+		if err != nil {
+			return err
+		}
+		rec, err := st.Recover()
+		if err != nil {
+			return err
+		}
+		if rec.Checkpoint != nil {
+			// Warm start: prepare from the checkpoint (skipping datagen and,
+			// when the engine can adopt its own permutation back, the sampling
+			// reorder too), then redo the WAL tail through the ingest path.
+			db = rec.Checkpoint.DB
+			eng, err = core.NewEngine(*engineName)
+			if err != nil {
+				return err
+			}
+			eopts := engine.Options{Confidence: s.Confidence, Seed: s.Seed}
+			start := time.Now()
+			rp, warm := eng.(engine.ReorderedPreparer)
+			if warm {
+				err = rp.PrepareReordered(db, rec.Checkpoint.Perm, eopts)
+			} else {
+				err = eng.Prepare(db, eopts)
+			}
+			if err != nil {
+				return err
+			}
+			if len(rec.Batches) > 0 {
+				app, ok := eng.(engine.Appender)
+				if !ok {
+					return fmt.Errorf("serve: %d WAL batches to replay but engine %s cannot append", len(rec.Batches), eng.Name())
+				}
+				ap := ingest.NewApplier(db, app)
+				for _, b := range rec.Batches {
+					if _, err := ap.Apply(b); err != nil {
+						return fmt.Errorf("serve: wal replay: %w", err)
+					}
+				}
+				if got := app.Watermark(); got != rec.Info.Watermark {
+					return fmt.Errorf("serve: wal replay ended at watermark %d, recovery expected %d", got, rec.Info.Watermark)
+				}
+			}
+			mode := "warm"
+			if !warm {
+				mode = "re-prepared"
+			}
+			note := ""
+			if rec.Info.FellBack {
+				note += "; newest checkpoint failed verification, used an older one"
+			}
+			if rec.Info.TruncatedTail {
+				note += "; torn WAL tail truncated"
+			}
+			fmt.Printf("recovered (%s) from %s: checkpoint v%d + %d WAL batches (%d rows) -> watermark %d%s, in %v\n",
+				mode, *dataDir, rec.Info.CheckpointVersion, rec.Info.ReplayedBatches,
+				rec.Info.ReplayedRows, rec.Info.Watermark, note, time.Since(start).Round(time.Microsecond))
+		}
+	}
+	if eng == nil {
+		// Cold start: build the base dataset and prepare from scratch.
+		var err error
+		db, err = core.BuildData(*rows, *useJoins, *seed)
+		if err != nil {
+			return err
+		}
+		p, err := core.Prepare(*engineName, db, s)
+		if err != nil {
+			return err
+		}
+		eng = p.Engine
+		fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
+		if st != nil {
+			// First boot of a durable directory: checkpoint the prepared base
+			// (in the engine's own storage order when it exposes one) so every
+			// later restart is warm.
+			bdb, perm := db, []uint32(nil)
+			if vs, ok := eng.(engine.ViewSnapshotter); ok {
+				bdb, perm = vs.SnapshotView()
+			}
+			if err := st.Bootstrap(bdb, perm); err != nil {
+				return err
+			}
+			fmt.Printf("durable state bootstrapped in %s\n", *dataDir)
+		}
+	}
+
+	servedRows := int64(db.Fact.NumRows())
 	opts := server.Options{
 		MaxConns:           *maxConns,
 		PollInterval:       *poll,
-		Rows:               int64(db.Fact.NumRows()),
 		Seed:               *seed,
 		MaxInflight:        *maxInflight,
 		MaxInflightPerConn: *maxInflightConn,
@@ -516,17 +625,35 @@ func cmdServe(args []string) error {
 		PingInterval:       *pingInterval,
 		IdleTimeout:        *idleTimeout,
 	}
-	if app, ok := p.Engine.(engine.Appender); ok {
-		opts.Apply = ingest.NewApplier(db, app).Apply
-		fmt.Printf("live ingestion enabled: client ingest frames append to %s\n", p.Engine.Name())
+	if app, ok := eng.(engine.Appender); ok {
+		servedRows = app.Watermark()
+		ap := ingest.NewApplier(db, app)
+		if st != nil {
+			// Write-ahead ordering: the Applier logs (and fsyncs) every
+			// validated batch before the engine absorbs it or any client
+			// hears an ack.
+			ap.SetLog(st.LogBatch)
+		}
+		opts.Apply = ap.Apply
+		fmt.Printf("live ingestion enabled: client ingest frames append to %s\n", eng.Name())
 	}
-	srv := server.New(p.Engine, opts)
+	opts.Rows = servedRows
+	var stopCkpt func()
+	if st != nil {
+		opts.Durable = durableServer{st}
+		if vs, ok := eng.(engine.ViewSnapshotter); ok {
+			stopCkpt = st.AutoCheckpoint(*ckptInterval, *ckptWALBytes, vs.SnapshotView, func(err error) {
+				fmt.Fprintln(os.Stderr, "idebench: background checkpoint:", err)
+			})
+		}
+	}
+	srv := server.New(eng, opts)
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz\n",
-		p.Engine.Name(), db.Fact.NumRows(), l.Addr(), server.ProtoVersion)
+		eng.Name(), servedRows, l.Addr(), server.ProtoVersion)
 
 	// SIGTERM/SIGINT drain in-flight queries to their final snapshots, then
 	// stop; a second signal aborts immediately.
@@ -534,9 +661,31 @@ func cmdServe(args []string) error {
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
+	// closeDurable stops the background checkpointer, captures one final
+	// checkpoint (so the next boot replays an empty WAL tail) and closes the
+	// log. Safe on every exit path; a no-op without -data-dir.
+	closeDurable := func() error {
+		if stopCkpt != nil {
+			stopCkpt()
+		}
+		if st == nil {
+			return nil
+		}
+		if vs, ok := eng.(engine.ViewSnapshotter); ok {
+			vdb, perm := vs.SnapshotView()
+			if err := st.Checkpoint(vdb, perm); err != nil {
+				fmt.Fprintln(os.Stderr, "idebench: final checkpoint:", err)
+			}
+		}
+		return st.Close()
+	}
 	select {
 	case err := <-done:
-		return err
+		cerr := closeDurable()
+		if err != nil {
+			return err
+		}
+		return cerr
 	case sig := <-sigs:
 		fmt.Printf("received %v, draining (budget %v)\n", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -546,12 +695,51 @@ func cmdServe(args []string) error {
 			cancel()
 		}()
 		if err := srv.Shutdown(ctx); err != nil {
+			_ = closeDurable()
 			return err
 		}
 		<-done
+		if err := closeDurable(); err != nil {
+			return err
+		}
 		fmt.Println("drained, bye")
 		return nil
 	}
+}
+
+// durableServer adapts a durable.Store to the server's Durability hooks —
+// recovery/WAL status for /healthz and the drain-time flush barrier —
+// without the server package importing durable.
+type durableServer struct{ st *durable.Store }
+
+func (d durableServer) DurableStatus() server.DurableStatus {
+	s := d.st.Status()
+	return server.DurableStatus{
+		Recovered:             s.Recovered,
+		FellBack:              s.FellBack,
+		CheckpointVersion:     s.CheckpointVersion,
+		ReplayedBatches:       s.ReplayedBatches,
+		ReplayedRows:          s.ReplayedRows,
+		TruncatedTail:         s.TruncatedTail,
+		RecoveredWatermark:    s.Watermark,
+		WALBytes:              s.WALBytes,
+		Checkpoints:           s.Checkpoints,
+		LastCheckpointVersion: s.LastCheckpointVersion,
+	}
+}
+
+func (d durableServer) Flush() error { return d.st.Flush() }
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable state directory to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return errors.New("inspect: -data-dir is required")
+	}
+	return durable.Inspect(*dataDir, nil, os.Stdout)
 }
 
 func cmdLoad(args []string) error {

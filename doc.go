@@ -132,6 +132,39 @@
 // and reports p99/p99.9 admitted latency plus rejection and violation rates
 // per rate (BENCH_6.json).
 //
+// # Durable state
+//
+// `idebench serve -data-dir` makes the served state survive crashes
+// (internal/durable). The layout has two halves. Checkpoints are immutable
+// directories of checksummed, versioned column segments — the stable table
+// codec (dataset.EncodeTable) serializes dictionary values in code order,
+// making two checkpoints of the same logical database byte-identical — plus
+// the engine's sampling permutation and a MANIFEST.json naming every file
+// with its CRC and an overall content digest; a checkpoint is written to a
+// temp directory, fsynced, and renamed into place with the manifest last,
+// so a crashed writer leaves either a fully valid checkpoint or ignorable
+// debris. The ingest WAL records every batch (the same fuzzed wire format
+// ingest frames use) in CRC-framed, version-chained records, fsynced
+// *before* the engine applies the batch or any client hears an ack — the
+// write-ahead hook (ingest.Applier.SetLog) runs under the apply mutex after
+// validation, so WAL order is apply order and the log never holds a batch
+// replay would reject.
+//
+// Recovery stitches the halves: load the newest checkpoint that fully
+// verifies (falling back to an older one on corruption), truncate any torn
+// WAL tail at the first bad CRC or broken version chain, replay the
+// surviving records through the ordinary ingest path, and resume serving at
+// the recovered batch-aligned watermark — warm, because engines exposing
+// engine.ReorderedPreparer (progressive, exactdb) adopt the checkpoint's
+// storage order directly and skip the sampling reorder, and engines
+// exposing engine.ViewSnapshotter hand the background checkpointer
+// copy-on-write views so checkpointing never pauses ingestion. /healthz
+// reports the recovery provenance, `idebench inspect -data-dir` verifies a
+// directory offline, the crash wall (internal/durable fault-injection tests
+// plus the kill -9 e2e in cmd/idebench) proves acked batches survive real
+// SIGKILL, and cmd/benchrun's restart benchmark gates warm boot beating
+// cold prepare (BENCH_7.json).
+//
 // # Continuous integration
 //
 // CI (.github/workflows/ci.yml) fans out into parallel jobs: lint
@@ -144,7 +177,10 @@
 // drain. The overload e2e job serves with tight admission caps, ramps the
 // open-loop offered load past the knee with `idebench load`, and gates on
 // bounded admitted p99, explicit rejections, and zero inflight queries and
-// shared-scan consumers after the generator drains.
+// shared-scan consumers after the generator drains. The crash e2e job runs
+// the durable suite and the kill -9 crash wall under -race, then SIGKILLs
+// and warm-restarts a served data directory from the shell and requires the
+// offline inspector to verify it clean.
 //
 // Per-PR performance numbers are recorded as machine-readable JSON at the
 // repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the
@@ -153,5 +189,8 @@
 // 1/2/4/8 users, plus the bitwise quiesce gate), and BENCH_6.json adds the
 // overload sweep (admitted latency tails, rejection/shed/violation rates
 // and the shedding knee across the offered-load ladder, gated on bounded
-// p99 past the knee and zero leaked scan consumers).
+// p99 past the knee and zero leaked scan consumers), and BENCH_7.json adds
+// the warm-restart benchmark (cold datagen+prepare vs checkpoint load +
+// reordered prepare + WAL replay, gated on the warm boot winning and on
+// bitwise-correct recovered results).
 package idebench

@@ -1,0 +1,261 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Stable binary serialization of tables — the storage layer of the durable
+// checkpoint format (internal/durable). The encoding is versioned, fully
+// self-contained (each nominal column carries its dictionary contents), and
+// deterministic: encoding the same logical table twice yields byte-identical
+// output, because every variable-order structure is serialized in a canonical
+// order — schema fields in schema order, dictionary values in code order
+// (Dict.Values' documented enumeration order). Checkpoint checksums and the
+// byte-identity determinism test rely on this.
+//
+// Layout (all integers little-endian):
+//
+//	magic "IDBT1\x00"
+//	u16 len | table name
+//	u32 field count
+//	per field: u8 kind | u16 len | field name
+//	u64 row count
+//	per column, in schema order:
+//	  quantitative: u8 boundsOK | f64 lo | f64 hi | rows × f64 (IEEE-754 bits)
+//	  nominal:      u32 dict len | per value (u32 len | bytes) | rows × u32 codes
+//
+// Quantitative columns persist their memoized min/max bounds so a decoded
+// table skips the O(n) warm-up pass NewTable would otherwise pay — the whole
+// point of a warm restart is to not redo per-row work.
+
+// tableMagic frames one serialized table; the trailing byte versions the
+// format, so a future layout change bumps the magic rather than guessing.
+var tableMagic = []byte("IDBT1\x00")
+
+// maxDecodeElems bounds any single length field read while decoding, so a
+// corrupt or adversarial header cannot ask for a multi-terabyte allocation
+// before the per-element bounds checks run.
+const maxDecodeElems = 1 << 32
+
+// EncodeTable serializes t into the stable checkpoint format.
+func EncodeTable(t *Table) []byte {
+	// Pre-size: headers are small; column payloads dominate.
+	buf := make([]byte, 0, 64+tableBytes(t))
+	buf = append(buf, tableMagic...)
+	buf = appendString16(buf, t.Name)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Schema.Len()))
+	for _, f := range t.Schema.Fields {
+		buf = append(buf, byte(f.Kind))
+		buf = appendString16(buf, f.Name)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.NumRows()))
+	for _, c := range t.Columns {
+		if c.Field.Kind == Nominal {
+			values := c.Dict.Values()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(values)))
+			for _, v := range values {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+				buf = append(buf, v...)
+			}
+			for _, code := range c.Codes {
+				buf = binary.LittleEndian.AppendUint32(buf, code)
+			}
+		} else {
+			// MinMax (not the raw memo fields) keeps the encoding
+			// deterministic regardless of whether a caller already warmed
+			// the bounds: it computes them on first use.
+			lo, hi, ok := c.MinMax()
+			if ok {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(lo))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(hi))
+			for _, v := range c.Nums {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeTable reconstructs a table from EncodeTable output. It never
+// panics on corrupt input: every length is bounds-checked against the
+// remaining data and every dictionary code against its dictionary, so a
+// bit-flipped checkpoint segment surfaces as an error, not a crash.
+func DecodeTable(data []byte) (*Table, error) {
+	r := &byteReader{data: data}
+	if !r.magic(tableMagic) {
+		return nil, fmt.Errorf("dataset: decode table: bad magic")
+	}
+	name := r.string16()
+	nFields := int(r.u32())
+	if r.err == nil && nFields > maxDecodeElems {
+		return nil, fmt.Errorf("dataset: decode table %q: implausible field count %d", name, nFields)
+	}
+	fields := make([]Field, 0, min(nFields, 1024))
+	for i := 0; i < nFields && r.err == nil; i++ {
+		k := Kind(r.u8())
+		fn := r.string16()
+		if k != Quantitative && k != Nominal {
+			return nil, fmt.Errorf("dataset: decode table %q: field %q: unknown kind %d", name, fn, k)
+		}
+		fields = append(fields, Field{Name: fn, Kind: k})
+	}
+	rows64 := r.u64()
+	if r.err != nil {
+		return nil, fmt.Errorf("dataset: decode table %q: %w", name, r.err)
+	}
+	if rows64 > maxDecodeElems {
+		return nil, fmt.Errorf("dataset: decode table %q: implausible row count %d", name, rows64)
+	}
+	rows := int(rows64)
+	schema, err := NewSchema(fields)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: decode table %q: %w", name, err)
+	}
+	cols := make([]*Column, 0, len(fields))
+	for _, f := range fields {
+		c := &Column{Field: f}
+		if f.Kind == Nominal {
+			dictLen := int(r.u32())
+			if r.err == nil && int64(dictLen)*4 > int64(r.remaining()) {
+				return nil, fmt.Errorf("dataset: decode table %q: column %q: truncated dictionary", name, f.Name)
+			}
+			d := NewDict()
+			for j := 0; j < dictLen && r.err == nil; j++ {
+				v := r.string32()
+				if r.err != nil {
+					break
+				}
+				if _, dup := d.Lookup(v); dup {
+					return nil, fmt.Errorf("dataset: decode table %q: column %q: duplicate dictionary value %q", name, f.Name, v)
+				}
+				d.Code(v)
+			}
+			c.Dict = d
+			c.Codes = make([]uint32, 0, min(rows, r.remaining()/4))
+			for j := 0; j < rows && r.err == nil; j++ {
+				code := r.u32()
+				if r.err == nil && int(code) >= dictLen {
+					return nil, fmt.Errorf("dataset: decode table %q: column %q: code %d out of range (dict len %d)", name, f.Name, code, dictLen)
+				}
+				c.Codes = append(c.Codes, code)
+			}
+		} else {
+			ok := r.u8() != 0
+			lo := math.Float64frombits(r.u64())
+			hi := math.Float64frombits(r.u64())
+			c.Nums = make([]float64, 0, min(rows, r.remaining()/8))
+			for j := 0; j < rows && r.err == nil; j++ {
+				c.Nums = append(c.Nums, math.Float64frombits(r.u64()))
+			}
+			if r.err == nil {
+				c.seedMinMax(lo, hi, ok)
+			}
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("dataset: decode table %q: column %q: %w", name, f.Name, r.err)
+		}
+		cols = append(cols, c)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("dataset: decode table %q: %d trailing bytes", name, r.remaining())
+	}
+	t, err := NewTable(name, schema, cols)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: decode table: %w", err)
+	}
+	return t, nil
+}
+
+func appendString16(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16] // names never approach this; guard anyway
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// byteReader is a bounds-checked cursor with latching errors: after the
+// first out-of-range read every later read returns zero values, and the
+// caller checks err once per column rather than per field.
+type byteReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+var errTruncated = fmt.Errorf("truncated input")
+
+func (r *byteReader) remaining() int { return len(r.data) - r.off }
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < n {
+		r.err = errTruncated
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) magic(want []byte) bool {
+	b := r.take(len(want))
+	if r.err != nil {
+		return false
+	}
+	return string(b) == string(want)
+}
+
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *byteReader) string16() string {
+	n := int(r.u16())
+	return string(r.take(n))
+}
+
+func (r *byteReader) string32() string {
+	n := r.u32()
+	if r.err == nil && int64(n) > int64(r.remaining()) {
+		r.err = errTruncated
+		return ""
+	}
+	return string(r.take(int(n)))
+}

@@ -166,7 +166,13 @@ func (d *Dict) Len() int {
 }
 
 // Values returns a copy of the dictionary contents in code order. (A shared
-// slice would race with concurrent interning under live ingestion.)
+// slice would race with concurrent interning under live ingestion.) Code
+// order is the canonical, deterministic enumeration and serialization order:
+// codes are assigned sequentially at interning time, never reused and never
+// reordered, so two dictionaries built by the same interning sequence
+// enumerate identically. The checkpoint codec (codec.go) serializes
+// dictionaries in this order, which is what makes two checkpoints of the
+// same logical database byte-identical.
 func (d *Dict) Values() []string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()

@@ -1,0 +1,302 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"idebench/internal/dataset"
+)
+
+// FormatVersion is bumped whenever the checkpoint layout or the segment
+// encoding changes incompatibly; loaders refuse other versions.
+const FormatVersion = 1
+
+// manifestName is the file written last inside a checkpoint directory — a
+// directory without it is not a checkpoint.
+const manifestName = "MANIFEST.json"
+
+// File roles inside a checkpoint.
+const (
+	roleFact = "fact"
+	roleDim  = "dimension"
+	rolePerm = "permutation"
+)
+
+// ManifestFile describes one checkpoint segment.
+type ManifestFile struct {
+	Name  string `json:"name"`
+	Role  string `json:"role"`
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+	// FKColumn is the fact-side foreign-key column for dimension segments.
+	FKColumn string `json:"fk_column,omitempty"`
+}
+
+// Manifest is a checkpoint's self-description, written last and fsynced;
+// its presence commits the checkpoint.
+type Manifest struct {
+	Format   int    `json:"format"`
+	Engine   string `json:"engine"`
+	Seed     int64  `json:"seed"`
+	BaseRows int64  `json:"base_rows"`
+	// Version is the fact-table row count — the data version / watermark
+	// this checkpoint captures.
+	Version int64          `json:"version"`
+	Files   []ManifestFile `json:"files"`
+	// ContentSHA256 digests every file's contents in Files order: the
+	// whole-checkpoint identity the determinism test and the offline
+	// inspector use.
+	ContentSHA256 string `json:"content_sha256"`
+}
+
+// Checkpoint is a loaded, verified checkpoint.
+type Checkpoint struct {
+	Manifest Manifest
+	DB       *dataset.Database
+	// Perm is the sampling permutation the fact prefix is stored in; nil
+	// for arrival-order engines.
+	Perm []uint32
+}
+
+// Version returns the data version the checkpoint captures.
+func (c *Checkpoint) Version() int64 { return c.Manifest.Version }
+
+func checkpointDirName(v int64) string { return fmt.Sprintf("ckpt-%016d", v) }
+
+func parseCheckpointDirName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimPrefix(name, "ckpt-"), 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// permMagic frames the serialized sampling permutation.
+var permMagic = []byte("IDBP1\x00")
+
+func encodePerm(perm []uint32) []byte {
+	buf := make([]byte, 0, len(permMagic)+8+4*len(perm))
+	buf = append(buf, permMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(perm)))
+	for _, p := range perm {
+		buf = binary.LittleEndian.AppendUint32(buf, p)
+	}
+	return buf
+}
+
+func decodePerm(data []byte) ([]uint32, error) {
+	r := len(permMagic)
+	if len(data) < r+8 || string(data[:r]) != string(permMagic) {
+		return nil, fmt.Errorf("durable: permutation segment: bad header")
+	}
+	n := binary.LittleEndian.Uint64(data[r:])
+	if uint64(len(data)-r-8) != n*4 {
+		return nil, fmt.Errorf("durable: permutation segment: %d entries for %d payload bytes", n, len(data)-r-8)
+	}
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = binary.LittleEndian.Uint32(data[r+8+4*i:])
+	}
+	return perm, nil
+}
+
+// writeCheckpoint writes one checkpoint atomically under root
+// (<data-dir>/checkpoints) and returns the total segment bytes. Sequence:
+// segments into a .tmp- directory, each fsynced; manifest last, fsynced;
+// directory rename; parent fsync. Any failure removes the temp directory
+// and leaves previously committed checkpoints untouched.
+func writeCheckpoint(fs FS, root string, meta Meta, db *dataset.Database, perm []uint32) (int64, error) {
+	version := int64(db.Fact.NumRows())
+	tmp := filepath.Join(root, fmt.Sprintf(".tmp-%016d", version))
+	final := filepath.Join(root, checkpointDirName(version))
+	_ = fs.RemoveAll(tmp) // clobber litter from a crashed writer
+	if err := fs.MkdirAll(tmp); err != nil {
+		return 0, fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	fail := func(err error) (int64, error) {
+		_ = fs.RemoveAll(tmp)
+		return 0, fmt.Errorf("durable: checkpoint: %w", err)
+	}
+
+	m := Manifest{
+		Format:   FormatVersion,
+		Engine:   meta.Engine,
+		Seed:     meta.Seed,
+		BaseRows: meta.BaseRows,
+		Version:  version,
+	}
+	sha := sha256.New()
+	var total int64
+	writeSeg := func(name, role, fk string, data []byte) error {
+		f, err := fs.Create(filepath.Join(tmp, name))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		sha.Write(data)
+		total += int64(len(data))
+		m.Files = append(m.Files, ManifestFile{
+			Name: name, Role: role, Bytes: int64(len(data)),
+			CRC32: crc32.ChecksumIEEE(data), FKColumn: fk,
+		})
+		return nil
+	}
+
+	if err := writeSeg("fact.seg", roleFact, "", dataset.EncodeTable(db.Fact)); err != nil {
+		return fail(err)
+	}
+	for i, d := range db.Dimensions {
+		name := fmt.Sprintf("dim-%02d.seg", i)
+		if err := writeSeg(name, roleDim, d.FKColumn, dataset.EncodeTable(d.Table)); err != nil {
+			return fail(err)
+		}
+	}
+	if len(perm) > 0 {
+		if err := writeSeg("perm.seg", rolePerm, "", encodePerm(perm)); err != nil {
+			return fail(err)
+		}
+	}
+	m.ContentSHA256 = hex.EncodeToString(sha.Sum(nil))
+
+	mf, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	f, err := fs.Create(filepath.Join(tmp, manifestName))
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(append(mf, '\n')); err != nil {
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := fs.SyncDir(tmp); err != nil {
+		return fail(err)
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return fail(err)
+	}
+	if err := fs.SyncDir(root); err != nil {
+		return 0, fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	return total, nil
+}
+
+// readManifest loads and sanity-checks a checkpoint's manifest.
+func readManifest(fs FS, dir string) (Manifest, error) {
+	var m Manifest
+	data, err := fs.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return m, fmt.Errorf("durable: checkpoint manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("durable: checkpoint manifest: %w", err)
+	}
+	if m.Format != FormatVersion {
+		return m, fmt.Errorf("durable: checkpoint format %d, this build reads %d", m.Format, FormatVersion)
+	}
+	return m, nil
+}
+
+// loadCheckpoint reads and fully verifies the checkpoint in dir: every
+// listed file must exist with the manifested size, CRC and aggregate
+// SHA-256, and decode cleanly. Anything less is an error — the caller
+// falls back to an older checkpoint rather than serve partial state.
+func loadCheckpoint(fs FS, dir string) (*Checkpoint, error) {
+	m, err := readManifest(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{Manifest: m}
+	sha := sha256.New()
+	var fact *dataset.Table
+	var dims []*dataset.Dimension
+	for _, mf := range m.Files {
+		data, err := fs.ReadFile(filepath.Join(dir, mf.Name))
+		if err != nil {
+			return nil, fmt.Errorf("durable: checkpoint segment %s: %w", mf.Name, err)
+		}
+		if int64(len(data)) != mf.Bytes {
+			return nil, fmt.Errorf("durable: checkpoint segment %s: %d bytes, manifest says %d", mf.Name, len(data), mf.Bytes)
+		}
+		if crc32.ChecksumIEEE(data) != mf.CRC32 {
+			return nil, fmt.Errorf("durable: checkpoint segment %s: CRC mismatch", mf.Name)
+		}
+		sha.Write(data)
+		switch mf.Role {
+		case roleFact:
+			if fact, err = dataset.DecodeTable(data); err != nil {
+				return nil, err
+			}
+		case roleDim:
+			t, err := dataset.DecodeTable(data)
+			if err != nil {
+				return nil, err
+			}
+			dims = append(dims, &dataset.Dimension{Table: t, FKColumn: mf.FKColumn})
+		case rolePerm:
+			if ck.Perm, err = decodePerm(data); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("durable: checkpoint segment %s: unknown role %q", mf.Name, mf.Role)
+		}
+	}
+	if got := hex.EncodeToString(sha.Sum(nil)); got != m.ContentSHA256 {
+		return nil, fmt.Errorf("durable: checkpoint content digest mismatch")
+	}
+	if fact == nil {
+		return nil, fmt.Errorf("durable: checkpoint has no fact segment")
+	}
+	if int64(fact.NumRows()) != m.Version {
+		return nil, fmt.Errorf("durable: checkpoint fact has %d rows, manifest version is %d", fact.NumRows(), m.Version)
+	}
+	if len(ck.Perm) > fact.NumRows() {
+		return nil, fmt.Errorf("durable: checkpoint permutation has %d entries for %d rows", len(ck.Perm), fact.NumRows())
+	}
+	ck.DB = &dataset.Database{Fact: fact, Dimensions: dims}
+	return ck, nil
+}
+
+// listCheckpoints returns committed checkpoint versions under root in
+// ascending order, ignoring temp litter.
+func listCheckpoints(fs FS, root string) ([]int64, error) {
+	names, err := fs.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var versions []int64
+	for _, name := range names {
+		if v, ok := parseCheckpointDirName(name); ok {
+			versions = append(versions, v)
+		}
+	}
+	return versions, nil // ReadDir sorts; zero-padded names sort numerically
+}

@@ -1,0 +1,175 @@
+// Package durable is the durability subsystem: checksummed, versioned
+// on-disk checkpoints of a prepared dataset.Database plus a CRC-framed,
+// fsync-on-commit write-ahead log of ingest batches, and the recovery
+// procedure that stitches the two back into a serving engine after a crash.
+//
+// # Checkpoint layout
+//
+// A checkpoint is one directory under <data-dir>/checkpoints/, named
+// ckpt-<version> where version is the fact-table row count (= the data
+// version / ingest watermark, per the versioned-watermark model from the
+// live-ingestion subsystem). It holds one binary segment per table in the
+// stable dataset codec (fact.seg, dim-NN.seg), the sampling permutation the
+// fact prefix is stored in (perm.seg, absent for arrival-order engines),
+// and MANIFEST.json — format version, engine name, dataset seed, base row
+// count, per-file byte counts and CRC-32 checksums, and a SHA-256 over all
+// segment contents. Segments carry the dictionary contents (code order) and
+// the memoized min/max bounds, so a warm load rebuilds a fully prepared
+// database without any per-row pass.
+//
+// Checkpoints are written atomically: all segments land in a .tmp-
+// directory and are fsynced, the manifest is written last (a directory
+// without a manifest is by definition not a checkpoint), then the
+// directory is renamed into place and the parent fsynced. A crash at any
+// point leaves either the previous checkpoints intact or a .tmp- litter
+// directory that recovery ignores and the next checkpoint clobbers. The
+// newest two checkpoints are retained, so a checkpoint whose files are
+// later found corrupt (CRC mismatch, missing segment) falls back to its
+// predecessor — partial state is never served.
+//
+// # WAL framing and commit ordering
+//
+// The WAL lives in <data-dir>/wal/ as segment files seg-<version>.wal,
+// named by the data version before their first record. Each record is
+//
+//	u32 body length | u32 CRC-32 (IEEE) of body | body
+//	body = u64 previous version | ingest batch JSON (the fuzzed wire format)
+//
+// The chained previous-version field makes every record's position in the
+// version sequence self-describing: replay verifies each record extends
+// the version it recovered so far, so a misplaced or re-ordered record is
+// detected as corruption rather than silently applied.
+//
+// Commit ordering is strictly validate → log → apply: a batch is fully
+// materialized (schema, kinds, FK bounds) against the live database first,
+// then appended to the WAL and fsynced, and only then applied to the
+// engine, acked to the client, and broadcast. Consequences: (1) an acked
+// batch is durable — a crash immediately after the ack replays it; (2) the
+// WAL never holds a batch the engine would reject, so replay cannot fail
+// on validation; (3) a crash between fsync and apply redoes the batch on
+// recovery — at-least-once relative to the ack, exactly-once relative to
+// the engine, because recovery replays exactly the records beyond the
+// checkpoint version. Segments rotate at a size threshold; segments wholly
+// covered by the oldest retained checkpoint are deleted after each
+// checkpoint, which is what bounds WAL length.
+//
+// # Recovery
+//
+// Recover loads the newest checkpoint whose manifest and checksums fully
+// verify (falling back to the previous one otherwise), then scans the WAL
+// in segment order: every record's CRC and version chain are verified, and
+// records beyond the checkpoint version are returned for replay through
+// engine.Appender. At the first framing or CRC error the segment is
+// truncated at the last valid record — a torn tail from a mid-write crash
+// — and any later segments are discarded; a torn or corrupt record is
+// therefore never applied. The recovered watermark is batch-aligned by
+// construction (appends are atomic; versions only ever advance by whole
+// batches). What is NOT guaranteed: batches the client never got an ack
+// for may or may not survive (the crash may have landed before or after
+// their fsync), and fsync lies from the storage stack are out of scope.
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the filesystem operations the durability layer performs —
+// exactly the injection surface the disk-fault tests need (short writes,
+// ENOSPC, failing fsync, failing rename). The real implementation is OSFS.
+type FS interface {
+	MkdirAll(path string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(path string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the names (not paths) of path's entries, sorted.
+	// A missing directory is an error (callers MkdirAll first).
+	ReadDir(path string) ([]string, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	Truncate(path string, size int64) error
+	// Size returns the byte size of the named file.
+	Size(path string) (int64, error)
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable.
+	SyncDir(path string) error
+}
+
+// File is the writable handle surface the durability layer uses.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// RemoveAll implements FS.
+func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Size implements FS.
+func (OSFS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

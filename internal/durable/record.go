@@ -1,0 +1,104 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"idebench/internal/ingest"
+)
+
+// WAL record framing (see the package comment for the full layout):
+//
+//	u32 body length | u32 CRC-32 (IEEE) of body | body
+//	body = u64 previous data version | ingest batch JSON
+//
+// The frame is deliberately minimal — the batch payload reuses the ingest
+// wire format, which is already fuzzed (FuzzIngestRecord) and versioned by
+// its JSON shape, so the WAL inherits its compatibility story.
+
+// recordHeaderBytes is the fixed frame prefix: length + CRC.
+const recordHeaderBytes = 8
+
+// MaxRecordBytes bounds one WAL record body. Ingest batches are a few
+// thousand rows; anything near this limit in a length field is corruption,
+// and bounding it keeps a torn length word from asking the decoder for a
+// huge allocation.
+const MaxRecordBytes = 64 << 20
+
+// WALRecord is one decoded WAL entry: the batch and the data version the
+// log was at before it (the version chain replay verifies).
+type WALRecord struct {
+	PrevVersion int64
+	Batch       *ingest.Batch
+}
+
+// errTornRecord marks an incomplete or corrupt frame. Inside scanSegment it
+// means "valid data ends here": a torn tail to truncate, not data to apply.
+var errTornRecord = errors.New("durable: torn or corrupt wal record")
+
+// appendWALRecord frames body onto dst.
+func appendWALRecord(dst, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	return append(dst, body...)
+}
+
+// encodeWALBody serializes one record body.
+func encodeWALBody(prevVersion int64, b *ingest.Batch) ([]byte, error) {
+	payload, err := b.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("durable: encode wal record: %w", err)
+	}
+	body := make([]byte, 0, 8+len(payload))
+	body = binary.LittleEndian.AppendUint64(body, uint64(prevVersion))
+	return append(body, payload...), nil
+}
+
+// DecodeWALBody parses one record body. It never panics on arbitrary
+// bytes (FuzzWALRecord's contract) and fully validates the embedded batch.
+func DecodeWALBody(body []byte) (WALRecord, error) {
+	if len(body) < 8 {
+		return WALRecord{}, fmt.Errorf("durable: wal record body %d bytes, want >= 8", len(body))
+	}
+	prev := int64(binary.LittleEndian.Uint64(body))
+	if prev < 0 {
+		return WALRecord{}, fmt.Errorf("durable: wal record: negative previous version %d", prev)
+	}
+	b, err := ingest.DecodeBatch(body[8:])
+	if err != nil {
+		return WALRecord{}, fmt.Errorf("durable: wal record: %w", err)
+	}
+	return WALRecord{PrevVersion: prev, Batch: b}, nil
+}
+
+// EncodeWALRecord frames one record; exported for the fuzz harness and the
+// offline inspector, which both need to build valid records standalone.
+func EncodeWALRecord(prevVersion int64, b *ingest.Batch) ([]byte, error) {
+	body, err := encodeWALBody(prevVersion, b)
+	if err != nil {
+		return nil, err
+	}
+	return appendWALRecord(nil, body), nil
+}
+
+// nextWALRecord cuts the frame starting at data[off], returning the body
+// and the offset just past the record. Any incomplete frame, implausible
+// length, or CRC mismatch returns errTornRecord — the caller treats off as
+// the end of valid data.
+func nextWALRecord(data []byte, off int) (body []byte, next int, err error) {
+	if off+recordHeaderBytes > len(data) {
+		return nil, off, errTornRecord
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n > MaxRecordBytes || off+recordHeaderBytes+n > len(data) {
+		return nil, off, errTornRecord
+	}
+	body = data[off+recordHeaderBytes : off+recordHeaderBytes+n]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, off, errTornRecord
+	}
+	return body, off + recordHeaderBytes + n, nil
+}

@@ -1,0 +1,416 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/ingest"
+)
+
+// Meta identifies what a data directory holds. It is stamped into every
+// checkpoint manifest and verified on recovery, so a data directory can
+// never be silently reused across a different engine, dataset seed or base
+// size — the replayed WAL would be nonsense against the wrong base.
+type Meta struct {
+	Engine   string
+	Seed     int64
+	BaseRows int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// FS is the filesystem; nil means the real one. The crash wall swaps
+	// in a FaultFS here.
+	FS FS
+	// SegmentBytes is the WAL rotation threshold (DefaultSegmentBytes if 0).
+	SegmentBytes int64
+	// Keep is how many committed checkpoints to retain (default 2: the
+	// newest plus the fallback recovery uses if the newest is corrupt).
+	Keep int
+	// Meta identifies the dataset; required.
+	Meta Meta
+}
+
+// RecoveryInfo summarizes what Recover found; surfaced on /healthz and by
+// the serve banner.
+type RecoveryInfo struct {
+	// Recovered is true when a checkpoint was loaded (warm start).
+	Recovered bool
+	// FellBack is true when the newest checkpoint failed verification and
+	// an older one was used.
+	FellBack          bool
+	CheckpointVersion int64
+	ReplayedBatches   int
+	ReplayedRows      int64
+	// TruncatedTail is true when a torn or corrupt WAL tail was cut off.
+	TruncatedTail bool
+	// Watermark is the recovered data version: checkpoint + replayed WAL.
+	Watermark int64
+}
+
+// Status is a point-in-time view of the durable state, for /healthz and
+// the offline inspector.
+type Status struct {
+	RecoveryInfo
+	WALBytes              int64
+	Checkpoints           int
+	LastCheckpointVersion int64
+	LastCheckpointBytes   int64
+}
+
+// Recovery is the result of Store.Recover: the checkpoint to prepare from
+// (nil on a fresh directory) and the WAL batches to replay through the
+// engine, in commit order.
+type Recovery struct {
+	Checkpoint *Checkpoint
+	Batches    []*ingest.Batch
+	Info       RecoveryInfo
+}
+
+// Store owns one data directory: its committed checkpoints and its WAL.
+// LogBatch is safe for concurrent use with Checkpoint; the serving path
+// logs batches on the ingest path while a background goroutine
+// checkpoints.
+type Store struct {
+	fs       FS
+	dir      string
+	walDir   string
+	ckptRoot string
+	segBytes int64
+	keep     int
+	meta     Meta
+
+	mu   sync.Mutex // guards wal and WAL-file pruning
+	wal  *wal
+	info RecoveryInfo
+
+	ckptMu        sync.Mutex // serializes checkpoint writes
+	statMu        sync.Mutex
+	lastCkptVer   int64
+	lastCkptBytes int64
+}
+
+// Open prepares a store over dir, creating the layout if absent. It does
+// not read any state; call Recover (or Bootstrap on a fresh directory)
+// before logging batches.
+func Open(dir string, o Options) (*Store, error) {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.Keep <= 0 {
+		o.Keep = 2
+	}
+	if o.Meta.Engine == "" {
+		return nil, fmt.Errorf("durable: open: missing engine in meta")
+	}
+	s := &Store{
+		fs:       o.FS,
+		dir:      dir,
+		walDir:   filepath.Join(dir, "wal"),
+		ckptRoot: filepath.Join(dir, "checkpoints"),
+		segBytes: o.SegmentBytes,
+		keep:     o.Keep,
+		meta:     o.Meta,
+	}
+	for _, d := range []string{dir, s.walDir, s.ckptRoot} {
+		if err := s.fs.MkdirAll(d); err != nil {
+			return nil, fmt.Errorf("durable: open: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Recover loads the newest fully-verifying checkpoint (falling back to an
+// older one when the newest is corrupt), scans the WAL — truncating any
+// torn tail — and returns the batches past the checkpoint version for the
+// caller to replay through the engine. It leaves the store positioned to
+// append at the recovered watermark. On a fresh directory it returns a
+// Recovery with a nil Checkpoint; the caller builds cold and calls
+// Bootstrap.
+func (s *Store) Recover() (*Recovery, error) {
+	versions, err := listCheckpoints(s.fs, s.ckptRoot)
+	if err != nil {
+		return nil, fmt.Errorf("durable: recover: %w", err)
+	}
+	var ck *Checkpoint
+	var loadErr error
+	fellBack := false
+	for i := len(versions) - 1; i >= 0; i-- {
+		c, err := loadCheckpoint(s.fs, filepath.Join(s.ckptRoot, checkpointDirName(versions[i])))
+		if err != nil {
+			loadErr = err
+			fellBack = true // anything older that loads was not the newest
+			continue
+		}
+		ck = c
+		break
+	}
+	if ck == nil {
+		if len(versions) > 0 {
+			return nil, fmt.Errorf("durable: recover: no checkpoint verifies (last error: %w)", loadErr)
+		}
+		// Fresh directory. A WAL without any checkpoint has no base to
+		// replay onto; refuse rather than guess.
+		names, err := s.fs.ReadDir(s.walDir)
+		if err != nil {
+			return nil, fmt.Errorf("durable: recover: %w", err)
+		}
+		for _, n := range names {
+			if _, ok := parseSegmentName(n); ok {
+				return nil, fmt.Errorf("durable: recover: wal segments exist but no checkpoint does; refusing to guess a base")
+			}
+		}
+		return &Recovery{}, nil
+	}
+	if ck.Manifest.Engine != s.meta.Engine || ck.Manifest.Seed != s.meta.Seed || ck.Manifest.BaseRows != s.meta.BaseRows {
+		return nil, fmt.Errorf("durable: recover: data dir holds engine=%s seed=%d base=%d, serve asked for engine=%s seed=%d base=%d",
+			ck.Manifest.Engine, ck.Manifest.Seed, ck.Manifest.BaseRows, s.meta.Engine, s.meta.Seed, s.meta.BaseRows)
+	}
+
+	scan, err := recoverWAL(s.fs, s.walDir, ck.Version())
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{Checkpoint: ck}
+	var rows int64
+	for _, r := range scan.records {
+		rec.Batches = append(rec.Batches, r.Batch)
+		rows += int64(r.Batch.NumRows())
+	}
+	rec.Info = RecoveryInfo{
+		Recovered:         true,
+		FellBack:          fellBack,
+		CheckpointVersion: ck.Version(),
+		ReplayedBatches:   len(rec.Batches),
+		ReplayedRows:      rows,
+		TruncatedTail:     scan.truncated,
+		Watermark:         scan.endVersion,
+	}
+
+	w, err := openWAL(s.fs, s.walDir, scan.endVersion, s.segBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.info = rec.Info
+	s.mu.Unlock()
+	s.statMu.Lock()
+	s.lastCkptVer = ck.Version()
+	s.statMu.Unlock()
+	return rec, nil
+}
+
+// Bootstrap initializes a fresh data directory from a cold-prepared
+// engine: it writes the initial checkpoint (the base database in the
+// engine's prepared order) and opens the WAL at its version.
+func (s *Store) Bootstrap(db *dataset.Database, perm []uint32) error {
+	if err := s.Checkpoint(db, perm); err != nil {
+		return err
+	}
+	w, err := openWAL(s.fs, s.walDir, int64(db.Fact.NumRows()), s.segBytes)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
+	return nil
+}
+
+// LogBatch appends one validated ingest batch to the WAL and fsyncs it.
+// On error the batch is not durable and the caller must not apply it.
+func (s *Store) LogBatch(b *ingest.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("durable: log batch: store not recovered")
+	}
+	body, err := encodeWALBody(s.wal.version, b)
+	if err != nil {
+		return err
+	}
+	_, err = s.wal.append(appendWALRecord(nil, body), int64(b.NumRows()))
+	return err
+}
+
+// Watermark returns the version after the last durably logged batch.
+func (s *Store) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.version
+}
+
+// Checkpoint writes a checkpoint of the given immutable view (safe to call
+// while LogBatch runs: views are copy-on-write) and then prunes — old
+// checkpoints beyond the retention count, and WAL segments wholly covered
+// by the oldest retained checkpoint.
+func (s *Store) Checkpoint(db *dataset.Database, perm []uint32) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	version := int64(db.Fact.NumRows())
+	s.statMu.Lock()
+	last := s.lastCkptVer
+	s.statMu.Unlock()
+	if version == last {
+		return nil // nothing new to capture
+	}
+	bytes, err := writeCheckpoint(s.fs, s.ckptRoot, s.meta, db, perm)
+	if err != nil {
+		return err
+	}
+	s.statMu.Lock()
+	s.lastCkptVer = version
+	s.lastCkptBytes = bytes
+	s.statMu.Unlock()
+	s.prune()
+	return nil
+}
+
+// prune drops checkpoints beyond the retention count and WAL segments
+// every retained checkpoint already covers. Failures are ignored: pruning
+// is space reclamation, never correctness.
+func (s *Store) prune() {
+	versions, err := listCheckpoints(s.fs, s.ckptRoot)
+	if err != nil {
+		return
+	}
+	for len(versions) > s.keep {
+		_ = s.fs.RemoveAll(filepath.Join(s.ckptRoot, checkpointDirName(versions[0])))
+		versions = versions[1:]
+	}
+	if len(versions) == 0 {
+		return
+	}
+	floor := versions[0] // oldest retained checkpoint
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.fs.ReadDir(s.walDir)
+	if err != nil {
+		return
+	}
+	type seg struct {
+		name  string
+		start int64
+	}
+	var segs []seg
+	for _, n := range names {
+		if v, ok := parseSegmentName(n); ok {
+			segs = append(segs, seg{n, v})
+		}
+	}
+	// A segment is prunable when the NEXT segment starts at or below the
+	// floor (its own records then all end at or below it). The last
+	// segment is the active one and always stays.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].start <= floor {
+			_ = s.fs.Remove(filepath.Join(s.walDir, segs[i].name))
+		}
+	}
+}
+
+// Info returns what recovery found.
+func (s *Store) Info() RecoveryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.info
+}
+
+// Status reports the current durable state.
+func (s *Store) Status() Status {
+	var st Status
+	st.RecoveryInfo = s.Info()
+	if names, err := s.fs.ReadDir(s.walDir); err == nil {
+		for _, n := range names {
+			if _, ok := parseSegmentName(n); ok {
+				if sz, err := s.fs.Size(filepath.Join(s.walDir, n)); err == nil {
+					st.WALBytes += sz
+				}
+			}
+		}
+	}
+	if versions, err := listCheckpoints(s.fs, s.ckptRoot); err == nil {
+		st.Checkpoints = len(versions)
+	}
+	s.statMu.Lock()
+	st.LastCheckpointVersion = s.lastCkptVer
+	st.LastCheckpointBytes = s.lastCkptBytes
+	s.statMu.Unlock()
+	return st
+}
+
+// Flush fsyncs the active WAL segment. Every LogBatch already fsyncs, so
+// this only matters as the drain barrier before exit.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// AutoCheckpoint starts a background goroutine that checkpoints whenever
+// the WAL since the last checkpoint exceeds walLimit bytes, polling every
+// interval. snap must return the engine's current immutable view (the
+// ViewSnapshotter capability); onErr receives checkpoint failures (which
+// leave the previous checkpoint serving — durability degrades to a longer
+// replay, never to data loss). The returned stop function blocks until the
+// goroutine exits.
+func (s *Store) AutoCheckpoint(interval time.Duration, walLimit int64, snap func() (*dataset.Database, []uint32), onErr func(error)) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if walLimit <= 0 {
+		walLimit = 8 << 20
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			// Total WAL size approximates "bytes since last checkpoint":
+			// pruning after each checkpoint removes covered segments.
+			if s.Status().WALBytes < walLimit {
+				continue
+			}
+			db, perm := snap()
+			if db == nil {
+				continue
+			}
+			if err := s.Checkpoint(db, perm); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

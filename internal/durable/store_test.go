@@ -1,0 +1,458 @@
+package durable_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idebench/internal/core"
+	"idebench/internal/dataset"
+	"idebench/internal/durable"
+	"idebench/internal/ingest"
+)
+
+const (
+	testSeed     = int64(42)
+	testBaseRows = 3000
+)
+
+func testMeta() durable.Meta {
+	return durable.Meta{Engine: "testeng", Seed: testSeed, BaseRows: testBaseRows}
+}
+
+func testDB(t testing.TB) *dataset.Database {
+	t.Helper()
+	db, err := core.BuildData(testBaseRows, false, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func testBatches(t testing.TB, n, rows int) []*ingest.Batch {
+	t.Helper()
+	src, err := ingest.NewSource(2000, testSeed+23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*ingest.Batch, n)
+	for i := range out {
+		if out[i], err = src.Next(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func openTestStore(t testing.TB, dir string, o durable.Options) *durable.Store {
+	t.Helper()
+	if o.Meta == (durable.Meta{}) {
+		o.Meta = testMeta()
+	}
+	st, err := durable.Open(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// growDB appends batches to db's fact lineage the way the serving path
+// does, returning the grown immutable view. The WAL in these tests is fed
+// the same batches, so checkpoint + WAL describe one consistent history.
+func growDB(t testing.TB, db *dataset.Database, batches []*ingest.Batch) *dataset.Database {
+	t.Helper()
+	app := dataset.NewTableAppender(db.Fact, false)
+	fact := db.Fact
+	for _, b := range batches {
+		rows, err := ingest.Materialize(db, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fact, err = app.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &dataset.Database{Fact: fact, Dimensions: db.Dimensions}
+}
+
+func mustEncode(t testing.TB, b *ingest.Batch) []byte {
+	t.Helper()
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestStoreBootstrapLogRecoverReplay(t *testing.T) {
+	dir := t.TempDir()
+	db := testDB(t)
+	batches := testBatches(t, 3, 500)
+
+	st := openTestStore(t, dir, durable.Options{})
+	if err := st.Bootstrap(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := st.LogBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantWM := int64(testBaseRows + 3*500)
+	if got := st.Watermark(); got != wantWM {
+		t.Fatalf("watermark %d, want %d", got, wantWM)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, durable.Options{})
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil {
+		t.Fatal("no checkpoint recovered")
+	}
+	if rec.Checkpoint.Version() != testBaseRows {
+		t.Fatalf("checkpoint version %d, want %d", rec.Checkpoint.Version(), testBaseRows)
+	}
+	if rec.Checkpoint.DB.Fact.NumRows() != testBaseRows {
+		t.Fatalf("checkpoint fact rows %d, want %d", rec.Checkpoint.DB.Fact.NumRows(), testBaseRows)
+	}
+	if len(rec.Batches) != len(batches) {
+		t.Fatalf("replayed %d batches, want %d", len(rec.Batches), len(batches))
+	}
+	for i, b := range rec.Batches {
+		if !bytes.Equal(mustEncode(t, b), mustEncode(t, batches[i])) {
+			t.Fatalf("replayed batch %d differs from logged batch", i)
+		}
+	}
+	info := rec.Info
+	if !info.Recovered || info.FellBack || info.TruncatedTail {
+		t.Fatalf("unexpected recovery info: %+v", info)
+	}
+	if info.Watermark != wantWM || info.ReplayedRows != 1500 || info.ReplayedBatches != 3 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	// Appends continue at the recovered version.
+	extra := testBatches(t, 1, 500)[0]
+	if err := st2.LogBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Watermark(); got != wantWM+500 {
+		t.Fatalf("post-recovery watermark %d, want %d", got, wantWM+500)
+	}
+	// The recovered checkpoint's decoded database must be usable for
+	// materializing further batches (shared dictionaries, FK ranges).
+	if _, err := ingest.Materialize(rec.Checkpoint.DB, extra); err != nil {
+		t.Fatalf("materialize against recovered db: %v", err)
+	}
+}
+
+// TestRecoverEmptyWAL is the first recovery edge case: a checkpoint with
+// no WAL records at all recovers to exactly the checkpoint version.
+func TestRecoverEmptyWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, durable.Options{})
+	if err := st.Bootstrap(testDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := openTestStore(t, dir, durable.Options{})
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || len(rec.Batches) != 0 {
+		t.Fatalf("want bare checkpoint, got %d batches", len(rec.Batches))
+	}
+	if rec.Info.Watermark != testBaseRows || rec.Info.TruncatedTail {
+		t.Fatalf("info: %+v", rec.Info)
+	}
+}
+
+func TestRecoverFreshDirectory(t *testing.T) {
+	st := openTestStore(t, t.TempDir(), durable.Options{})
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil || rec.Info.Recovered {
+		t.Fatalf("fresh dir must recover to nothing, got %+v", rec.Info)
+	}
+}
+
+// activeSegment finds the newest WAL segment file for direct corruption.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no wal segment found")
+	}
+	return filepath.Join(dir, "wal", last)
+}
+
+// TestRecoverTornFinalRecord: a crash mid-append leaves a half-written
+// final record; recovery must truncate it and recover the prefix.
+func TestRecoverTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, durable.Options{})
+	if err := st.Bootstrap(testDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches(t, 3, 400) {
+		if err := st.LogBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Tear the tail: chop off the last 5 bytes of the final record.
+	seg := activeSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, durable.Options{})
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Info.TruncatedTail {
+		t.Fatal("torn tail not reported")
+	}
+	if len(rec.Batches) != 2 {
+		t.Fatalf("replayed %d batches, want 2 (torn third must not apply)", len(rec.Batches))
+	}
+	if want := int64(testBaseRows + 2*400); rec.Info.Watermark != want {
+		t.Fatalf("watermark %d, want batch-aligned %d", rec.Info.Watermark, want)
+	}
+	// The truncation must be durable: a second recovery sees a clean log.
+	st2.Close()
+	st3 := openTestStore(t, dir, durable.Options{})
+	rec3, err := st3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Info.TruncatedTail || len(rec3.Batches) != 2 {
+		t.Fatalf("second recovery: truncated=%v batches=%d", rec3.Info.TruncatedTail, len(rec3.Batches))
+	}
+}
+
+// TestRecoverCorruptCRCMidSegment: a bit flip in the middle of the log.
+// Everything before the flip replays; the flipped record and everything
+// after it — even records with valid CRCs — is discarded, because a log
+// with a hole in it cannot vouch for anything beyond the hole.
+func TestRecoverCorruptCRCMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, durable.Options{})
+	if err := st.Bootstrap(testDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(t, 4, 300)
+	var offsets []int64
+	off := int64(0)
+	for _, b := range batches {
+		if err := st.LogBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, off)
+		data, _ := durable.EncodeWALRecord(0, b)
+		off += int64(len(data))
+	}
+	st.Close()
+
+	// Flip one byte inside the second record's payload.
+	seg := activeSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[1]+20] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, durable.Options{})
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Info.TruncatedTail {
+		t.Fatal("mid-segment corruption not reported")
+	}
+	if len(rec.Batches) != 1 {
+		t.Fatalf("replayed %d batches, want 1 (nothing past the corruption)", len(rec.Batches))
+	}
+	if want := int64(testBaseRows + 300); rec.Info.Watermark != want {
+		t.Fatalf("watermark %d, want %d", rec.Info.Watermark, want)
+	}
+}
+
+// TestRecoverCheckpointSegmentMissing: the newest checkpoint's manifest is
+// present but a data segment is gone. Recovery must fall back to the
+// previous checkpoint and reach the same watermark via a longer WAL
+// replay — never serve the newest checkpoint partially.
+func TestRecoverCheckpointSegmentMissing(t *testing.T) {
+	dir := t.TempDir()
+	db := testDB(t)
+	st := openTestStore(t, dir, durable.Options{})
+	if err := st.Bootstrap(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(t, 2, 250)
+	for _, b := range batches {
+		if err := st.LogBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := growDB(t, db, batches)
+	if err := st.Checkpoint(grown, nil); err != nil {
+		t.Fatal(err)
+	}
+	more := testBatches(t, 1, 250)[0]
+	if err := st.LogBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Delete the newest checkpoint's fact segment, keeping its manifest.
+	newest := filepath.Join(dir, "checkpoints", "ckpt-"+padVersion(int64(grown.Fact.NumRows())), "fact.seg")
+	if err := os.Remove(newest); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, durable.Options{})
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Info.FellBack {
+		t.Fatal("fallback to previous checkpoint not reported")
+	}
+	if rec.Checkpoint.Version() != testBaseRows {
+		t.Fatalf("recovered from checkpoint %d, want the older %d", rec.Checkpoint.Version(), testBaseRows)
+	}
+	// All three batches replay on top of the older checkpoint.
+	if len(rec.Batches) != 3 {
+		t.Fatalf("replayed %d batches, want 3", len(rec.Batches))
+	}
+	if want := int64(testBaseRows + 3*250); rec.Info.Watermark != want {
+		t.Fatalf("watermark %d, want %d", rec.Info.Watermark, want)
+	}
+}
+
+// TestRecoverWALGapRefused: a missing middle segment is not a torn tail —
+// replaying past it would silently drop durable batches, so recovery must
+// refuse outright.
+func TestRecoverWALGapRefused(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, durable.Options{SegmentBytes: 1}) // every batch rotates
+	if err := st.Bootstrap(testDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches(t, 3, 200) {
+		if err := st.LogBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	ents, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 3 {
+		t.Fatalf("expected one segment per batch, got %d", len(ents))
+	}
+	if err := os.Remove(filepath.Join(dir, "wal", ents[1].Name())); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, durable.Options{})
+	if _, err := st2.Recover(); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("recovery over a WAL gap must fail, got %v", err)
+	}
+}
+
+func TestRecoverMetaMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, durable.Options{})
+	if err := st.Bootstrap(testDB(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := openTestStore(t, dir, durable.Options{Meta: durable.Meta{Engine: "testeng", Seed: testSeed + 1, BaseRows: testBaseRows}})
+	if _, err := st2.Recover(); err == nil {
+		t.Fatal("recovering with a different dataset seed must fail")
+	}
+}
+
+// TestCheckpointPruning: old checkpoints beyond the retention count are
+// dropped, and WAL segments covered by the oldest retained checkpoint go
+// with them.
+func TestCheckpointPruning(t *testing.T) {
+	dir := t.TempDir()
+	db := testDB(t)
+	st := openTestStore(t, dir, durable.Options{SegmentBytes: 1})
+	if err := st.Bootstrap(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	cur := db
+	for i := 0; i < 3; i++ {
+		bs := testBatches(t, 1, 100+i) // distinct sizes keep versions distinct
+		if err := st.LogBatch(bs[0]); err != nil {
+			t.Fatal(err)
+		}
+		cur = growDB(t, cur, bs)
+		if err := st.Checkpoint(cur, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	ents, err := os.ReadDir(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2", len(ents))
+	}
+	// Recovery still works from the retained pair.
+	st2 := openTestStore(t, dir, durable.Options{})
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Info.Watermark != int64(cur.Fact.NumRows()) {
+		t.Fatalf("watermark %d, want %d", rec.Info.Watermark, cur.Fact.NumRows())
+	}
+}
+
+func padVersion(v int64) string {
+	s := "0000000000000000"
+	d := []byte(s)
+	for i := len(d) - 1; v > 0 && i >= 0; i-- {
+		d[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(d)
+}

@@ -157,6 +157,33 @@ type ScanObserver interface {
 	ActiveScanConsumers() int
 }
 
+// ViewSnapshotter is the optional durability capability: engines that can
+// expose their current prepared storage implement it. SnapshotView returns
+// the engine's live immutable database view — the prepared fact table plus
+// any batches absorbed since, in the engine's own storage order — and the
+// sampling permutation its first len(perm) fact rows were materialized in
+// (nil when the engine stores rows in arrival order). Views are
+// copy-on-write, so the returned database is safe to serialize concurrently
+// with queries and further appends; the durable checkpointer calls this from
+// a background goroutine without stopping ingestion.
+type ViewSnapshotter interface {
+	SnapshotView() (db *dataset.Database, perm []uint32)
+}
+
+// ReorderedPreparer is the optional warm-restart capability: engines whose
+// Prepare materializes storage in a non-arrival order (the progressive
+// engine's sampling permutation) implement it so a durable checkpoint
+// written from their own SnapshotView can be adopted directly.
+// PrepareReordered behaves like Prepare except that db's fact table is
+// already in the engine's prepared order — the permutation draw and the
+// O(n·cols) reorder pass are skipped, which is what makes a warm restart
+// cheaper than a cold one. perm is the sampling permutation the storage was
+// materialized in, exactly as returned by SnapshotView. The engine takes
+// ownership of db's storage.
+type ReorderedPreparer interface {
+	PrepareReordered(db *dataset.Database, perm []uint32, opts Options) error
+}
+
 // ErrNotPrepared is returned by StartQuery before Prepare.
 var ErrNotPrepared = errors.New("engine: not prepared")
 

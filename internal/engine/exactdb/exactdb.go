@@ -52,6 +52,27 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 	return nil
 }
 
+// PrepareReordered implements engine.ReorderedPreparer. A blocking exact
+// engine scans whatever order the storage is in, so a durable checkpoint
+// (arrival order, perm ignored) is adopted without the defensive copy
+// Prepare makes — the loader's freshly decoded storage is already private.
+func (e *Engine) PrepareReordered(db *dataset.Database, _ []uint32, opts engine.Options) error {
+	e.mu.Lock()
+	e.db = db
+	e.opts = opts.Normalize()
+	e.app = dataset.NewTableAppender(db.Fact, true)
+	e.mu.Unlock()
+	return nil
+}
+
+// SnapshotView implements engine.ViewSnapshotter: the current immutable
+// view in arrival order; there is no sampling permutation (nil).
+func (e *Engine) SnapshotView() (*dataset.Database, []uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db, nil
+}
+
 // Append implements engine.Appender. A column store absorbs appends as
 // storage growth: the batch lands on the fact columns and the next query's
 // full exact scan recomputes over the grown table (the blocking execution

@@ -86,6 +86,7 @@ type Engine struct {
 	db   *dataset.Database // fact table materialized in permutation order
 	opts engine.Options
 	z    float64
+	perm []uint32 // sampling permutation the prepared fact rows are stored in
 	scan *sharedscan.Scanner
 	app  *dataset.TableAppender // owns the permuted fact lineage
 	def  *session               // shared default session for engine-level query methods
@@ -119,15 +120,61 @@ func (e *Engine) Prepare(db *dataset.Database, opts engine.Options) error {
 		return fmt.Errorf("progressive: %w", err)
 	}
 
+	e.adopt(permDB, perm, opts, z)
+	return nil
+}
+
+// PrepareReordered implements engine.ReorderedPreparer: db's fact table is
+// already materialized in the sampling permutation perm — a durable
+// checkpoint written from this engine's own SnapshotView — so the
+// permutation draw and the reorder pass are skipped and the storage is
+// adopted as-is. This is the warm-restart fast path: prepare cost becomes
+// O(1) in the row count (plus the caller's checkpoint read).
+func (e *Engine) PrepareReordered(db *dataset.Database, perm []uint32, opts engine.Options) error {
+	if db.IsNormalized() {
+		return fmt.Errorf("progressive: joins (normalized schemas) are not supported")
+	}
+	// The permutation covers the originally prepared prefix; rows beyond it
+	// are post-checkpoint appends stored in arrival order, exactly as the
+	// live Append path lays them out.
+	if len(perm) > db.Fact.NumRows() {
+		return fmt.Errorf("progressive: warm prepare: permutation has %d entries for %d rows", len(perm), db.Fact.NumRows())
+	}
+	opts = opts.Normalize()
+	z, err := stats.ZScore(opts.Confidence)
+	if err != nil {
+		return fmt.Errorf("progressive: %w", err)
+	}
+	e.adopt(db, perm, opts, z)
+	return nil
+}
+
+// adopt installs prepared (permutation-ordered) storage as the engine's
+// current lineage; shared tail of Prepare and PrepareReordered.
+func (e *Engine) adopt(permDB *dataset.Database, perm []uint32, opts engine.Options, z float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.db = permDB
 	e.opts = opts
 	e.z = z
+	e.perm = perm
 	e.scan = sharedscan.New(permDB.Fact.NumRows(), e.cfg.ChunkRows, opts.Parallelism)
-	e.app = dataset.NewTableAppender(permDB.Fact, true) // reorder materialized a private copy
+	e.app = dataset.NewTableAppender(permDB.Fact, true) // caller hands over private storage
 	e.def = nil                                         // default session re-opens lazily against the new scan
-	return nil
+}
+
+// SnapshotView implements engine.ViewSnapshotter: the current immutable
+// database view plus the sampling permutation its prepared prefix is stored
+// in. Appended batches land as arrival-order tail segments beyond the
+// permuted prefix, matching exactly what PrepareReordered accepts back (the
+// warm path re-adopts prefix + tail as the new prepared storage, with the
+// permutation covering only the prefix — the documented ViewSnapshotter
+// contract). Views are copy-on-write, so callers may serialize the result
+// while ingestion continues.
+func (e *Engine) SnapshotView() (*dataset.Database, []uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db, e.perm
 }
 
 // Append implements engine.Appender: the batch lands as a tail segment of

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/dataset"
+	"idebench/internal/durable"
+	"idebench/internal/engine"
+	"idebench/internal/ingest"
+)
+
+// RestartResult is the warm-restart benchmark artifact: how long a durable
+// server takes to come back (checkpoint load + reordered prepare + WAL
+// replay) against the cold path it replaces (datagen + full prepare with
+// the sampling reorder), plus the correctness gate that the recovered state
+// answers bitwise-identically to the cold build of the same data version.
+type RestartResult struct {
+	Rows         int   `json:"rows"`
+	IngestedRows int64 `json:"ingested_rows"`
+	Batches      int   `json:"batches"`
+	// ColdPrepareMS is datagen + Prepare from nothing (what every boot costs
+	// without -data-dir).
+	ColdPrepareMS float64 `json:"cold_prepare_ms"`
+	// CheckpointMS/CheckpointBytes price the durability write side.
+	CheckpointMS    float64 `json:"checkpoint_ms"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	// WarmLoadMS is checkpoint load + verification + PrepareReordered;
+	// WALReplayMS is redoing the logged tail through the ingest path;
+	// WarmTotalMS is their sum — the durable boot's time-to-serving.
+	WarmLoadMS  float64 `json:"warm_load_ms"`
+	WALReplayMS float64 `json:"wal_replay_ms"`
+	WarmTotalMS float64 `json:"warm_total_ms"`
+	// Bitwise records that a count over the warm-recovered engine matched
+	// the ground truth of the recovered watermark exactly.
+	Bitwise bool `json:"bitwise"`
+	// WarmBeatsCold is the acceptance gate: the warm boot (including replay)
+	// must be faster than the cold prepare it skips.
+	WarmBeatsCold bool `json:"warm_beats_cold"`
+}
+
+// walSink adapts the WAL-logging Applier into an ingest.Sink, so a harness
+// drives the same validate→log→apply path the live server uses.
+type walSink struct{ ap *ingest.Applier }
+
+func (s walSink) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
+	_, err := s.ap.Apply(b)
+	return err
+}
+
+// RestartBench measures one durable serve/crash/warm-boot cycle in-process
+// on the progressive engine: bootstrap a data directory, ingest `batches`
+// batches of `batchRows` rows (checkpointing halfway, so recovery exercises
+// both the checkpoint and a live WAL tail), then time a recovery against a
+// from-scratch cold prepare of the same base.
+func RestartBench(cfg Config, batches, batchRows int) (*RestartResult, error) {
+	cfg = cfg.withDefaults()
+	dir, err := os.MkdirTemp("", "idebench-restart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := &RestartResult{Rows: cfg.Rows, Batches: batches}
+
+	// Serve side: cold-build the base, bootstrap the durable directory, and
+	// ingest through the WAL exactly like `serve -data-dir`.
+	db, err := core.BuildData(cfg.Rows, false, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := core.DefaultSettings()
+	s.DataSize = cfg.Rows
+	s.Seed = cfg.Seed
+	p, err := core.Prepare("progressive", db, s)
+	if err != nil {
+		return nil, err
+	}
+	vs, ok := p.Engine.(engine.ViewSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("experiments: progressive lost the ViewSnapshotter capability")
+	}
+	meta := durable.Meta{Engine: "progressive", Seed: cfg.Seed, BaseRows: int64(cfg.Rows)}
+	st, err := durable.Open(dir, durable.Options{Meta: meta})
+	if err != nil {
+		return nil, err
+	}
+	ckStart := time.Now()
+	vdb, perm := vs.SnapshotView()
+	if err := st.Bootstrap(vdb, perm); err != nil {
+		return nil, err
+	}
+	res.CheckpointMS = msSince(ckStart)
+	res.CheckpointBytes = st.Status().LastCheckpointBytes
+
+	app, ok := p.Engine.(engine.Appender)
+	if !ok {
+		return nil, fmt.Errorf("experiments: progressive lost the Appender capability")
+	}
+	ap := ingest.NewApplier(db, app)
+	ap.SetLog(st.LogBatch)
+	src, err := ingest.NewSource(cfg.Rows, cfg.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	h := ingest.NewHarness(db, src, walSink{ap})
+	for i := 0; i < batches; i++ {
+		if _, err := h.Ingest(batchRows); err != nil {
+			return nil, err
+		}
+		if i == batches/2 {
+			// Mid-run checkpoint: recovery below must stitch checkpoint +
+			// WAL tail, not just one or the other.
+			cdb, cperm := vs.SnapshotView()
+			if err := st.Checkpoint(cdb, cperm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.IngestedRows = h.IngestedRows()
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// Cold side: what a boot without durable state costs to merely reach the
+	// base version (the warm path additionally reaches base+ingested).
+	coldStart := time.Now()
+	coldDB, err := core.BuildData(cfg.Rows, false, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Prepare("progressive", coldDB, s); err != nil {
+		return nil, err
+	}
+	res.ColdPrepareMS = msSince(coldStart)
+
+	// Warm side: recover the directory, adopt the checkpoint's own order,
+	// redo the WAL tail.
+	warmStart := time.Now()
+	st2, err := durable.Open(dir, durable.Options{Meta: meta})
+	if err != nil {
+		return nil, err
+	}
+	rec, err := st2.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if rec.Checkpoint == nil {
+		return nil, fmt.Errorf("experiments: restart: no checkpoint recovered")
+	}
+	eng2, err := core.NewEngine("progressive")
+	if err != nil {
+		return nil, err
+	}
+	rp, ok := eng2.(engine.ReorderedPreparer)
+	if !ok {
+		return nil, fmt.Errorf("experiments: progressive lost the ReorderedPreparer capability")
+	}
+	eopts := engine.Options{Confidence: s.Confidence, Seed: s.Seed}
+	if err := rp.PrepareReordered(rec.Checkpoint.DB, rec.Checkpoint.Perm, eopts); err != nil {
+		return nil, err
+	}
+	res.WarmLoadMS = msSince(warmStart)
+
+	replayStart := time.Now()
+	app2, ok := eng2.(engine.Appender)
+	if !ok {
+		return nil, fmt.Errorf("experiments: progressive lost the Appender capability")
+	}
+	ap2 := ingest.NewApplier(rec.Checkpoint.DB, app2)
+	for _, b := range rec.Batches {
+		if _, err := ap2.Apply(b); err != nil {
+			return nil, fmt.Errorf("experiments: wal replay: %w", err)
+		}
+	}
+	res.WALReplayMS = msSince(replayStart)
+	res.WarmTotalMS = res.WarmLoadMS + res.WALReplayMS
+	if err := st2.Close(); err != nil {
+		return nil, err
+	}
+	if got, want := app2.Watermark(), h.Watermark(); got != want {
+		return nil, fmt.Errorf("experiments: restart: replayed watermark %d, want %d", got, want)
+	}
+
+	// Correctness gate: the warm-recovered engine answers like a cold exact
+	// scan of the same data version.
+	bitwise, err := quiesceBitwise(eng2, app2, h)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: restart bitwise check: %w", err)
+	}
+	res.Bitwise = bitwise
+	res.WarmBeatsCold = res.WarmTotalMS < res.ColdPrepareMS
+	return res, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

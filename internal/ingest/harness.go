@@ -204,6 +204,7 @@ type Applier struct {
 	mu  sync.Mutex
 	db  *dataset.Database
 	app engine.Appender
+	log func(*Batch) error
 }
 
 // NewApplier wraps a prepared appender engine.
@@ -211,14 +212,36 @@ func NewApplier(db *dataset.Database, app engine.Appender) *Applier {
 	return &Applier{db: db, app: app}
 }
 
+// SetLog installs a write-ahead hook, called under the apply mutex after a
+// batch has fully validated (materialized) but before it reaches the
+// engine. The durable serving path points this at the WAL's fsyncing
+// append, which yields the two invariants redo recovery needs: a batch is
+// never applied (or acked, or broadcast) unless it is already durable, and
+// the WAL never contains a batch the engine would reject — validation
+// happened first, against the same database the replay will see. Because
+// the hook runs under the same mutex that serializes applies, WAL order is
+// apply order. A hook error aborts the apply; the batch reaches neither
+// the log nor the engine.
+func (a *Applier) SetLog(log func(*Batch) error) {
+	a.mu.Lock()
+	a.log = log
+	a.mu.Unlock()
+}
+
 // Apply materializes and appends one batch, returning the engine's
-// post-apply watermark.
+// post-apply watermark. With a SetLog hook installed the order is
+// strictly validate → log (fsync) → apply.
 func (a *Applier) Apply(b *Batch) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	rows, err := Materialize(a.db, b)
 	if err != nil {
 		return 0, err
+	}
+	if a.log != nil {
+		if err := a.log(b); err != nil {
+			return 0, fmt.Errorf("ingest: write-ahead log: %w", err)
+		}
 	}
 	if err := a.app.Append(rows); err != nil {
 		return 0, err

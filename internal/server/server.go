@@ -102,6 +102,46 @@ type Options struct {
 	// its shared-scan consumers forever. 0 means DefaultIdleTimeout;
 	// negative disables.
 	IdleTimeout time.Duration
+	// Durable, when set, is the durability subsystem backing this server.
+	// The serving layer itself does not log batches — the Apply function is
+	// expected to enforce WAL-before-apply ordering internally (validate the
+	// batch, append it to the write-ahead log with an fsync, then apply to
+	// the engine; ingest.Applier.SetLog wires exactly that), so an ingest
+	// frame is never acked or broadcast unless the batch is already durable.
+	// The server uses this handle to surface recovery state on /healthz and
+	// to flush the log as the final step of a drain.
+	Durable Durability
+}
+
+// Durability is the serving layer's view of the durable-state subsystem
+// (implemented by internal/durable's Store via a thin adapter).
+type Durability interface {
+	// DurableStatus reports recovery and log state for /healthz.
+	DurableStatus() DurableStatus
+	// Flush forces the write-ahead log to stable storage; the drain path
+	// calls it last, so a clean shutdown never leaves an unflushed tail.
+	Flush() error
+}
+
+// DurableStatus mirrors the durable store's health for /healthz: what
+// recovery found at startup plus the live checkpoint/WAL state.
+type DurableStatus struct {
+	// Recovered is true when startup warm-loaded a checkpoint rather than
+	// building cold.
+	Recovered bool
+	// FellBack is true when the newest checkpoint failed verification and
+	// an older one was used.
+	FellBack          bool
+	CheckpointVersion int64
+	ReplayedBatches   int
+	ReplayedRows      int64
+	// TruncatedTail is true when recovery cut off a torn/corrupt WAL tail.
+	TruncatedTail bool
+	// RecoveredWatermark is the data version serving resumed at.
+	RecoveredWatermark    int64
+	WALBytes              int64
+	Checkpoints           int
+	LastCheckpointVersion int64
 }
 
 // DefaultMaxConns bounds concurrent sessions when Options.MaxConns is 0.
@@ -280,9 +320,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	wg.Wait()
 	if hs != nil {
-		return hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	// Flush the durable log last: every connection has drained, so the log
+	// is quiescent and a clean shutdown leaves no unflushed tail behind.
+	if s.opts.Durable != nil {
+		return s.opts.Durable.Flush()
 	}
 	return nil
+}
+
+// liveWatermark is the single source of truth for the data version the
+// server is at: the engine's absorbed row count when it has the append
+// capability, never below the prepared row count. The hello frame, the
+// /healthz document and the recovery banner all report this one value — it
+// is what a reconnecting client resumes at after a crash recovery.
+func (s *Server) liveWatermark() int64 {
+	rows := s.opts.Rows
+	if app, ok := s.eng.(engine.Appender); ok {
+		if wm := app.Watermark(); wm > rows {
+			rows = wm
+		}
+	}
+	return rows
 }
 
 // ConnCount returns the number of live connections (= open sessions).
@@ -341,6 +403,18 @@ type health struct {
 	ShedSpeculative      int64 `json:"shed_speculative"`
 	DroppedIntermediates int64 `json:"dropped_intermediates"`
 	IdleDisconnects      int64 `json:"idle_disconnects"`
+	// Durability fields (servers running with a data directory).
+	Durable               bool  `json:"durable"`
+	Recovered             bool  `json:"recovered,omitempty"`
+	RecoveryFellBack      bool  `json:"recovery_fell_back,omitempty"`
+	CheckpointVersion     int64 `json:"checkpoint_version,omitempty"`
+	RecoveredWatermark    int64 `json:"recovered_watermark,omitempty"`
+	WALReplayedBatches    int   `json:"wal_replayed_batches,omitempty"`
+	WALReplayedRows       int64 `json:"wal_replayed_rows,omitempty"`
+	WALTruncatedTail      bool  `json:"wal_truncated_tail,omitempty"`
+	WALBytes              int64 `json:"wal_bytes,omitempty"`
+	Checkpoints           int   `json:"checkpoints,omitempty"`
+	LastCheckpointVersion int64 `json:"last_checkpoint_version,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -355,9 +429,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	h.Inflight = s.inflight.Load()
-	h.Watermark = s.opts.Rows
-	if app, ok := s.eng.(engine.Appender); ok {
-		h.Watermark = app.Watermark()
+	h.Watermark = s.liveWatermark()
+	if d := s.opts.Durable; d != nil {
+		ds := d.DurableStatus()
+		h.Durable = true
+		h.Recovered = ds.Recovered
+		h.RecoveryFellBack = ds.FellBack
+		h.CheckpointVersion = ds.CheckpointVersion
+		h.RecoveredWatermark = ds.RecoveredWatermark
+		h.WALReplayedBatches = ds.ReplayedBatches
+		h.WALReplayedRows = ds.ReplayedRows
+		h.WALTruncatedTail = ds.TruncatedTail
+		h.WALBytes = ds.WALBytes
+		h.Checkpoints = ds.Checkpoints
+		h.LastCheckpointVersion = ds.LastCheckpointVersion
 	}
 	if obs, ok := s.eng.(engine.ScanObserver); ok {
 		h.ScanConsumers = obs.ActiveScanConsumers()
@@ -443,13 +528,7 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	// Hello reports the live watermark when the engine grows under ingestion,
 	// so a reconnecting client resumes at the server's current version rather
 	// than the prepare-time row count.
-	rows := s.opts.Rows
-	if app, ok := s.eng.(engine.Appender); ok {
-		if wm := app.Watermark(); wm > rows {
-			rows = wm
-		}
-	}
-	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: rows, Seed: s.opts.Seed}
+	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: s.liveWatermark(), Seed: s.opts.Seed}
 	if data, err := encodeMsg(hello); err != nil || ws.WriteMessage(data) != nil {
 		c.teardown()
 		return
