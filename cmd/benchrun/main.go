@@ -49,6 +49,15 @@
 // fails unless the recovered state is bitwise-correct and the warm boot
 // beats the cold one.
 //
+// With -shards (default: runs whenever -users runs), benchrun also runs the
+// scatter-gather scaling sweep (internal/experiments.ShardSweepCounts): the
+// same ingest-interleaved multi-user replay runs against a single-node
+// progressive engine and against an in-process coordinator over N
+// progressive shard backends per count, recording prepare time, throughput,
+// latency percentiles and the per-point quiesce-bitwise gate — the sweep
+// fails the artifact if any topology's quiesced merged results are not
+// bitwise-identical to a cold exact scan of the final table.
+//
 // With -overload (default: mirrors -users), benchrun also runs the
 // open-loop overload sweep (internal/experiments.OverloadSweepRates): a
 // Poisson arrival generator walks an offered-load ladder against a served
@@ -106,6 +115,26 @@ type IngestPoint struct {
 	QuiesceBitwise bool `json:"quiesce_bitwise"`
 }
 
+// ShardPoint is one measured point of the scatter-gather scaling sweep:
+// the same ingest-aware multi-user replay over a single-node engine
+// ("single", shards 0) or an in-process coordinator over N shard backends
+// ("shardN").
+type ShardPoint struct {
+	Topology       string  `json:"topology"`
+	Shards         int     `json:"shards"`
+	Users          int     `json:"users"`
+	Queries        int     `json:"queries"`
+	TRViolatedPct  float64 `json:"tr_violated_pct"`
+	WallClockMS    float64 `json:"wall_clock_ms"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P95MS          float64 `json:"p95_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	PrepareMS      float64 `json:"prepare_ms"`
+	IngestedRows   int64   `json:"ingested_rows"`
+	QuiesceBitwise bool    `json:"quiesce_bitwise"`
+}
+
 // UserPoint is one measured point of the multi-user scalability sweep.
 type UserPoint struct {
 	Engine              string  `json:"engine"`
@@ -135,6 +164,9 @@ type Output struct {
 	Speedups    map[string]float64 `json:"speedups,omitempty"`
 	UserSweep   []UserPoint        `json:"user_sweep,omitempty"`
 	IngestSweep []IngestPoint      `json:"ingest_sweep,omitempty"`
+	// ShardSweep is the scatter-gather scaling sweep: single-node baseline
+	// plus coordinator-over-N-shards per configured count.
+	ShardSweep []ShardPoint `json:"shard_sweep,omitempty"`
 	// OverloadSweep is the open-loop overload ladder; OverloadKnee the index
 	// of the first rate where admission control or shedding engaged (-1 when
 	// the sweep never saturated — which fails the artifact).
@@ -158,7 +190,7 @@ var baselinePairs = map[string]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
 	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
 	// A fixed iteration count beats go's time-based ramp-up for recorded
@@ -169,6 +201,7 @@ func main() {
 	usersEngines := flag.String("users-engines", "progressive,exactdb", "engines the user sweep contrasts")
 	usersRows := flag.Int("users-rows", core.SizeS, "dataset size for the user sweep")
 	ingestUsers := flag.String("ingest", "auto", "comma-separated user counts for the live-ingestion sweep; empty skips, \"auto\" mirrors -users")
+	shards := flag.String("shards", "auto", "comma-separated shard counts for the scatter-gather scaling sweep; empty skips, \"auto\" runs the default counts whenever -users runs")
 	overload := flag.String("overload", "auto", "comma-separated arrival-rate ladder (queries/s) for the open-loop overload sweep; empty skips, \"auto\" runs the default ladder whenever -users runs")
 	restart := flag.String("restart", "auto", "run the durable warm-restart benchmark: \"auto\" (whenever -users runs), \"on\", or empty to skip")
 	compare := flag.String("compare", "", "baseline BENCH json to guard against (empty disables)")
@@ -234,6 +267,22 @@ func main() {
 		}
 		doc.IngestSweep = points
 	}
+	shardList := *shards
+	if shardList == "auto" {
+		if userList == "" {
+			shardList = ""
+		} else {
+			shardList = "default"
+		}
+	}
+	if shardList != "" {
+		points, err := runShardSweep(shardList, *usersRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: shard sweep: %v\n", err)
+			os.Exit(1)
+		}
+		doc.ShardSweep = points
+	}
 	overloadList := *overload
 	if overloadList == "auto" {
 		if userList == "" {
@@ -285,6 +334,15 @@ func main() {
 		if !p.QuiesceBitwise {
 			fmt.Fprintf(os.Stderr, "benchrun: FAIL ingest %s u=%d: quiesced results not bitwise-identical to cold prepare\n",
 				p.Engine, p.Users)
+			os.Exit(1)
+		}
+	}
+	for _, p := range doc.ShardSweep {
+		fmt.Printf("benchrun: shards %s u=%d: prepare %.1fms, %.1f q/s, p95 %.2fms, %d rows ingested, bitwise=%v\n",
+			p.Topology, p.Users, p.PrepareMS, p.QueriesPerSec, p.P95MS, p.IngestedRows, p.QuiesceBitwise)
+		if !p.QuiesceBitwise {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL shards %s u=%d: quiesced merged results not bitwise-identical to cold prepare\n",
+				p.Topology, p.Users)
 			os.Exit(1)
 		}
 	}
@@ -385,6 +443,22 @@ var guardMetrics = []guardMetric{
 		extract: func(o *Output) (float64, bool) {
 			v, ok := o.Speedups["BenchmarkProgressiveConcurrent8/shared_vs_independent_gather"]
 			return v, ok
+		},
+	},
+	{
+		// The coordinator's merged throughput must not collapse relative to
+		// earlier artifacts; baselines without a shard sweep skip this.
+		name: "shards_coordinator_queries_per_sec (largest count)", higherIsBetter: true,
+		extract: func(o *Output) (float64, bool) {
+			best := -1
+			v := 0.0
+			for _, p := range o.ShardSweep {
+				if p.Shards > best {
+					best = p.Shards
+					v = p.QueriesPerSec
+				}
+			}
+			return v, best > 0
 		},
 	},
 	{
@@ -549,6 +623,51 @@ func runIngestSweep(userList, engines string, rows int) ([]IngestPoint, error) {
 			StalenessMean:    nanToZero(r.StalenessMean),
 			StalenessMax:     nanToZero(r.StalenessMax),
 			QuiesceBitwise:   r.BitwiseOK,
+		}
+	}
+	return points, nil
+}
+
+// runShardSweep executes the scatter-gather scaling sweep in-process.
+// shardList is "default" for experiments.DefaultShardCounts or explicit
+// comma-separated counts.
+func runShardSweep(shardList string, rows int) ([]ShardPoint, error) {
+	counts := experiments.DefaultShardCounts
+	if shardList != "default" {
+		counts = nil
+		for _, s := range strings.Split(shardList, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad shard count %q", s)
+			}
+			counts = append(counts, n)
+		}
+	}
+	cfg := experiments.Config{Rows: rows, Out: io.Discard}
+	sweep, err := experiments.ShardSweepCounts(cfg, counts, 4)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ShardPoint, len(sweep))
+	for i, r := range sweep {
+		points[i] = ShardPoint{
+			Topology:       r.Topology,
+			Shards:         r.Shards,
+			Users:          r.Users,
+			Queries:        r.Queries,
+			TRViolatedPct:  r.TRViolatedPct,
+			WallClockMS:    r.WallClockMS,
+			QueriesPerSec:  r.QueriesPerSec,
+			P50MS:          r.P50MS,
+			P95MS:          r.P95MS,
+			P99MS:          r.P99MS,
+			PrepareMS:      r.PrepareMS,
+			IngestedRows:   r.IngestedRows,
+			QuiesceBitwise: r.BitwiseOK,
 		}
 	}
 	return points, nil

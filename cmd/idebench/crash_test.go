@@ -45,7 +45,14 @@ var serveAddrRe = regexp.MustCompile(`serving .* on (127\.0\.0\.1:\d+)`)
 // and waits until it prints the bound address.
 func startServe(t *testing.T, bin string, args ...string) *servedProc {
 	t.Helper()
-	p := &servedProc{cmd: exec.Command(bin, append([]string{"serve", "-addr", "127.0.0.1:0"}, args...)...)}
+	return startProc(t, bin, append([]string{"serve", "-addr", "127.0.0.1:0"}, args...)...)
+}
+
+// startProc launches the built binary with the given argv (any serving
+// subcommand) and waits until it prints its bound address banner.
+func startProc(t *testing.T, bin string, argv ...string) *servedProc {
+	t.Helper()
+	p := &servedProc{cmd: exec.Command(bin, argv...)}
 	stdout, err := p.cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +112,11 @@ type healthz struct {
 	Checkpoints        int   `json:"checkpoints"`
 	Watermark          int64 `json:"watermark"`
 	Rows               int64 `json:"rows"`
+
+	Role              string  `json:"role"`
+	Shards            int     `json:"shards"`
+	ShardWatermarks   []int64 `json:"shard_watermarks"`
+	MinShardWatermark int64   `json:"min_shard_watermark"`
 }
 
 func getHealthz(t *testing.T, addr string) healthz {

@@ -13,6 +13,8 @@
 //	idebench serve       -engine progressive -rows 500000 -addr :8373
 //	idebench serve       -engine progressive -rows 500000 -data-dir ./state
 //	idebench inspect     -data-dir ./state
+//	idebench shard       -rows 500000 -shard-index 0 -shard-count 3 -addr :9001
+//	idebench coord       -rows 500000 -shards localhost:9001,localhost:9002,localhost:9003 -addr :8373
 //	idebench run         -addr localhost:8373 -rows 500000 -users 8
 //	idebench run         -addr localhost:8373 -rows 500000 -users 4 -ingest-every 3
 //	idebench load        -addr localhost:8373 -rows 500000 -schedule ramp -rate 50 -rate2 2000
@@ -56,6 +58,17 @@
 // apples-to-apples. The run and serve sides must agree on -rows and -seed
 // so the locally computed ground truth matches the served data.
 //
+// `shard` and `coord` assemble the scatter-gather serving tier
+// (internal/shard): N `shard` processes each serve one hash partition of the
+// fact table (the same deterministic partitioning every process computes
+// from -rows/-seed/-shard-count), and one `coord` process fronts them,
+// fanning every query out, merging the shards' raw accumulator fragments in
+// fixed shard-ID order (bitwise-deterministic float folds) and applying the
+// min-watermark alignment rule to every merged snapshot. Ingest frames sent
+// to the coordinator are hash-routed to the owning shards. Clients speak to
+// the coordinator exactly as to a single `serve` — same protocol, same
+// `run -addr` replay.
+//
 // `serve -data-dir` makes the served state durable (internal/durable): the
 // prepared base is checkpointed once at boot, every ingest batch is written
 // and fsynced to a write-ahead log before the engine applies it, and a
@@ -94,6 +107,7 @@ import (
 	"idebench/internal/loadgen"
 	"idebench/internal/report"
 	"idebench/internal/server"
+	"idebench/internal/shard"
 	"idebench/internal/workflow"
 )
 
@@ -112,6 +126,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
+	case "coord":
+		err = cmdCoord(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
 	case "inspect":
@@ -143,9 +161,11 @@ Commands:
   workloadgen  generate benchmark workflows as JSON
   run          run the benchmark for one engine and setting (in-process, or -addr for a remote server)
   serve        serve an engine over the HTTP/WebSocket wire protocol
+  shard        serve one hash partition of the dataset (one member of a scatter-gather tier)
+  coord        serve a scatter-gather coordinator that merges a set of shard servers
   load         drive a server with open-loop load (poisson/bursty/ramp arrivals, CI gates)
   inspect      verify and summarize a durable data directory (checkpoints + WAL)
-  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, ingest, overload, all)
+  exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, ingest, overload, shards, all)
   view         inspect generated workflows (text or Graphviz DOT)
   analyze      re-aggregate a saved detailed report (summary + factor analysis)
 `)
@@ -655,12 +675,6 @@ func cmdServe(args []string) error {
 	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz\n",
 		eng.Name(), servedRows, l.Addr(), server.ProtoVersion)
 
-	// SIGTERM/SIGINT drain in-flight queries to their final snapshots, then
-	// stop; a second signal aborts immediately.
-	sigs := make(chan os.Signal, 2)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(l) }()
 	// closeDurable stops the background checkpointer, captures one final
 	// checkpoint (so the next boot replays an empty WAL tail) and closes the
 	// log. Safe on every exit path; a no-op without -data-dir.
@@ -679,32 +693,186 @@ func cmdServe(args []string) error {
 		}
 		return st.Close()
 	}
+	return serveAndDrain(srv, l, *drain, closeDurable)
+}
+
+// serveAndDrain runs srv on l until it exits or a SIGTERM/SIGINT arrives;
+// the first signal drains in-flight queries to their final snapshots within
+// the budget, a second aborts immediately. onExit (optional) runs on every
+// exit path after serving stops.
+func serveAndDrain(srv *server.Server, l net.Listener, drain time.Duration, onExit func() error) error {
+	if onExit == nil {
+		onExit = func() error { return nil }
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
 	select {
 	case err := <-done:
-		cerr := closeDurable()
+		cerr := onExit()
 		if err != nil {
 			return err
 		}
 		return cerr
 	case sig := <-sigs:
-		fmt.Printf("received %v, draining (budget %v)\n", sig, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		fmt.Printf("received %v, draining (budget %v)\n", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		go func() {
 			<-sigs
 			cancel()
 		}()
 		if err := srv.Shutdown(ctx); err != nil {
-			_ = closeDurable()
+			_ = onExit()
 			return err
 		}
 		<-done
-		if err := closeDurable(); err != nil {
+		if err := onExit(); err != nil {
 			return err
 		}
 		fmt.Println("drained, bye")
 		return nil
 	}
+}
+
+func cmdShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	engineName := fs.String("engine", "progressive", "engine serving this partition: "+strings.Join(core.EngineNames, ", "))
+	rows := fs.Int("rows", core.SizeM, "FULL dataset size (tuples); every member of the tier states the same value")
+	seed := fs.Int64("seed", 1, "random seed (must match the coordinator and every other shard)")
+	shardIndex := fs.Int("shard-index", 0, "this shard's ID in [0, shard-count)")
+	shardCount := fs.Int("shard-count", 1, "number of shards the fact table is hash-partitioned across")
+	addr := fs.String("addr", ":9001", "listen address")
+	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections")
+	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
+		return fmt.Errorf("shard: -shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
+	}
+
+	// Every tier member builds the same full dataset and computes the same
+	// deterministic hash partitioning; this process keeps partition
+	// -shard-index and drops the rest. Nothing is shipped between processes
+	// at prepare time.
+	db, err := core.BuildData(*rows, false, *seed)
+	if err != nil {
+		return err
+	}
+	parts, err := shard.Partition(db, *shardCount)
+	if err != nil {
+		return err
+	}
+	part := parts[*shardIndex]
+
+	s := core.DefaultSettings()
+	s.DataSize = *rows
+	s.Seed = *seed
+	p, err := core.Prepare(*engineName, part, s)
+	if err != nil {
+		return err
+	}
+	eng := p.Engine
+	fmt.Printf("shard %d/%d holds %d of %d rows; data preparation time: %v\n",
+		*shardIndex, *shardCount, part.Fact.NumRows(), db.Fact.NumRows(), p.PrepTime.Round(time.Microsecond))
+
+	opts := server.Options{
+		MaxConns:     *maxConns,
+		PollInterval: *poll,
+		Rows:         int64(part.Fact.NumRows()),
+		Seed:         *seed,
+		Role:         "shard",
+	}
+	if app, ok := eng.(engine.Appender); ok {
+		// The coordinator routes ingest sub-batches here; they materialize
+		// and validate against this shard's own partition.
+		ap := ingest.NewApplier(part, app)
+		opts.Apply = ap.Apply
+	}
+	srv := server.New(eng, opts)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz\n",
+		eng.Name(), part.Fact.NumRows(), l.Addr(), server.ProtoVersion)
+	return serveAndDrain(srv, l, *drain, nil)
+}
+
+func cmdCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	rows := fs.Int("rows", core.SizeM, "FULL dataset size (tuples); must match the shard servers")
+	seed := fs.Int64("seed", 1, "random seed (must match the shard servers)")
+	shards := fs.String("shards", "", "comma-separated shard addresses; list ORDER assigns shard IDs and must match each server's -shard-index")
+	addr := fs.String("addr", ":8373", "listen address")
+	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections")
+	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "admission cap on concurrently executing queries server-wide")
+	maxInflightConn := fs.Int("max-inflight-per-conn", server.DefaultMaxInflightPerConn, "admission cap on one connection's concurrent queries")
+	lateFactor := fs.Float64("late-factor", server.DefaultLateFactor, "shed queries still running past this multiple of their stated deadline (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*shards, ",")
+	if *shards == "" || len(addrs) == 0 {
+		return errors.New("coord: -shards is required (comma-separated host:port list)")
+	}
+
+	// The coordinator computes the same partitioning the shards did, both to
+	// sanity-check each shard's prepared row count and to route ingest.
+	db, err := core.BuildData(*rows, false, *seed)
+	if err != nil {
+		return err
+	}
+	backends := make([]engine.Engine, len(addrs))
+	for i, a := range addrs {
+		rem, err := server.NewRemoteWithOptions(strings.TrimSpace(a), server.RemoteOptions{Partials: true, Reconnect: true})
+		if err != nil {
+			return fmt.Errorf("coord: shard %d at %s: %w", i, a, err)
+		}
+		defer rem.Close()
+		backends[i] = rem
+	}
+	co, err := shard.NewCoordinator(backends...)
+	if err != nil {
+		return err
+	}
+	s := core.DefaultSettings()
+	start := time.Now()
+	if err := co.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: *seed}); err != nil {
+		return err
+	}
+	fmt.Printf("coordinator over %d shards; partition check + prepare in %v\n",
+		co.Shards(), time.Since(start).Round(time.Microsecond))
+
+	opts := server.Options{
+		MaxConns:           *maxConns,
+		PollInterval:       *poll,
+		Rows:               int64(db.Fact.NumRows()),
+		Seed:               *seed,
+		MaxInflight:        *maxInflight,
+		MaxInflightPerConn: *maxInflightConn,
+		LateFactor:         *lateFactor,
+		Role:               "coord",
+	}
+	// Ingest frames route through the coordinator: validate against the full
+	// database, then hash-split to the owning shards and wait for their
+	// confirmed watermarks (the applier's returned watermark is the global
+	// min, which is what the ack broadcast should carry).
+	ap := ingest.NewApplier(db, co)
+	opts.Apply = ap.Apply
+	srv := server.New(co, opts)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz\n",
+		co.Name(), db.Fact.NumRows(), l.Addr(), server.ProtoVersion)
+	return serveAndDrain(srv, l, *drain, nil)
 }
 
 // durableServer adapts a durable.Store to the server's Durability hooks —
@@ -927,7 +1095,7 @@ func cmdView(args []string) error {
 
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, overload, all")
+	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, overload, shards, all")
 	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
 	count := fs.Int("workflows", 10, "workflows per type")
 	interactions := fs.Int("interactions", 18, "interactions per workflow")
@@ -987,6 +1155,8 @@ func cmdExp(args []string) error {
 			_, err = experiments.IngestSweep(cfg)
 		case "overload":
 			_, err = experiments.OverloadSweep(cfg)
+		case "shards":
+			_, err = experiments.ShardSweep(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
@@ -997,7 +1167,7 @@ func cmdExp(args []string) error {
 	}
 
 	if *name == "all" {
-		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest", "overload"} {
+		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest", "overload", "shards"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

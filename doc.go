@@ -132,6 +132,38 @@
 // and reports p99/p99.9 admitted latency plus rejection and violation rates
 // per rate (BENCH_6.json).
 //
+// # Scatter-gather sharding
+//
+// internal/shard scales serving past one process. N `idebench shard`
+// processes each prepare and serve one hash partition of the fact table —
+// the full engine + sharedscan stack over their slice, behind the ordinary
+// wire protocol — and one `idebench coord` process fronts them with a
+// Coordinator that implements engine.Engine, so sessions, the driver and
+// `run -addr` replay against the tier unchanged. Rows route to shards by a
+// deterministic content hash (nominal cells hash their dictionary string,
+// never the interning-order-dependent code), shared by the prepare-time
+// partitioner (shard.Partition) and the ingest router (shard.RouteBatch),
+// so every process derives the identical partition from -rows/-seed and
+// live batches land on the shard that owns them.
+//
+// Queries fan out to every shard, which stream raw accumulator state —
+// engine.Partial: per-bin counts, Welford moments as IEEE-754 bits,
+// min/max — rather than rendered results. The coordinator buffers the
+// freshest partial per shard and folds them in fixed shard-ID order
+// (engine.PartialFold), rendering once, so float accumulation order is
+// independent of network arrival order and merged snapshots are
+// bitwise-deterministic; a merged snapshot exists only once every shard
+// has contributed, so an unreachable shard means "no snapshot yet", never
+// a silently biased partial answer. Ingest acks wait for every routed
+// sub-batch, and a merged snapshot's Watermark is the minimum over its
+// shards' watermarks translated onto recorded global versions — staleness
+// under live appends stays well-defined as exactly what the slowest shard
+// guarantees. The property wall (internal/shard) checks fold
+// order-invariance and merged-vs-single-node bitwise equality, the
+// 4-process e2e replays 8 ingest-aware users against a real
+// 3-shard+coordinator tier, and `idebench exp -name shards` sweeps
+// coordinator-over-N vs single-node (BENCH_8.json).
+//
 // # Durable state
 //
 // `idebench serve -data-dir` makes the served state survive crashes
@@ -180,7 +212,11 @@
 // shared-scan consumers after the generator drains. The crash e2e job runs
 // the durable suite and the kill -9 crash wall under -race, then SIGKILLs
 // and warm-restarts a served data directory from the shell and requires the
-// offline inspector to verify it clean.
+// offline inspector to verify it clean. The shard e2e job runs the
+// scatter-gather wall under -race, then boots three shard processes plus a
+// coordinator from the shell, asserts the tier's topology on /healthz,
+// replays 8 ingest-aware users against the coordinator, and drains the
+// whole tier cleanly.
 //
 // Per-PR performance numbers are recorded as machine-readable JSON at the
 // repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the
@@ -192,5 +228,9 @@
 // p99 past the knee and zero leaked scan consumers), and BENCH_7.json adds
 // the warm-restart benchmark (cold datagen+prepare vs checkpoint load +
 // reordered prepare + WAL replay, gated on the warm boot winning and on
-// bitwise-correct recovered results).
+// bitwise-correct recovered results), and BENCH_8.json adds the
+// scatter-gather scaling sweep (single-node vs coordinator-over-N-shards
+// under the ingest-aware multi-user replay, every point gated on the
+// quiesced merged results being bitwise-identical to a cold exact scan of
+// the final table).
 package idebench

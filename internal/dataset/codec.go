@@ -12,8 +12,11 @@ import (
 // deterministic: encoding the same logical table twice yields byte-identical
 // output, because every variable-order structure is serialized in a canonical
 // order — schema fields in schema order, dictionary values in code order
-// (Dict.Values' documented enumeration order). Checkpoint checksums and the
-// byte-identity determinism test rely on this.
+// (Dict.Values' documented enumeration order). Shared append-only
+// dictionaries are pinned to the prefix the encoded view's codes reference,
+// so the bytes depend only on the view, never on how far concurrent ingest
+// has grown the live dictionary since the view was taken. Checkpoint
+// checksums and the byte-identity determinism test rely on this.
 //
 // Layout (all integers little-endian):
 //
@@ -53,8 +56,25 @@ func EncodeTable(t *Table) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.NumRows()))
 	for _, c := range t.Columns {
 		if c.Field.Kind == Nominal {
+			// Pin the serialized dictionary to the prefix the snapshotted
+			// codes actually reference. The dictionary is shared and
+			// append-only across the COW lineage, so by encode time it may
+			// already hold values interned by batches newer than this view's
+			// watermark; writing Dict.Values() wholesale would make the
+			// checkpoint bytes depend on concurrent ingest progress rather
+			// than on the view alone. The prefix is exactly the dictionary as
+			// it stood when the view's last row was appended: interning
+			// happens row-by-row, so every code < maxRef+1 was assigned at or
+			// before the row that references maxRef.
 			values := c.Dict.Values()
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(values)))
+			dictLen := uint32(0)
+			for _, code := range c.Codes {
+				if code+1 > dictLen {
+					dictLen = code + 1
+				}
+			}
+			values = values[:dictLen]
+			buf = binary.LittleEndian.AppendUint32(buf, dictLen)
 			for _, v := range values {
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
 				buf = append(buf, v...)

@@ -92,6 +92,51 @@ func TestTableCodecDeterministic(t *testing.T) {
 	}
 }
 
+func TestTableCodecPinsDictToView(t *testing.T) {
+	// Regression: a checkpointed view's encoding must not change when
+	// concurrent ingest grows the shared append-only dictionary after the
+	// view was taken. EncodeTable used to serialize the live Dict.Values()
+	// wholesale, so a checkpoint written mid-ingest could carry dictionary
+	// entries from rows beyond its own watermark — breaking byte-identity
+	// between two checkpoints of the same data version.
+	tb := codecTestTable(t)
+	before := EncodeTable(tb)
+
+	// Simulate a later batch interning new categories into the shared dict,
+	// exactly what ingest.Materialize does between checkpoint snapshot and
+	// checkpoint write.
+	dict := tb.Column("airline").Dict
+	dict.Code("F9")
+	dict.Code("NK")
+
+	after := EncodeTable(tb)
+	if !bytes.Equal(before, after) {
+		t.Fatal("encoding of an unchanged view moved when the shared dictionary grew")
+	}
+
+	// The decoded dictionary is exactly the prefix the view references: the
+	// post-view values are absent (WAL replay re-interns them), and every
+	// referenced code still resolves to its original value.
+	dec, err := DecodeTable(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decDict := dec.Column("airline").Dict
+	if _, ok := decDict.Lookup("F9"); ok {
+		t.Fatal("decoded dictionary leaked a value interned after the view")
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if got, want := dec.Column("airline").ValueString(r), tb.Column("airline").ValueString(r); got != want {
+			t.Fatalf("row %d: %q != %q", r, got, want)
+		}
+	}
+	// And the pinned prefix re-encodes to the same bytes, so determinism
+	// spans restarts too.
+	if c := EncodeTable(dec); !bytes.Equal(after, c) {
+		t.Fatal("decode/re-encode of the pinned view changed the bytes")
+	}
+}
+
 func TestTableCodecEmptyAndNaN(t *testing.T) {
 	schema, err := NewSchema([]Field{{Name: "x", Kind: Quantitative}})
 	if err != nil {

@@ -184,6 +184,26 @@ type ReorderedPreparer interface {
 	PrepareReordered(db *dataset.Database, perm []uint32, opts Options) error
 }
 
+// ShardObserver is the optional scatter-gather observability capability:
+// coordinator engines report the confirmed watermark of each shard they
+// serve over, translated onto the coordinator's global row axis and indexed
+// by shard ID. The serving layer surfaces them (and their min — the bound
+// every merged snapshot's Watermark obeys) on /healthz.
+type ShardObserver interface {
+	ShardWatermarks() []int64
+}
+
+// PartialSnapshotter is the optional scatter-gather capability on a query
+// handle: it exposes the query's raw accumulator state (a Partial) instead
+// of a rendered estimate, so a coordinator can merge fragments from many
+// shards with the exact float operations of a local parallel scan and render
+// once. Handles that implement it may still return nil (the engine behind
+// them has no partial support); callers must treat nil as "capability
+// absent", not "empty result".
+type PartialSnapshotter interface {
+	PartialSnapshot() *Partial
+}
+
 // ErrNotPrepared is returned by StartQuery before Prepare.
 var ErrNotPrepared = errors.New("engine: not prepared")
 

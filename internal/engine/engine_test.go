@@ -497,9 +497,16 @@ func TestSnapshotScaledEstimates(t *testing.T) {
 	gs := NewGroupState(plan)
 	gs.ScanRange(0, 100) // first 100 rows: 50 AA, 50 UA
 	z := stats.MustZScore(0.95)
-	res := gs.SnapshotScaled(100, 1000, 0, z)
+	res := gs.SnapshotScaled(100, 1000, 700, 0, z)
 	if res.Complete {
 		t.Error("partial snapshot should not be complete")
+	}
+	// The watermark is the absorbed-rows data version, threaded explicitly —
+	// not the scaling population (the regression this guards: SnapshotScaled
+	// used to stamp populationRows, so a stratified engine's result claimed a
+	// freshness its absorbed rows did not back).
+	if res.Watermark != 700 {
+		t.Errorf("watermark = %d, want the explicit 700, not population 1000", res.Watermark)
 	}
 	dict := fact.Column("carrier").Dict
 	aa, _ := dict.Lookup("AA")
@@ -539,7 +546,7 @@ func TestSnapshotScaledComplete(t *testing.T) {
 	}
 	gs := NewGroupState(plan)
 	gs.ScanRange(0, plan.NumRows)
-	res := gs.SnapshotScaled(int64(plan.NumRows), int64(plan.NumRows), 0, 1.96)
+	res := gs.SnapshotScaled(int64(plan.NumRows), int64(plan.NumRows), int64(plan.NumRows), 0, 1.96)
 	if !res.Complete {
 		t.Error("full scan snapshot should be complete")
 	}
@@ -559,7 +566,7 @@ func TestSnapshotScaledEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	gs := NewGroupState(plan)
-	res := gs.SnapshotScaled(0, 8, 0, 1.96)
+	res := gs.SnapshotScaled(0, 8, 8, 0, 1.96)
 	if len(res.Bins) != 0 || res.Complete {
 		t.Error("empty snapshot should have no bins and not be complete")
 	}

@@ -398,18 +398,34 @@ func (g *GroupState) SnapshotExact() *query.Result {
 // engines (weight = N_h / n_h per stratum; pass 0 to use
 // populationRows/rowsSeen).
 //
+// watermark is the data version the estimate reflects, in absorbed fact
+// rows (the engine.Appender.Watermark axis). It is a separate parameter
+// because populationRows is not always that number: a stratified engine
+// estimates for a represented population counted on the same axis, but a
+// weighted stratum estimate's population and its absorbed-row version are
+// distinct quantities, and conflating them let a sampled shard claim
+// freshness it did not have under min-watermark merging.
+//
 // Estimators (per bin g, sample size m, population N):
 //
 //	COUNT:  N·(n_g/m),          margin = z·N·sqrt(p̂(1-p̂)/m)
 //	SUM:    N·(Σ_g x)/m,        margin = z·N·sqrt(Var(x·1_g)/m)
 //	AVG:    mean_g(x),          margin = z·sqrt(Var_g(x)/n_g)
 //	MIN/MAX: sample min/max (biased; no margin reported)
-func (g *GroupState) SnapshotScaled(rowsSeen, populationRows int64, weight, z float64) *query.Result {
+func (g *GroupState) SnapshotScaled(rowsSeen, populationRows, watermark int64, weight, z float64) *query.Result {
+	return renderScaled(g.Groups, g.plan.Query.Aggs, rowsSeen, populationRows, watermark, weight, z)
+}
+
+// renderScaled is the estimator math of SnapshotScaled over a bare
+// accumulator table. PartialFold.Render shares it, so a scatter-gather
+// coordinator rendering merged shard partials runs the exact float operations
+// a local GroupState snapshot would — same inputs, same bits.
+func renderScaled(groups map[query.BinKey]*Accum, aggs []query.Aggregate, rowsSeen, populationRows, watermark int64, weight, z float64) *query.Result {
 	res := query.NewResult()
 	res.TotalRows = populationRows
 	res.RowsSeen = rowsSeen
 	res.Complete = rowsSeen >= populationRows && weight == 0
-	res.Watermark = populationRows
+	res.Watermark = watermark
 	if rowsSeen == 0 {
 		return res
 	}
@@ -419,8 +435,7 @@ func (g *GroupState) SnapshotScaled(rowsSeen, populationRows int64, weight, z fl
 	if weight > 0 {
 		scale = weight
 	}
-	aggs := g.plan.Query.Aggs
-	for key, acc := range g.Groups {
+	for key, acc := range groups {
 		bv := &query.BinValue{
 			Values:  make([]float64, len(aggs)),
 			Margins: make([]float64, len(aggs)),

@@ -15,6 +15,7 @@ type AsyncHandle struct {
 	mu        sync.RWMutex
 	result    *query.Result
 	snapFn    func() *query.Result
+	partialFn func() *Partial
 	cancelFn  func()
 	done      chan struct{}
 	doneOnce  sync.Once
@@ -40,6 +41,30 @@ func (h *AsyncHandle) SetSnapshotFunc(fn func() *query.Result) {
 	h.mu.Lock()
 	h.snapFn = fn
 	h.mu.Unlock()
+}
+
+// SetPartialFunc makes the handle capable of raw partial snapshots (the
+// PartialSnapshotter capability): fn materializes the query's current
+// accumulator state in wire form. Engines that serve as scatter-gather
+// shards install it alongside SetSnapshotFunc.
+func (h *AsyncHandle) SetPartialFunc(fn func() *Partial) {
+	h.mu.Lock()
+	h.partialFn = fn
+	h.mu.Unlock()
+}
+
+// PartialSnapshot implements PartialSnapshotter. It returns nil when the
+// engine did not install a partial func — the handle then has no shard
+// capability, and a serving tier asked for partials reports that instead of
+// merging rendered floats.
+func (h *AsyncHandle) PartialSnapshot() *Partial {
+	h.mu.RLock()
+	fn := h.partialFn
+	h.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 // Snapshot implements Handle.

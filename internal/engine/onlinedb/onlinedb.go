@@ -246,7 +246,7 @@ func (e *Engine) runOnline(plan *engine.Compiled, h *engine.AsyncHandle, z float
 			continue
 		}
 		if now := time.Now(); now.After(nextReport) {
-			h.Publish(gs.SnapshotScaled(int64(pos), total, 0, z))
+			h.Publish(gs.SnapshotScaled(int64(pos), total, total, 0, z))
 			nextReport = now.Add(e.cfg.ReportInterval)
 		}
 	}

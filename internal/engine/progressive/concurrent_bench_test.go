@@ -198,7 +198,7 @@ func BenchmarkProgressiveFirstSnapshot(b *testing.B) {
 			}
 			gs := engine.NewGroupState(plan)
 			gs.ScanRows(perm[:chunk])
-			if snap := gs.SnapshotScaled(int64(chunk), int64(plan.NumRows), 0, z); snap.RowsSeen == 0 {
+			if snap := gs.SnapshotScaled(int64(chunk), int64(plan.NumRows), int64(plan.NumRows), 0, z); snap.RowsSeen == 0 {
 				b.Fatal("no snapshot")
 			}
 		}

@@ -367,6 +367,7 @@ func (s *session) StartQuery(q *query.Query) (engine.Handle, error) {
 
 	h := engine.NewAsyncHandle()
 	h.SetSnapshotFunc(func() *query.Result { return st.Snapshot(z) })
+	h.SetPartialFunc(st.PartialSnapshot)
 	if st.IsDone() {
 		// Full reuse: the cached state already covers every row.
 		h.Finish()

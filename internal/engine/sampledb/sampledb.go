@@ -259,7 +259,10 @@ func (e *Engine) StartQuery(q *query.Query) (engine.Handle, error) {
 		if h.Cancelled() {
 			return
 		}
-		res := gs.SnapshotScaled(int64(n), int64(origRows), 0, z)
+		// origRows is both the represented population and the absorbed-rows
+		// watermark: Append grows origRows by every batch row, so the pair
+		// captured above names one consistent data version.
+		res := gs.SnapshotScaled(int64(n), int64(origRows), int64(origRows), 0, z)
 		// The sample is fixed: the estimate is final but never exact.
 		res.Complete = false
 		h.Publish(res)

@@ -8,6 +8,7 @@ import (
 	"idebench/internal/dataset"
 	"idebench/internal/engine"
 	"idebench/internal/enginetest"
+	"idebench/internal/ingest"
 	"idebench/internal/query"
 )
 
@@ -138,6 +139,54 @@ func TestEstimatesScaleToPopulation(t *testing.T) {
 	}
 	if math.Abs(total-80000) > 0.02*80000 {
 		t.Errorf("scaled total = %v, want ~80000", total)
+	}
+}
+
+func TestResultWatermarkIsAbsorbedRows(t *testing.T) {
+	// Regression for the watermark-semantics mismatch: SnapshotScaled used
+	// to stamp the result with its scaling population, which for sampledb is
+	// the represented population — numerically equal to the absorbed rows,
+	// but only because Append grows both together. This pins the contract on
+	// the engine.Appender axis: after live appends, a result's Watermark must
+	// equal exactly what Watermark() reported for the version the query
+	// captured, or min-watermark merging would let a sampled shard claim
+	// freshness it doesn't have.
+	const base = 40000
+	db := enginetest.SmallDB(base, 11)
+	e := New(Config{SampleRate: 0.1})
+	if err := e.Prepare(db, engine.Options{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if w := e.Watermark(); w != base {
+		t.Fatalf("prepared watermark = %d, want %d", w, base)
+	}
+	// Absorb two batches; the represented population and the absorbed-rows
+	// watermark must advance in lockstep.
+	absorbed := int64(base)
+	for _, n := range []int{700, 300} {
+		b := ingest.FromTable(db.Fact, 0, n)
+		tbl, err := ingest.Materialize(db, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Append(tbl); err != nil {
+			t.Fatal(err)
+		}
+		absorbed += int64(n)
+		if w := e.Watermark(); w != absorbed {
+			t.Fatalf("watermark after append = %d, want %d", w, absorbed)
+		}
+	}
+	h, err := e.StartQuery(enginetest.CountByCarrier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := enginetest.WaitResult(t, h, 30*time.Second)
+	if res.Watermark != absorbed {
+		t.Errorf("result watermark = %d, want absorbed rows %d", res.Watermark, absorbed)
+	}
+	if res.TotalRows != absorbed {
+		t.Errorf("represented population = %d, want %d", res.TotalRows, absorbed)
 	}
 }
 

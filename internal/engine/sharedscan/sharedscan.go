@@ -739,5 +739,26 @@ func (c *Consumer) Snapshot(z float64) *query.Result {
 		return merged.SnapshotExact()
 	}
 	c.finalMu.Unlock()
-	return merged.SnapshotScaled(seen, target, 0, z)
+	// The target version's row count is both the scaling population and the
+	// absorbed-rows watermark: the consumer folds toward exactly the rows of
+	// that data version.
+	return merged.SnapshotScaled(seen, target, target, 0, z)
+}
+
+// PartialSnapshot extracts the consumer's current accumulator state in wire
+// form (the engine.PartialSnapshotter capability): the merged worker shards,
+// unrendered, for a scatter-gather coordinator to fold with other shards'
+// fragments before estimating once. The fragment's population and watermark
+// are the consumer's target version, exactly as in Snapshot.
+func (c *Consumer) PartialSnapshot() *engine.Partial {
+	c.finalMu.Lock()
+	final := c.final
+	c.finalMu.Unlock()
+	if final != nil {
+		t := c.target.Load()
+		return final.Partial(t, t, t, true)
+	}
+	merged, seen := c.mergeShards()
+	target := c.target.Load()
+	return merged.Partial(seen, target, target, seen == target)
 }

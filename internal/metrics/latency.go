@@ -18,11 +18,14 @@ func Percentile(xs []float64, p float64) float64 {
 		}
 	}
 	sort.Float64s(clean)
-	return percentileSorted(clean, p)
+	return PercentileSorted(clean, p)
 }
 
-// percentileSorted is Percentile over an already NaN-free, sorted slice.
-func percentileSorted(sorted []float64, p float64) float64 {
+// PercentileSorted is Percentile over an already NaN-free, sorted slice.
+// Callers extracting several quantiles from one series (the overload and
+// shard sweeps do, per cell) should sort once and use this instead of paying
+// Percentile's filter + sort per quantile.
+func PercentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return math.NaN()
 	}
@@ -76,10 +79,10 @@ func SummarizeLatencies(ms []float64) LatencySummary {
 	sort.Float64s(clean)
 	s := LatencySummary{
 		Count: len(clean),
-		P50:   percentileSorted(clean, 0.50),
-		P95:   percentileSorted(clean, 0.95),
-		P99:   percentileSorted(clean, 0.99),
-		P999:  percentileSorted(clean, 0.999),
+		P50:   PercentileSorted(clean, 0.50),
+		P95:   PercentileSorted(clean, 0.95),
+		P99:   PercentileSorted(clean, 0.99),
+		P999:  PercentileSorted(clean, 0.999),
 	}
 	if s.Count == 0 {
 		s.Mean = math.NaN()

@@ -93,7 +93,7 @@ func SummarizeIngest(records []driver.Record) []IngestScaling {
 				sum += s
 			}
 			row.StalenessMean = sum / float64(len(stale))
-			row.StalenessP95 = metrics.Percentile(stale, 0.95)
+			row.StalenessP95 = metrics.PercentileSorted(stale, 0.95)
 			row.StalenessMax = stale[len(stale)-1]
 			row.FreshPct = 100 * float64(fresh) / float64(len(stale))
 		} else {

@@ -54,6 +54,11 @@ type RemoteOptions struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the backoff growth (default 2s).
 	BackoffMax time.Duration
+	// Partials asks the server to attach raw accumulator state
+	// (engine.Partial) to every snapshot frame of every query on every
+	// session. Scatter-gather coordinators set it; handles then implement
+	// engine.PartialSnapshotter with the freshest streamed partial.
+	Partials bool
 }
 
 func (o RemoteOptions) withDefaults() RemoteOptions {
@@ -106,13 +111,31 @@ func retryAfterHint(err error) time.Duration {
 	return 0
 }
 
-// jitterDur spreads d uniformly over [d/2, d].
-func jitterDur(d time.Duration) time.Duration {
+// jitterSeq disambiguates jitter seeds of Remotes created within the same
+// clock tick (a fleet spinning up its clients in a tight loop).
+var jitterSeq atomic.Int64
+
+// newJitterRand seeds one client's private jitter source. Backoff jitter
+// must NOT come from the shared global math/rand sequence: a fleet of
+// clients rejected by the same overloaded server would draw from
+// identically-seeded generators and sleep the same "jittered" delays,
+// re-arriving in lockstep — the thundering herd the jitter exists to break.
+func newJitterRand() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32))
+}
+
+// jitter spreads d uniformly over [d/2, d] using the Remote's own seeded
+// source (guarded: rand.Rand is not goroutine-safe and multiple sessions of
+// one Remote may back off concurrently).
+func (r *Remote) jitter(d time.Duration) time.Duration {
 	if d <= time.Millisecond {
 		return d
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(half)+1))
+	r.jmu.Lock()
+	n := r.jrng.Int63n(int64(half) + 1)
+	r.jmu.Unlock()
+	return half + time.Duration(n)
 }
 
 // Remote is a network-backed engine.Engine: every method is forwarded over
@@ -126,10 +149,15 @@ type Remote struct {
 	name  string
 	rows  int64
 	seed  int64
+	role  string
 	stats FrameStats
 	// wm tracks the highest watermark any session's ingest frame reported:
 	// the remote engine's confirmed data version.
 	wm atomic.Int64
+
+	// jrng is this client's private backoff-jitter source (see newJitterRand).
+	jmu  sync.Mutex
+	jrng *rand.Rand
 
 	mu  sync.Mutex
 	def *RemoteSession
@@ -144,7 +172,7 @@ func NewRemote(addr string) (*Remote, error) {
 
 // NewRemoteWithOptions is NewRemote with explicit resilience options.
 func NewRemoteWithOptions(addr string, opts RemoteOptions) (*Remote, error) {
-	r := &Remote{addr: addr, opts: opts.withDefaults()}
+	r := &Remote{addr: addr, opts: opts.withDefaults(), jrng: newJitterRand()}
 	sess, err := r.dial()
 	if err != nil {
 		return nil, err
@@ -152,10 +180,16 @@ func NewRemoteWithOptions(addr string, opts RemoteOptions) (*Remote, error) {
 	r.name = sess.engineName
 	r.rows = sess.rows
 	r.seed = sess.seed
+	r.role = sess.role
 	r.def = sess
 	r.wm.Store(sess.rows)
 	return r, nil
 }
+
+// Role returns the serving-topology role the server stated in its hello
+// frame ("" for a standalone server, "shard" or "coord" in a scatter-gather
+// tier).
+func (r *Remote) Role() string { return r.role }
 
 // Name implements engine.Engine: the served engine's name, so records from
 // a network replay group exactly like the in-process run they compare to.
@@ -239,7 +273,7 @@ func (r *Remote) redial(cause error) (*WSConn, *ServerMsg, error) {
 		if !IsRetryable(err) {
 			return nil, nil, err
 		}
-		time.Sleep(jitterDur(backoff))
+		time.Sleep(r.jitter(backoff))
 		var ws *WSConn
 		var hello *ServerMsg
 		ws, hello, err = r.dialConn()
@@ -273,6 +307,8 @@ func (r *Remote) dial() (*RemoteSession, error) {
 		engineName: hello.Engine,
 		rows:       hello.Rows,
 		seed:       hello.Seed,
+		role:       hello.Role,
+		partials:   r.opts.Partials,
 		handles:    make(map[int64]*remoteHandle),
 		readDone:   make(chan struct{}),
 	}
@@ -343,6 +379,8 @@ type RemoteSession struct {
 	engineName string
 	rows       int64
 	seed       int64
+	role       string
+	partials   bool // request raw partials on every query
 	dialErr    error
 
 	mu       sync.Mutex
@@ -409,6 +447,9 @@ func (s *RemoteSession) readLoop() {
 			if h != nil {
 				if m.Final && m.Shed {
 					h.markShed()
+				}
+				if m.Partial != nil {
+					h.setPartial(m.Partial)
 				}
 				h.deliver(m.Result, m.Final)
 			}
@@ -573,7 +614,7 @@ func (s *RemoteSession) StartQuery(q *query.Query) (engine.Handle, error) {
 	s.handles[id] = h
 	s.mu.Unlock()
 
-	if err := s.send(&ClientMsg{Type: MsgQuery, ID: id, Query: q, DeadlineMS: deadlineMS}); err != nil {
+	if err := s.send(&ClientMsg{Type: MsgQuery, ID: id, Query: q, DeadlineMS: deadlineMS, Partials: s.partials}); err != nil {
 		s.mu.Lock()
 		delete(s.handles, id)
 		s.mu.Unlock()
@@ -640,6 +681,7 @@ type remoteHandle struct {
 
 	mu        sync.RWMutex
 	res       *query.Result
+	partial   *engine.Partial
 	rejected  bool
 	rejReason string
 	rejRetry  time.Duration
@@ -704,6 +746,22 @@ func (h *remoteHandle) Shed() bool {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.shed
+}
+
+// setPartial installs the freshest streamed raw accumulator state.
+func (h *remoteHandle) setPartial(p *engine.Partial) {
+	h.mu.Lock()
+	h.partial = p
+	h.mu.Unlock()
+}
+
+// PartialSnapshot implements engine.PartialSnapshotter: the latest raw
+// partial the server streamed, nil until the first frame carrying one (or
+// forever, when the session did not request partials).
+func (h *remoteHandle) PartialSnapshot() *engine.Partial {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.partial
 }
 
 // Snapshot implements engine.Handle.

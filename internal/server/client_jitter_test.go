@@ -1,0 +1,42 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds pins the jitter contract: each sleep lands uniformly in
+// [d/2, d], and sub-millisecond delays pass through unjittered.
+func TestJitterBounds(t *testing.T) {
+	r := &Remote{jrng: newJitterRand()}
+	d := 2 * time.Second
+	for i := 0; i < 200; i++ {
+		j := r.jitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("jitter(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+		}
+	}
+	if got := r.jitter(time.Millisecond); got != time.Millisecond {
+		t.Errorf("tiny delay should pass through, got %v", got)
+	}
+}
+
+// TestJitterIndependentAcrossClients is the thundering-herd regression: two
+// freshly created clients must not draw the same jitter sequence. The old
+// implementation pulled from the process-global math/rand, so separate client
+// processes (each with the same default seeding) backed off in lockstep after
+// a mass rejection, re-arriving at the server as the same herd that was just
+// turned away.
+func TestJitterIndependentAcrossClients(t *testing.T) {
+	a := &Remote{jrng: newJitterRand()}
+	b := &Remote{jrng: newJitterRand()}
+	d := 2 * time.Second
+	for i := 0; i < 64; i++ {
+		if a.jitter(d) != b.jitter(d) {
+			return
+		}
+	}
+	// 64 identical draws from [1s, 2s] at nanosecond granularity means the
+	// sources share a seed, not that we got unlucky.
+	t.Error("two fresh clients drew identical jitter sequences")
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"idebench/internal/engine"
 	"idebench/internal/ingest"
 	"idebench/internal/query"
 )
@@ -22,7 +23,10 @@ import (
 // in the hello frame; clients reject a mismatch rather than guessing.
 // Version 2 added admission control: the "reject" frame, the client-side
 // deadline hint on "query", and the shed marker on final snapshots.
-const ProtoVersion = 2
+// Version 3 added scatter-gather serving: the Partials request flag on
+// "query" frames, the raw Partial payload on snapshot frames, and the
+// server's Role in the hello frame.
+const ProtoVersion = 3
 
 // Client→server message types.
 const (
@@ -83,6 +87,11 @@ type ClientMsg struct {
 	// running well past the deadline (Options.LateFactor multiples of it) is
 	// cancelled, its partial final marked Shed. 0 means no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Partials on a "query" frame asks the server to attach the query's raw
+	// accumulator state (ServerMsg.Partial) to every snapshot frame, in
+	// addition to the rendered Result. Scatter-gather coordinators set it;
+	// plain clients never pay the extra payload.
+	Partials bool `json:"partials,omitempty"`
 }
 
 // Validate checks structural well-formedness (the query itself is validated
@@ -148,6 +157,15 @@ type ServerMsg struct {
 	// shedding rather than run to completion: the result is the progressive
 	// estimate as of the cancel, valid but not converged.
 	Shed bool `json:"shed,omitempty"`
+	// Partial is the query's raw accumulator state, attached to snapshot
+	// frames when the query frame requested Partials (and the engine has the
+	// capability). Floats travel as IEEE-754 bits (engine.F64), so a
+	// coordinator's merge is bitwise the merge a local scan would do.
+	Partial *engine.Partial `json:"partial,omitempty"`
+	// Role identifies the serving topology position in the hello frame:
+	// "" or "single" for a standalone server, "shard" for one partition of a
+	// scatter-gather tier, "coord" for the coordinator fronting it.
+	Role string `json:"role,omitempty"`
 }
 
 // encodeMsg marshals a protocol message for the wire.

@@ -102,6 +102,10 @@ type Options struct {
 	// its shared-scan consumers forever. 0 means DefaultIdleTimeout;
 	// negative disables.
 	IdleTimeout time.Duration
+	// Role names this server's position in the serving topology, stated in
+	// hello frames and on /healthz: "" (standalone), "shard" (one partition
+	// behind a scatter-gather coordinator) or "coord" (the coordinator).
+	Role string
 	// Durable, when set, is the durability subsystem backing this server.
 	// The serving layer itself does not log batches — the Apply function is
 	// expected to enforce WAL-before-apply ordering internally (validate the
@@ -393,6 +397,15 @@ type health struct {
 	// (engines with the observer capability; otherwise 0). After a full
 	// drain this must read 0 — anything else is a leak.
 	ScanConsumers int `json:"scan_consumers"`
+	// Role/Shards/ShardWatermarks describe the scatter-gather topology:
+	// Role mirrors Options.Role; the shard fields appear on coordinators
+	// (engines with the shard-observer capability) — per-shard confirmed
+	// watermarks on the coordinator's global axis, and their min, which is
+	// the freshness bound every merged snapshot's Watermark obeys.
+	Role              string  `json:"role,omitempty"`
+	Shards            int     `json:"shards,omitempty"`
+	ShardWatermarks   []int64 `json:"shard_watermarks,omitempty"`
+	MinShardWatermark int64   `json:"min_shard_watermark,omitempty"`
 	// Cumulative overload/liveness counters (see Counters).
 	Admitted             int64 `json:"admitted"`
 	RejectedOverload     int64 `json:"rejected_overload"`
@@ -446,6 +459,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if obs, ok := s.eng.(engine.ScanObserver); ok {
 		h.ScanConsumers = obs.ActiveScanConsumers()
+	}
+	h.Role = s.opts.Role
+	if so, ok := s.eng.(engine.ShardObserver); ok {
+		wms := so.ShardWatermarks()
+		h.Shards = len(wms)
+		h.ShardWatermarks = wms
+		for i, w := range wms {
+			if i == 0 || w < h.MinShardWatermark {
+				h.MinShardWatermark = w
+			}
+		}
 	}
 	h.Admitted = s.ctr.Admitted.Load()
 	h.RejectedOverload = s.ctr.RejectedOverload.Load()
@@ -528,7 +552,7 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	// Hello reports the live watermark when the engine grows under ingestion,
 	// so a reconnecting client resumes at the server's current version rather
 	// than the prepare-time row count.
-	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: s.liveWatermark(), Seed: s.opts.Seed}
+	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: s.liveWatermark(), Seed: s.opts.Seed, Role: s.opts.Role}
 	if data, err := encodeMsg(hello); err != nil || ws.WriteMessage(data) != nil {
 		c.teardown()
 		return
@@ -763,7 +787,7 @@ func (c *serverConn) startQuery(m *ClientMsg) {
 	if m.DeadlineMS > 0 && srv.opts.LateFactor > 0 {
 		lateBudget = time.Duration(float64(m.DeadlineMS)*srv.opts.LateFactor) * time.Millisecond
 	}
-	go c.watch(m.ID, h, lateBudget)
+	go c.watch(m.ID, h, lateBudget, m.Partials)
 }
 
 // watch streams one query's snapshots: intermediates at the poll interval
@@ -774,9 +798,23 @@ func (c *serverConn) startQuery(m *ClientMsg) {
 // the client took its deadline snapshot long ago, so every further chunk
 // this query folds is capacity stolen from queries that can still make
 // their deadlines.
-func (c *serverConn) watch(id int64, h engine.Handle, lateBudget time.Duration) {
+func (c *serverConn) watch(id int64, h engine.Handle, lateBudget time.Duration, partials bool) {
 	defer c.srv.inflight.Add(-1)
 	defer c.watchers.Done()
+	// A client that asked for partials gets the raw accumulator state on
+	// every snapshot frame — if the engine's handle has the capability; a
+	// capability-less handle sends plain frames and the coordinator reports
+	// the missing partials itself.
+	var ps engine.PartialSnapshotter
+	if partials {
+		ps, _ = h.(engine.PartialSnapshotter)
+	}
+	takePartial := func() *engine.Partial {
+		if ps == nil {
+			return nil
+		}
+		return ps.PartialSnapshot()
+	}
 	ticker := time.NewTicker(c.poll)
 	defer ticker.Stop()
 	var seq int64
@@ -790,7 +828,7 @@ func (c *serverConn) watch(id int64, h engine.Handle, lateBudget time.Duration) 
 			seq++
 			// Push before dropping from inflight so drain's idle check never
 			// sees "no queries, empty outbox" with the final still unqueued.
-			c.push(&ServerMsg{Type: MsgSnapshot, ID: id, Seq: seq, Final: true, Result: snap, Shed: shed})
+			c.push(&ServerMsg{Type: MsgSnapshot, ID: id, Seq: seq, Final: true, Result: snap, Shed: shed, Partial: takePartial()})
 			c.finishQuery(id)
 			return
 		case <-c.closed:
@@ -810,7 +848,7 @@ func (c *serverConn) watch(id int64, h engine.Handle, lateBudget time.Duration) 
 			}
 			lastRows = snap.RowsSeen
 			seq++
-			c.push(&ServerMsg{Type: MsgSnapshot, ID: id, Seq: seq, Result: snap})
+			c.push(&ServerMsg{Type: MsgSnapshot, ID: id, Seq: seq, Result: snap, Partial: takePartial()})
 		}
 	}
 }

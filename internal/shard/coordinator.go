@@ -1,0 +1,480 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/ingest"
+	"idebench/internal/query"
+	"idebench/internal/stats"
+)
+
+// watermarker is the subset of engine.Appender a backend needs for the
+// coordinator to observe its confirmed data version. *server.Remote has a
+// Watermark but no Append (ingest travels as wire batches), so the
+// coordinator asserts this rather than the full Appender.
+type watermarker interface {
+	Watermark() int64
+}
+
+// wmStep records that shard-local watermark Local corresponds to global
+// data version Global: after the batch that produced this step is fully
+// absorbed by the shard, a query answering at Local covers everything up to
+// Global rows of the unified timeline.
+type wmStep struct {
+	Local, Global int64
+}
+
+// Coordinator fans queries out to N shard backends and merges their raw
+// accumulator fragments into one progressive result. It implements
+// engine.Engine (so the serving layer and the driver use it unchanged),
+// engine.Appender and ingest.Sink (routed live ingest), and
+// engine.ShardObserver (per-shard watermark observability for /healthz).
+//
+// Backends are fixed at construction; their slice order IS the shard ID
+// order, and every merge folds fragments in that order — see the package
+// comment for why that fixed order is load-bearing.
+type Coordinator struct {
+	backends []engine.Engine
+
+	mu       sync.Mutex
+	prepared bool
+	parts    []*dataset.Database // in-process backends only: shard-local dbs for Materialize
+	steps    [][]wmStep          // per shard, ascending in both coordinates
+	global   int64               // global data version: base rows + all routed batch rows
+	z        float64
+
+	// applyTimeout bounds the post-route wait for a remote shard to confirm
+	// absorption. Exposed for tests; zero means the default.
+	applyTimeout time.Duration
+}
+
+// NewCoordinator wraps the given shard backends. The slice order assigns
+// shard IDs: backends[i] is shard i, forever. At least one backend is
+// required; Prepare partitions with n = len(backends).
+func NewCoordinator(backends ...engine.Engine) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one backend")
+	}
+	return &Coordinator{backends: append([]engine.Engine(nil), backends...)}, nil
+}
+
+// Shards returns the number of shard backends.
+func (co *Coordinator) Shards() int { return len(co.backends) }
+
+// Name identifies the coordinator in reports: the backend engine name
+// prefixed with the fan-out, e.g. "shard3/progressive".
+func (co *Coordinator) Name() string {
+	return fmt.Sprintf("shard%d/%s", len(co.backends), co.backends[0].Name())
+}
+
+// Prepare partitions db across the backends and prepares each one with its
+// partition. For a *server.Remote backend, Prepare is the client-side
+// sanity check that the shard process serves exactly the partition this
+// coordinator computed (same dataset, same hash, same fan-out).
+func (co *Coordinator) Prepare(db *dataset.Database, opts engine.Options) error {
+	opts = opts.Normalize()
+	z, err := stats.ZScore(opts.Confidence)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	parts, err := Partition(db, len(co.backends))
+	if err != nil {
+		return err
+	}
+	for i, be := range co.backends {
+		if err := be.Prepare(parts[i], opts); err != nil {
+			return fmt.Errorf("shard: prepare shard %d: %w", i, err)
+		}
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.parts = parts
+	co.global = int64(db.Fact.NumRows())
+	co.steps = make([][]wmStep, len(co.backends))
+	for i := range co.steps {
+		// The base step: a shard answering at its full partition size covers
+		// the whole prepared dataset.
+		co.steps[i] = []wmStep{{Local: int64(parts[i].Fact.NumRows()), Global: co.global}}
+	}
+	co.z = z
+	co.prepared = true
+	return nil
+}
+
+// translate floors shard i's local watermark w onto the global row axis:
+// the largest recorded global version whose local step is <= w. A local
+// watermark below the base partition size (mid-Prepare, or a shard that
+// restarted from an older checkpoint) translates to 0 — honest "staler
+// than any version I know".
+func (co *Coordinator) translate(i int, w int64) int64 {
+	steps := co.steps[i]
+	g := int64(0)
+	for _, s := range steps {
+		if s.Local <= w {
+			g = s.Global
+		} else {
+			break
+		}
+	}
+	return g
+}
+
+// shardWatermark reads shard i's confirmed local watermark, falling back to
+// its base partition size when the backend has no watermark capability
+// (a static engine never moves past Prepare).
+func (co *Coordinator) shardWatermark(i int) int64 {
+	if wm, ok := co.backends[i].(watermarker); ok {
+		return wm.Watermark()
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if len(co.steps) > i && len(co.steps[i]) > 0 {
+		return co.steps[i][0].Local
+	}
+	return 0
+}
+
+// Watermark implements engine.Appender's observer half on the global axis:
+// the minimum over all shards' translated watermarks. A merged snapshot
+// never claims a Watermark above this.
+func (co *Coordinator) Watermark() int64 {
+	min := int64(math.MaxInt64)
+	for i := range co.backends {
+		w := co.shardWatermark(i)
+		co.mu.Lock()
+		g := co.translate(i, w)
+		co.mu.Unlock()
+		if g < min {
+			min = g
+		}
+	}
+	if min == math.MaxInt64 {
+		return 0
+	}
+	return min
+}
+
+// ShardWatermarks implements engine.ShardObserver: each shard's confirmed
+// watermark translated onto the global axis, indexed by shard ID.
+func (co *Coordinator) ShardWatermarks() []int64 {
+	out := make([]int64, len(co.backends))
+	for i := range co.backends {
+		w := co.shardWatermark(i)
+		co.mu.Lock()
+		out[i] = co.translate(i, w)
+		co.mu.Unlock()
+	}
+	return out
+}
+
+// Append implements engine.Appender: it reconstructs the wire batch from
+// the materialized rows (the inverse the ingest codec defines) and routes
+// it. This is what lets an ingest.EngineSink or the durable WAL replay
+// treat a coordinator like any other appending engine.
+func (co *Coordinator) Append(rows *dataset.Table) error {
+	return co.ApplyBatch(ingest.FromTable(rows, 0, rows.NumRows()), nil)
+}
+
+// ApplyBatch implements ingest.Sink: route the batch's rows to their home
+// shards, apply every non-empty sub-batch, wait until each receiving shard
+// confirms absorption, then publish the new global version. The wait keeps
+// Apply synchronous-per-batch (the harness serializes batches anyway) so
+// Watermark() moves monotonically and quiesce loops terminate.
+func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
+	n := len(co.backends)
+	subs, err := RouteBatch(b, n)
+	if err != nil {
+		return err
+	}
+
+	co.mu.Lock()
+	if !co.prepared {
+		co.mu.Unlock()
+		return engine.ErrNotPrepared
+	}
+	// Reserve the new steps under the lock: concurrent ApplyBatch calls are
+	// the caller's bug, but a racing reader must still see consistent steps.
+	targets := make([]int64, n)
+	newGlobal := co.global + int64(len(b.Rows))
+	for i := range co.backends {
+		prev := co.steps[i][len(co.steps[i])-1].Local
+		targets[i] = prev + int64(len(subs[i].Rows))
+	}
+	parts := co.parts
+	timeout := co.applyTimeout
+	co.mu.Unlock()
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+
+	for i, be := range co.backends {
+		if len(subs[i].Rows) == 0 {
+			continue
+		}
+		if sink, ok := be.(ingest.Sink); ok {
+			// Remote shard: ship the wire batch; the shard server materializes
+			// and validates against its own partition.
+			if err := sink.ApplyBatch(subs[i], nil); err != nil {
+				return fmt.Errorf("shard: apply to shard %d: %w", i, err)
+			}
+			if err := co.waitWatermark(i, targets[i], timeout); err != nil {
+				return err
+			}
+			continue
+		}
+		app, ok := be.(engine.Appender)
+		if !ok {
+			return fmt.Errorf("shard: shard %d (%s) cannot absorb ingest", i, be.Name())
+		}
+		// In-process shard: materialize against the shard's own partition so
+		// dictionary interning and FK validation happen in shard-local terms.
+		tbl, err := ingest.Materialize(parts[i], subs[i])
+		if err != nil {
+			return fmt.Errorf("shard: materialize for shard %d: %w", i, err)
+		}
+		if err := app.Append(tbl); err != nil {
+			return fmt.Errorf("shard: append to shard %d: %w", i, err)
+		}
+	}
+
+	co.mu.Lock()
+	co.global = newGlobal
+	for i := range co.steps {
+		co.steps[i] = append(co.steps[i], wmStep{Local: targets[i], Global: newGlobal})
+	}
+	co.mu.Unlock()
+	return nil
+}
+
+// waitWatermark polls shard i until its confirmed watermark reaches target.
+// Remote watermarks advance via the server's post-apply ingest broadcast,
+// so this is a short wait in practice; the timeout turns a dead shard into
+// an error instead of a hang.
+func (co *Coordinator) waitWatermark(i int, target int64, timeout time.Duration) error {
+	wm, ok := co.backends[i].(watermarker)
+	if !ok {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for wm.Watermark() < target {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard: shard %d watermark stuck at %d, want %d", i, wm.Watermark(), target)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return nil
+}
+
+// OpenSession opens one session per backend and returns a session that fans
+// every call across them.
+func (co *Coordinator) OpenSession() engine.Session {
+	subs := make([]engine.Session, len(co.backends))
+	for i, be := range co.backends {
+		subs[i] = be.OpenSession()
+	}
+	return &coordSession{co: co, subs: subs}
+}
+
+// StartQuery runs q on every backend's default session and returns a merged
+// handle.
+func (co *Coordinator) StartQuery(q *query.Query) (engine.Handle, error) {
+	co.mu.Lock()
+	prepared := co.prepared
+	co.mu.Unlock()
+	if !prepared {
+		return nil, engine.ErrNotPrepared
+	}
+	hs := make([]engine.Handle, len(co.backends))
+	for i, be := range co.backends {
+		h, err := be.StartQuery(q)
+		if err != nil {
+			for _, prev := range hs[:i] {
+				prev.Cancel()
+			}
+			return nil, fmt.Errorf("shard: start on shard %d: %w", i, err)
+		}
+		hs[i] = h
+	}
+	return newCoordHandle(co, q, hs), nil
+}
+
+// LinkVizs forwards the link hint to every backend.
+func (co *Coordinator) LinkVizs(from, to string) {
+	for _, be := range co.backends {
+		be.LinkVizs(from, to)
+	}
+}
+
+// DeleteViz forwards the discard to every backend.
+func (co *Coordinator) DeleteViz(name string) {
+	for _, be := range co.backends {
+		be.DeleteViz(name)
+	}
+}
+
+// WorkflowStart forwards to every backend.
+func (co *Coordinator) WorkflowStart() {
+	for _, be := range co.backends {
+		be.WorkflowStart()
+	}
+}
+
+// WorkflowEnd forwards to every backend.
+func (co *Coordinator) WorkflowEnd() {
+	for _, be := range co.backends {
+		be.WorkflowEnd()
+	}
+}
+
+// ShedSpeculation implements engine.Shedder by summing over backends that
+// have the capability.
+func (co *Coordinator) ShedSpeculation() int {
+	n := 0
+	for _, be := range co.backends {
+		if s, ok := be.(engine.Shedder); ok {
+			n += s.ShedSpeculation()
+		}
+	}
+	return n
+}
+
+// ActiveScanConsumers implements engine.ScanObserver by summing over
+// backends that have the capability.
+func (co *Coordinator) ActiveScanConsumers() int {
+	n := 0
+	for _, be := range co.backends {
+		if s, ok := be.(engine.ScanObserver); ok {
+			n += s.ActiveScanConsumers()
+		}
+	}
+	return n
+}
+
+// coordSession fans session calls across one sub-session per shard.
+type coordSession struct {
+	co   *Coordinator
+	subs []engine.Session
+}
+
+func (s *coordSession) StartQuery(q *query.Query) (engine.Handle, error) {
+	s.co.mu.Lock()
+	prepared := s.co.prepared
+	s.co.mu.Unlock()
+	if !prepared {
+		return nil, engine.ErrNotPrepared
+	}
+	hs := make([]engine.Handle, len(s.subs))
+	for i, sub := range s.subs {
+		h, err := sub.StartQuery(q)
+		if err != nil {
+			for _, prev := range hs[:i] {
+				prev.Cancel()
+			}
+			return nil, fmt.Errorf("shard: start on shard %d: %w", i, err)
+		}
+		hs[i] = h
+	}
+	return newCoordHandle(s.co, q, hs), nil
+}
+
+func (s *coordSession) LinkVizs(from, to string) {
+	for _, sub := range s.subs {
+		sub.LinkVizs(from, to)
+	}
+}
+
+func (s *coordSession) DeleteViz(name string) {
+	for _, sub := range s.subs {
+		sub.DeleteViz(name)
+	}
+}
+
+func (s *coordSession) WorkflowStart() {
+	for _, sub := range s.subs {
+		sub.WorkflowStart()
+	}
+}
+
+func (s *coordSession) WorkflowEnd() {
+	for _, sub := range s.subs {
+		sub.WorkflowEnd()
+	}
+}
+
+func (s *coordSession) Close() {
+	for _, sub := range s.subs {
+		sub.Close()
+	}
+}
+
+// coordHandle merges one query's per-shard handles. Snapshot buffers one
+// Partial per shard (arrival order irrelevant), folds them in shard-ID
+// order and renders once; it returns nil until EVERY shard has produced a
+// fragment — a merged estimate over a subset of shards would be a biased
+// sample of the population, not a progressive answer. An unreachable shard
+// therefore shows up as "no snapshot yet" (and, at Done, as a nil final
+// result), never as a silently-partial one.
+type coordHandle struct {
+	co     *Coordinator
+	aggs   []query.Aggregate
+	shards []engine.Handle
+	done   chan struct{}
+}
+
+func newCoordHandle(co *Coordinator, q *query.Query, hs []engine.Handle) *coordHandle {
+	h := &coordHandle{co: co, aggs: q.Aggs, shards: hs, done: make(chan struct{})}
+	go func() {
+		for _, sh := range hs {
+			<-sh.Done()
+		}
+		close(h.done)
+	}()
+	return h
+}
+
+// Snapshot implements engine.Handle.
+func (h *coordHandle) Snapshot() *query.Result {
+	parts := make([]*engine.Partial, len(h.shards))
+	for i, sh := range h.shards {
+		ps, ok := sh.(engine.PartialSnapshotter)
+		if !ok {
+			return nil
+		}
+		p := ps.PartialSnapshot()
+		if p == nil {
+			return nil
+		}
+		parts[i] = p
+	}
+	fold := engine.NewPartialFold(h.aggs)
+	h.co.mu.Lock()
+	z := h.co.z
+	minWM := int64(math.MaxInt64)
+	for i, p := range parts {
+		fold.Add(p)
+		if g := h.co.translate(i, p.Watermark); g < minWM {
+			minWM = g
+		}
+	}
+	h.co.mu.Unlock()
+	res := fold.Render(z)
+	if res != nil {
+		res.Watermark = minWM
+	}
+	return res
+}
+
+// Done implements engine.Handle: closed when every shard handle is done.
+func (h *coordHandle) Done() <-chan struct{} { return h.done }
+
+// Cancel implements engine.Handle: cancels every shard.
+func (h *coordHandle) Cancel() {
+	for _, sh := range h.shards {
+		sh.Cancel()
+	}
+}

@@ -1,0 +1,167 @@
+// Package shard implements the scatter-gather serving tier: a hash
+// partitioner that splits the fact table across N shards, a router that
+// splits live ingest batches the same way, and a Coordinator that
+// implements engine.Engine by fanning queries out to the shards and
+// merging their raw accumulator fragments (engine.Partial) back into one
+// progressive result.
+//
+// # Topology
+//
+// Each shard is the ordinary prepared engine — typically the shared-scan
+// progressive engine behind a serve process — holding one partition of the
+// fact table plus the full (small) dimension tables. The coordinator sits
+// in front, speaks engine.Engine to the driver/serving layer, and owns two
+// responsibilities: deterministic merging and watermark alignment.
+//
+// # Deterministic merging
+//
+// Shards expose raw accumulator state, not rendered estimates, through the
+// engine.PartialSnapshotter capability. The coordinator buffers one Partial
+// per shard (whatever order they arrive in), then folds them in fixed
+// shard-ID order and renders once with the same float operations a local
+// parallel scan uses (engine.renderScaled). Fixed fold order is what keeps
+// float accumulation bitwise-deterministic across runs: addition is not
+// associative in IEEE-754, so "merge in arrival order" would make results
+// depend on network timing.
+//
+// # Routing and the min-watermark rule
+//
+// Ingest batches are split by the same row hash that built the partitions,
+// so a row's home shard is a pure function of its values. Shard watermarks
+// live on per-shard row axes; the coordinator records, for every globally
+// applied batch, the (local watermark → global version) step of each shard
+// and translates by flooring. A merged snapshot's Result.Watermark is the
+// MINIMUM over its constituent shards' translated watermarks: the merged
+// answer is only as fresh as its stalest fragment.
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"idebench/internal/dataset"
+	"idebench/internal/ingest"
+)
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Per-cell kind tags keep string and numeric bytes from colliding and
+// delimit variable-length string cells. They must match between table-row
+// hashing (Partition) and ingest-row hashing (RouteBatch) or a row would
+// change shards between bulk load and live ingest.
+const (
+	tagStr = 0x01
+	tagNum = 0x02
+)
+
+func hashByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	h = hashByte(h, tagStr)
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	// Terminator so "ab"+"c" and "a"+"bc" in adjacent cells differ.
+	return hashByte(h, 0x00)
+}
+
+func hashNum(h uint64, f float64) uint64 {
+	h = hashByte(h, tagNum)
+	bits := math.Float64bits(f)
+	for k := 0; k < 8; k++ {
+		h = hashByte(h, byte(bits>>(8*k)))
+	}
+	return h
+}
+
+// rowHashTable hashes one physical row of a materialized table. Nominal
+// cells hash their dictionary STRING, never the code: codes are an artifact
+// of interning order and would differ between a shard's private dictionary
+// and the coordinator's.
+func rowHashTable(t *dataset.Table, r int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, col := range t.Columns {
+		if col.Field.Kind == dataset.Nominal {
+			h = hashString(h, col.Dict.Value(col.Codes[r]))
+		} else {
+			h = hashNum(h, col.Nums[r])
+		}
+	}
+	return h
+}
+
+// rowHashIngest hashes one wire-format ingest row. The ingest codec carries
+// nominal cells as bare strings and quantitative cells as numbers, so the
+// byte stream fed to FNV is identical to rowHashTable's for the same row.
+func rowHashIngest(row ingest.Row) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range row {
+		if v.IsStr {
+			h = hashString(h, v.Str)
+		} else {
+			h = hashNum(h, v.Num)
+		}
+	}
+	return h
+}
+
+// HomeShard returns the shard index for one ingest row under an n-way
+// partitioning.
+func HomeShard(row ingest.Row, n int) int {
+	return int(rowHashIngest(row) % uint64(n))
+}
+
+// Partition splits db's fact table into n hash partitions. Each returned
+// database holds one partition as its fact table and shares db's dimension
+// tables (dimensions are small and every shard needs all of them to resolve
+// foreign keys). Nominal partition columns share the parent dictionaries,
+// so codes remain comparable across shards prepared from the same build —
+// but the merge path never relies on that: routing and merging go through
+// values, not codes.
+func Partition(db *dataset.Database, n int) ([]*dataset.Database, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: partition count %d, want >= 1", n)
+	}
+	fact := db.Fact
+	rows := make([][]uint32, n)
+	for r := 0; r < fact.NumRows(); r++ {
+		i := int(rowHashTable(fact, r) % uint64(n))
+		rows[i] = append(rows[i], uint32(r))
+	}
+	out := make([]*dataset.Database, n)
+	for i := range out {
+		t, err := dataset.SelectRows(fact, rows[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition %d/%d: %w", i, n, err)
+		}
+		out[i] = &dataset.Database{Fact: t, Dimensions: db.Dimensions}
+	}
+	return out, nil
+}
+
+// RouteBatch splits one ingest batch into n per-shard sub-batches by row
+// hash. Sub-batches keep the parent's table name and sequence number; a
+// shard whose slice of the batch is empty gets a zero-row sub-batch (never
+// nil) so callers can still advance that shard's watermark bookkeeping.
+func RouteBatch(b *ingest.Batch, n int) ([]*ingest.Batch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: route across %d shards, want >= 1", n)
+	}
+	out := make([]*ingest.Batch, n)
+	for i := range out {
+		out[i] = &ingest.Batch{Table: b.Table, Seq: b.Seq}
+	}
+	for _, row := range b.Rows {
+		i := HomeShard(row, n)
+		out[i].Rows = append(out[i].Rows, row)
+	}
+	return out, nil
+}

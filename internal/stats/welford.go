@@ -37,6 +37,18 @@ func (w *Welford) Merge(o Welford) {
 	w.n = n
 }
 
+// State exposes the raw accumulator moments (n, mean, M2) for wire
+// serialization. A shard's partial aggregation state travels as these three
+// numbers and reconstructs with WelfordFromState, so a coordinator-side merge
+// of shipped accumulators is the same float operations as a local Merge —
+// the bitwise-determinism requirement of scatter-gather serving.
+func (w *Welford) State() (n int64, mean, m2 float64) { return w.n, w.mean, w.m2 }
+
+// WelfordFromState reconstructs an accumulator from State output.
+func WelfordFromState(n int64, mean, m2 float64) Welford {
+	return Welford{n: n, mean: mean, m2: m2}
+}
+
 // Count returns the number of observations.
 func (w *Welford) Count() int64 { return w.n }
 
