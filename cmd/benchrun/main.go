@@ -58,6 +58,16 @@
 // fails the artifact if any topology's quiesced merged results are not
 // bitwise-identical to a cold exact scan of the final table.
 //
+// With -elastic (default: runs whenever -users runs), benchrun also runs
+// the availability-vs-dead-shards sweep (internal/experiments.ElasticSweep):
+// the same multi-user replay runs against a 2x2 replicated coordinator with
+// nothing dead, with one replica killed (the sibling must cover at full
+// coverage) and with a whole partition killed (answers must degrade to a
+// coverage-annotated fraction, never fail). Every fully-covered point must
+// pass the quiesce-bitwise gate; the sweep itself fails the artifact if a
+// replay errors or a scenario's coverage differs from what its injected
+// failure predicts.
+//
 // With -overload (default: mirrors -users), benchrun also runs the
 // open-loop overload sweep (internal/experiments.OverloadSweepRates): a
 // Poisson arrival generator walks an offered-load ladder against a served
@@ -135,6 +145,34 @@ type ShardPoint struct {
 	QuiesceBitwise bool    `json:"quiesce_bitwise"`
 }
 
+// ElasticPoint is one measured point of the availability-vs-dead-shards
+// sweep: a replicated coordinator replaying the multi-user workload with a
+// progressively worse failure injected first.
+type ElasticPoint struct {
+	Scenario             string  `json:"scenario"`
+	Partitions           int     `json:"partitions"`
+	ReplicasPerPartition int     `json:"replicas_per_partition"`
+	DeadReplicas         int     `json:"dead_replicas"`
+	Users                int     `json:"users"`
+	Queries              int     `json:"queries"`
+	TRViolatedPct        float64 `json:"tr_violated_pct"`
+	WallClockMS          float64 `json:"wall_clock_ms"`
+	QueriesPerSec        float64 `json:"queries_per_sec"`
+	P50MS                float64 `json:"p50_ms"`
+	P95MS                float64 `json:"p95_ms"`
+	P99MS                float64 `json:"p99_ms"`
+	PrepareMS            float64 `json:"prepare_ms"`
+	PartitionsAnswered   int     `json:"partitions_answered"`
+	PartitionsTotal      int     `json:"partitions_total"`
+	PopulationFraction   float64 `json:"population_fraction"`
+	Degraded             bool    `json:"degraded"`
+	IngestedRows         int64   `json:"ingested_rows"`
+	// QuiesceBitwise is enforced on every fully-covered point; degraded
+	// points record false and are exempt (their honesty lives in the
+	// coverage fields, not in bitwise completeness).
+	QuiesceBitwise bool `json:"quiesce_bitwise"`
+}
+
 // UserPoint is one measured point of the multi-user scalability sweep.
 type UserPoint struct {
 	Engine              string  `json:"engine"`
@@ -167,6 +205,9 @@ type Output struct {
 	// ShardSweep is the scatter-gather scaling sweep: single-node baseline
 	// plus coordinator-over-N-shards per configured count.
 	ShardSweep []ShardPoint `json:"shard_sweep,omitempty"`
+	// ElasticSweep is the availability ladder over a replicated tier:
+	// nothing dead, one replica dead, one whole partition dead.
+	ElasticSweep []ElasticPoint `json:"elastic_sweep,omitempty"`
 	// OverloadSweep is the open-loop overload ladder; OverloadKnee the index
 	// of the first rate where admission control or shedding engaged (-1 when
 	// the sweep never saturated — which fails the artifact).
@@ -190,7 +231,7 @@ var baselinePairs = map[string]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkScan|BenchmarkProgressiveConcurrent8|BenchmarkProgressiveFirstSnapshot|BenchmarkProgressivePrepare", "benchmark regex")
 	pkgs := flag.String("pkgs", "./internal/engine,./internal/engine/progressive", "comma-separated package list")
 	// A fixed iteration count beats go's time-based ramp-up for recorded
@@ -203,6 +244,7 @@ func main() {
 	ingestUsers := flag.String("ingest", "auto", "comma-separated user counts for the live-ingestion sweep; empty skips, \"auto\" mirrors -users")
 	shards := flag.String("shards", "auto", "comma-separated shard counts for the scatter-gather scaling sweep; empty skips, \"auto\" runs the default counts whenever -users runs")
 	overload := flag.String("overload", "auto", "comma-separated arrival-rate ladder (queries/s) for the open-loop overload sweep; empty skips, \"auto\" runs the default ladder whenever -users runs")
+	elastic := flag.String("elastic", "auto", "run the availability-vs-dead-shards sweep: \"auto\" (whenever -users runs), \"on\", or empty to skip")
 	restart := flag.String("restart", "auto", "run the durable warm-restart benchmark: \"auto\" (whenever -users runs), \"on\", or empty to skip")
 	compare := flag.String("compare", "", "baseline BENCH json to guard against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per guarded metric with -compare")
@@ -283,6 +325,15 @@ func main() {
 		}
 		doc.ShardSweep = points
 	}
+	runElastic := *elastic == "on" || (*elastic == "auto" && userList != "")
+	if runElastic {
+		points, err := runElasticSweep(*usersRows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: elastic sweep: %v\n", err)
+			os.Exit(1)
+		}
+		doc.ElasticSweep = points
+	}
 	overloadList := *overload
 	if overloadList == "auto" {
 		if userList == "" {
@@ -343,6 +394,15 @@ func main() {
 		if !p.QuiesceBitwise {
 			fmt.Fprintf(os.Stderr, "benchrun: FAIL shards %s u=%d: quiesced merged results not bitwise-identical to cold prepare\n",
 				p.Topology, p.Users)
+			os.Exit(1)
+		}
+	}
+	for _, p := range doc.ElasticSweep {
+		fmt.Printf("benchrun: elastic %s dead=%d: %d queries, p95 %.2fms, coverage %d/%d (%.2f), degraded=%v, bitwise=%v\n",
+			p.Scenario, p.DeadReplicas, p.Queries, p.P95MS, p.PartitionsAnswered, p.PartitionsTotal,
+			p.PopulationFraction, p.Degraded, p.QuiesceBitwise)
+		if !p.Degraded && !p.QuiesceBitwise {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL elastic %s: fully-covered point missed the quiesce-bitwise gate\n", p.Scenario)
 			os.Exit(1)
 		}
 	}
@@ -668,6 +728,41 @@ func runShardSweep(shardList string, rows int) ([]ShardPoint, error) {
 			PrepareMS:      r.PrepareMS,
 			IngestedRows:   r.IngestedRows,
 			QuiesceBitwise: r.BitwiseOK,
+		}
+	}
+	return points, nil
+}
+
+// runElasticSweep executes the availability ladder in-process. Scenario
+// shape (2x2 tier, failure ladder) is fixed by experiments.ElasticSweep;
+// replay errors and coverage mismatches fail inside the sweep itself.
+func runElasticSweep(rows int) ([]ElasticPoint, error) {
+	sweep, err := experiments.ElasticSweep(experiments.Config{Rows: rows, Out: io.Discard})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ElasticPoint, len(sweep))
+	for i, r := range sweep {
+		points[i] = ElasticPoint{
+			Scenario:             r.Scenario,
+			Partitions:           r.Partitions,
+			ReplicasPerPartition: r.ReplicasPerPartition,
+			DeadReplicas:         r.DeadReplicas,
+			Users:                r.Users,
+			Queries:              r.Queries,
+			TRViolatedPct:        r.TRViolatedPct,
+			WallClockMS:          r.WallClockMS,
+			QueriesPerSec:        r.QueriesPerSec,
+			P50MS:                r.P50MS,
+			P95MS:                r.P95MS,
+			P99MS:                r.P99MS,
+			PrepareMS:            r.PrepareMS,
+			PartitionsAnswered:   r.PartitionsAnswered,
+			PartitionsTotal:      r.PartitionsTotal,
+			PopulationFraction:   r.PopulationFraction,
+			Degraded:             r.Degraded,
+			IngestedRows:         r.IngestedRows,
+			QuiesceBitwise:       r.BitwiseOK,
 		}
 	}
 	return points, nil

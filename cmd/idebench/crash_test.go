@@ -117,6 +117,9 @@ type healthz struct {
 	Shards            int     `json:"shards"`
 	ShardWatermarks   []int64 `json:"shard_watermarks"`
 	MinShardWatermark int64   `json:"min_shard_watermark"`
+
+	SchemaVersion int              `json:"schema_version"`
+	Topology      *engine.Topology `json:"topology"`
 }
 
 func getHealthz(t *testing.T, addr string) healthz {

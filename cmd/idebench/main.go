@@ -14,7 +14,11 @@
 //	idebench serve       -engine progressive -rows 500000 -data-dir ./state
 //	idebench inspect     -data-dir ./state
 //	idebench shard       -rows 500000 -shard-index 0 -shard-count 3 -addr :9001
+//	idebench shard       -rows 500000 -replica-of 0 -shard-count 3 -addr :9101
 //	idebench coord       -rows 500000 -shards localhost:9001,localhost:9002,localhost:9003 -addr :8373
+//	idebench coord       -rows 500000 -shards localhost:9001/localhost:9101,localhost:9002/localhost:9102 -min-coverage 0.5 -addr :8373
+//	idebench rebalance   -addr localhost:8373 -op add -partition 0 -shard-addr localhost:9102
+//	idebench probe       -addr localhost:8373 -rows 500000 -expect full
 //	idebench run         -addr localhost:8373 -rows 500000 -users 8
 //	idebench run         -addr localhost:8373 -rows 500000 -users 4 -ingest-every 3
 //	idebench load        -addr localhost:8373 -rows 500000 -schedule ramp -rate 50 -rate2 2000
@@ -69,6 +73,17 @@
 // the coordinator exactly as to a single `serve` — same protocol, same
 // `run -addr` replay.
 //
+// The tier is elastic: each partition in `-shards` may list several
+// '/'-separated replica addresses (`shard -replica-of N` starts one), the
+// coordinator health-checks them and fails queries over mid-stream when a
+// replica dies, and when a whole partition is unreachable it serves the
+// survivors' merged answer annotated with a coverage block (partitions
+// answered, population fraction) instead of an outage — down to the
+// `-min-coverage` floor, below which it refuses. `-anti-entropy` runs a
+// background bitwise divergence check between replicas. `rebalance` posts
+// replica add/remove to a live coordinator; `probe` asserts the tier's
+// coverage outcome from the outside (CI walls are built from it).
+//
 // `serve -data-dir` makes the served state durable (internal/durable): the
 // prepared base is checkpointed once at boot, every ingest batch is written
 // and fsynced to a write-ahead log before the engine applies it, and a
@@ -84,11 +99,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -105,6 +126,7 @@ import (
 	"idebench/internal/groundtruth"
 	"idebench/internal/ingest"
 	"idebench/internal/loadgen"
+	"idebench/internal/query"
 	"idebench/internal/report"
 	"idebench/internal/server"
 	"idebench/internal/shard"
@@ -130,6 +152,10 @@ func main() {
 		err = cmdShard(os.Args[2:])
 	case "coord":
 		err = cmdCoord(os.Args[2:])
+	case "rebalance":
+		err = cmdRebalance(os.Args[2:])
+	case "probe":
+		err = cmdProbe(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
 	case "inspect":
@@ -162,7 +188,9 @@ Commands:
   run          run the benchmark for one engine and setting (in-process, or -addr for a remote server)
   serve        serve an engine over the HTTP/WebSocket wire protocol
   shard        serve one hash partition of the dataset (one member of a scatter-gather tier)
-  coord        serve a scatter-gather coordinator that merges a set of shard servers
+  coord        serve a scatter-gather coordinator over shard replica sets (failover, degraded coverage)
+  rebalance    post a replica add/remove to a running coordinator's admin endpoint
+  probe        run one COUNT against a server and assert its coverage outcome (CI primitive)
   load         drive a server with open-loop load (poisson/bursty/ramp arrivals, CI gates)
   inspect      verify and summarize a durable data directory (checkpoints + WAL)
   exp          regenerate a paper experiment (fig5, fig6a..fig6f, exp4, exp5, prep, table1, users, ingest, overload, shards, all)
@@ -323,8 +351,8 @@ func cmdRun(args []string) error {
 		fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
 		switch {
 		case *ingestEvery > 0:
-			app, ok := p.Engine.(engine.Appender)
-			if !ok {
+			app := engine.CapabilitiesOf(p.Engine).Appender
+			if app == nil {
 				return fmt.Errorf("engine %s does not support live ingestion", p.Engine.Name())
 			}
 			harness, err = newIngestHarness(db, s.Seed, ingest.EngineSink{A: app})
@@ -536,9 +564,10 @@ func cmdServe(args []string) error {
 	s.Seed = *seed
 
 	var (
-		db  *dataset.Database
-		eng engine.Engine
-		st  *durable.Store
+		db   *dataset.Database
+		eng  engine.Engine
+		caps engine.Capabilities // eng's optional capabilities, resolved once
+		st   *durable.Store
 	)
 	if *dataDir != "" {
 		var err error
@@ -563,11 +592,12 @@ func cmdServe(args []string) error {
 			if err != nil {
 				return err
 			}
+			caps = engine.CapabilitiesOf(eng)
 			eopts := engine.Options{Confidence: s.Confidence, Seed: s.Seed}
 			start := time.Now()
-			rp, warm := eng.(engine.ReorderedPreparer)
+			warm := caps.ReorderedPreparer != nil
 			if warm {
-				err = rp.PrepareReordered(db, rec.Checkpoint.Perm, eopts)
+				err = caps.ReorderedPreparer.PrepareReordered(db, rec.Checkpoint.Perm, eopts)
 			} else {
 				err = eng.Prepare(db, eopts)
 			}
@@ -575,8 +605,8 @@ func cmdServe(args []string) error {
 				return err
 			}
 			if len(rec.Batches) > 0 {
-				app, ok := eng.(engine.Appender)
-				if !ok {
+				app := caps.Appender
+				if app == nil {
 					return fmt.Errorf("serve: %d WAL batches to replay but engine %s cannot append", len(rec.Batches), eng.Name())
 				}
 				ap := ingest.NewApplier(db, app)
@@ -617,13 +647,14 @@ func cmdServe(args []string) error {
 			return err
 		}
 		eng = p.Engine
+		caps = engine.CapabilitiesOf(eng)
 		fmt.Printf("data preparation time: %v\n", p.PrepTime.Round(time.Microsecond))
 		if st != nil {
 			// First boot of a durable directory: checkpoint the prepared base
 			// (in the engine's own storage order when it exposes one) so every
 			// later restart is warm.
 			bdb, perm := db, []uint32(nil)
-			if vs, ok := eng.(engine.ViewSnapshotter); ok {
+			if vs := caps.ViewSnapshotter; vs != nil {
 				bdb, perm = vs.SnapshotView()
 			}
 			if err := st.Bootstrap(bdb, perm); err != nil {
@@ -645,7 +676,7 @@ func cmdServe(args []string) error {
 		PingInterval:       *pingInterval,
 		IdleTimeout:        *idleTimeout,
 	}
-	if app, ok := eng.(engine.Appender); ok {
+	if app := caps.Appender; app != nil {
 		servedRows = app.Watermark()
 		ap := ingest.NewApplier(db, app)
 		if st != nil {
@@ -661,7 +692,7 @@ func cmdServe(args []string) error {
 	var stopCkpt func()
 	if st != nil {
 		opts.Durable = durableServer{st}
-		if vs, ok := eng.(engine.ViewSnapshotter); ok {
+		if vs := caps.ViewSnapshotter; vs != nil {
 			stopCkpt = st.AutoCheckpoint(*ckptInterval, *ckptWALBytes, vs.SnapshotView, func(err error) {
 				fmt.Fprintln(os.Stderr, "idebench: background checkpoint:", err)
 			})
@@ -685,7 +716,7 @@ func cmdServe(args []string) error {
 		if st == nil {
 			return nil
 		}
-		if vs, ok := eng.(engine.ViewSnapshotter); ok {
+		if vs := caps.ViewSnapshotter; vs != nil {
 			vdb, perm := vs.SnapshotView()
 			if err := st.Checkpoint(vdb, perm); err != nil {
 				fmt.Fprintln(os.Stderr, "idebench: final checkpoint:", err)
@@ -743,12 +774,18 @@ func cmdShard(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed (must match the coordinator and every other shard)")
 	shardIndex := fs.Int("shard-index", 0, "this shard's ID in [0, shard-count)")
 	shardCount := fs.Int("shard-count", 1, "number of shards the fact table is hash-partitioned across")
+	replicaOf := fs.Int("replica-of", -1, "serve as an additional replica of this partition (overrides -shard-index; replicas of one partition are interchangeable processes holding the same deterministic slice)")
 	addr := fs.String("addr", ":9001", "listen address")
 	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections")
 	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replicaOf >= 0 {
+		// A replica holds exactly the partition it replicates: same derivation,
+		// same rows. The distinct spelling documents intent in process tables.
+		*shardIndex = *replicaOf
 	}
 	if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
 		return fmt.Errorf("shard: -shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
@@ -786,7 +823,7 @@ func cmdShard(args []string) error {
 		Seed:         *seed,
 		Role:         "shard",
 	}
-	if app, ok := eng.(engine.Appender); ok {
+	if app := engine.CapabilitiesOf(eng).Appender; app != nil {
 		// The coordinator routes ingest sub-batches here; they materialize
 		// and validate against this shard's own partition.
 		ap := ingest.NewApplier(part, app)
@@ -802,11 +839,31 @@ func cmdShard(args []string) error {
 	return serveAndDrain(srv, l, *drain, nil)
 }
 
+// dialReplica opens one coordinator-side backend connection to a shard
+// replica: partials requested on every query (the merge needs raw
+// fragments), transparent reconnect (a replica restart must not wedge the
+// tier — the health loop re-syncs it).
+func dialReplica(addr string) (*server.Remote, error) {
+	return server.NewRemoteWithOptions(strings.TrimSpace(addr),
+		server.RemoteOptions{Partials: true, Reconnect: true})
+}
+
+// antiEntropyQuery is the background divergence probe: a full-table COUNT by
+// carrier — cheap, deterministic, and touching every row, so replicas that
+// lost or duplicated a batch cannot agree on it.
+func antiEntropyQuery(db *dataset.Database) *query.Query {
+	return &query.Query{
+		VizName: "ae_count", Table: db.Fact.Name,
+		Bins: []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs: []query.Aggregate{{Func: query.Count}},
+	}
+}
+
 func cmdCoord(args []string) error {
 	fs := flag.NewFlagSet("coord", flag.ExitOnError)
 	rows := fs.Int("rows", core.SizeM, "FULL dataset size (tuples); must match the shard servers")
 	seed := fs.Int64("seed", 1, "random seed (must match the shard servers)")
-	shards := fs.String("shards", "", "comma-separated shard addresses; list ORDER assigns shard IDs and must match each server's -shard-index")
+	shards := fs.String("shards", "", "comma-separated shard replica sets, '/'-separated replicas within a set (e.g. h:9001/h:9101,h:9002/h:9102); set ORDER assigns partition IDs and must match each server's -shard-index/-replica-of")
 	addr := fs.String("addr", ":8373", "listen address")
 	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections")
 	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
@@ -814,30 +871,37 @@ func cmdCoord(args []string) error {
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "admission cap on concurrently executing queries server-wide")
 	maxInflightConn := fs.Int("max-inflight-per-conn", server.DefaultMaxInflightPerConn, "admission cap on one connection's concurrent queries")
 	lateFactor := fs.Float64("late-factor", server.DefaultLateFactor, "shed queries still running past this multiple of their stated deadline (negative disables)")
+	minCoverage := fs.Float64("min-coverage", 0, "refuse degraded merged results whose live population fraction is below this floor (0 serves any non-empty coverage)")
+	healthInterval := fs.Duration("health-interval", time.Second, "replica health-probe cadence (0 disables the loop)")
+	antiEntropy := fs.Duration("anti-entropy", 0, "background replica divergence-check cadence, bitwise over canonical fragments (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	addrs := strings.Split(*shards, ",")
-	if *shards == "" || len(addrs) == 0 {
-		return errors.New("coord: -shards is required (comma-separated host:port list)")
+	partSpecs := strings.Split(*shards, ",")
+	if *shards == "" || len(partSpecs) == 0 {
+		return errors.New("coord: -shards is required (comma-separated replica sets, '/' between replicas)")
 	}
 
 	// The coordinator computes the same partitioning the shards did, both to
-	// sanity-check each shard's prepared row count and to route ingest.
+	// sanity-check each replica's prepared row count and to route ingest.
 	db, err := core.BuildData(*rows, false, *seed)
 	if err != nil {
 		return err
 	}
-	backends := make([]engine.Engine, len(addrs))
-	for i, a := range addrs {
-		rem, err := server.NewRemoteWithOptions(strings.TrimSpace(a), server.RemoteOptions{Partials: true, Reconnect: true})
-		if err != nil {
-			return fmt.Errorf("coord: shard %d at %s: %w", i, a, err)
+	sets := make([][]engine.Engine, len(partSpecs))
+	replicas := 0
+	for i, spec := range partSpecs {
+		for _, a := range strings.Split(spec, "/") {
+			rem, err := dialReplica(a)
+			if err != nil {
+				return fmt.Errorf("coord: partition %d replica at %s: %w", i, strings.TrimSpace(a), err)
+			}
+			defer rem.Close()
+			sets[i] = append(sets[i], rem)
+			replicas++
 		}
-		defer rem.Close()
-		backends[i] = rem
 	}
-	co, err := shard.NewCoordinator(backends...)
+	co, err := shard.NewReplicated(shard.Options{MinCoverage: *minCoverage}, sets...)
 	if err != nil {
 		return err
 	}
@@ -846,8 +910,16 @@ func cmdCoord(args []string) error {
 	if err := co.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: *seed}); err != nil {
 		return err
 	}
-	fmt.Printf("coordinator over %d shards; partition check + prepare in %v\n",
-		co.Shards(), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("coordinator over %d partitions (%d replicas); partition check + prepare in %v\n",
+		co.Shards(), replicas, time.Since(start).Round(time.Microsecond))
+	if *healthInterval > 0 {
+		defer co.StartHealthLoop(*healthInterval)()
+	}
+	if *antiEntropy > 0 {
+		defer co.StartAntiEntropyLoop(*antiEntropy, 30*time.Second, func() *query.Query {
+			return antiEntropyQuery(db)
+		})()
+	}
 
 	opts := server.Options{
 		MaxConns:           *maxConns,
@@ -865,14 +937,174 @@ func cmdCoord(args []string) error {
 	// min, which is what the ack broadcast should carry).
 	ap := ingest.NewApplier(db, co)
 	opts.Apply = ap.Apply
+	// POST /rebalance changes the replica topology while serving: attach a
+	// cold replica (it re-syncs from its own durable state and is promoted by
+	// the health loop), or detach one by name. The checkpoint-streaming
+	// "rebalance" handoff is an in-process transfer — a shard process owns
+	// its durable state, so a remote newcomer joins via "add" and proves
+	// freshness through its watermark instead of receiving streamed state.
+	opts.Rebalance = func(req server.RebalanceRequest) error {
+		switch req.Op {
+		case "remove":
+			return co.RemoveReplica(req.Partition, req.Name)
+		case "add":
+			rem, err := dialReplica(req.Addr)
+			if err != nil {
+				return fmt.Errorf("coord: dial new replica %s: %w", req.Addr, err)
+			}
+			if err := co.AddReplica(req.Partition, rem); err != nil {
+				rem.Close()
+				return err
+			}
+			return nil
+		case "rebalance":
+			return errors.New("coord: checkpoint-streaming handoff needs an in-process target; remote replicas join via op \"add\" and re-sync from their own durable state")
+		}
+		return fmt.Errorf("coord: unknown rebalance op %q", req.Op)
+	}
 	srv := server.New(co, opts)
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz\n",
+	fmt.Printf("serving %s (%d rows) on %s — /ws (protocol v%d), /healthz, /rebalance\n",
 		co.Name(), db.Fact.NumRows(), l.Addr(), server.ProtoVersion)
 	return serveAndDrain(srv, l, *drain, nil)
+}
+
+// cmdRebalance posts one topology change to a running coordinator's
+// /rebalance admin endpoint.
+func cmdRebalance(args []string) error {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8373", "coordinator address")
+	op := fs.String("op", "add", "topology change: add (attach a shard replica), remove (detach a replica by name)")
+	partition := fs.Int("partition", 0, "target partition ID")
+	shardAddr := fs.String("shard-addr", "", "replica address (host:port) for -op add")
+	name := fs.String("name", "", "replica name for -op remove (as reported on /healthz topology)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := json.Marshal(server.RebalanceRequest{
+		Op: *op, Partition: *partition, Addr: *shardAddr, Name: *name,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+*addr+"/rebalance", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rebalance: %s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	fmt.Printf("rebalance %s partition %d: ok\n", *op, *partition)
+	return nil
+}
+
+// resultDigest is a canonical bitwise fingerprint of a result's bins: keys
+// in sorted order, every value and margin as its IEEE-754 bits. Two results
+// digest equal iff their rendered aggregates are bitwise identical — the
+// shell-tier counterpart of the Go tests' bin-by-bin comparison.
+func resultDigest(res *query.Result) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	for _, k := range res.SortedKeys() {
+		put(uint64(k.A))
+		put(uint64(k.B))
+		bv := res.Bins[k]
+		for _, v := range bv.Values {
+			put(math.Float64bits(v))
+		}
+		for _, m := range bv.Margins {
+			put(math.Float64bits(m))
+		}
+	}
+	return h.Sum64()
+}
+
+// cmdProbe runs one full-table COUNT against a server and reports the
+// result's coverage, watermark and a canonical digest — a CI assertion
+// primitive for the elasticity walls. With -expect it exits non-zero unless
+// the outcome matches: "full" (complete answer, full coverage), "degraded"
+// (coverage-annotated partial-population answer) or "refused" (no result —
+// the tier is below its -min-coverage floor or fully unreachable).
+func cmdProbe(args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8373", "server address to probe")
+	rows := fs.Int("rows", core.SizeM, "dataset size the server was prepared with")
+	seed := fs.Int64("seed", 1, "dataset seed the server was prepared with")
+	timeout := fs.Duration("timeout", 30*time.Second, "probe query budget")
+	expect := fs.String("expect", "", "assert the outcome: full, degraded or refused (empty = report only)")
+	minFraction := fs.Float64("min-fraction", 0, "fail unless the covered population fraction is at least this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := core.BuildData(*rows, false, *seed)
+	if err != nil {
+		return err
+	}
+	rem, err := server.NewRemoteWithOptions(*addr, server.RemoteOptions{})
+	if err != nil {
+		return err
+	}
+	defer rem.Close()
+	h, err := rem.StartQuery(antiEntropyQuery(db))
+	if err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
+	select {
+	case <-h.Done():
+	case <-time.After(*timeout):
+		h.Cancel()
+		return fmt.Errorf("probe: no final frame within %v", *timeout)
+	}
+	res := h.Snapshot()
+
+	outcome := "refused"
+	fraction := 0.0
+	if res != nil {
+		cov := res.Coverage
+		fraction = 1
+		if cov.Full() {
+			outcome = "full"
+		} else {
+			outcome = "degraded"
+			fraction = cov.PopulationFraction
+		}
+		var total float64
+		for _, bv := range res.Bins {
+			if len(bv.Values) > 0 {
+				total += bv.Values[0]
+			}
+		}
+		fmt.Printf("probe %s: %s — count %.0f over %d bins, watermark %d, complete %v, fraction %.4f, digest %016x\n",
+			*addr, outcome, total, len(res.Bins), res.Watermark, res.Complete, fraction, resultDigest(res))
+		if cov != nil {
+			fmt.Printf("coverage: %d/%d partitions, population fraction %.4f, degraded %v\n",
+				cov.PartitionsAnswered, cov.PartitionsTotal, cov.PopulationFraction, cov.Degraded)
+		}
+	} else {
+		fmt.Printf("probe %s: refused (no result", *addr)
+		if err := rem.Err(); err != nil {
+			fmt.Printf("; server said: %v", err)
+		}
+		fmt.Println(")")
+	}
+	if *expect != "" && outcome != *expect {
+		return fmt.Errorf("probe: outcome %q, expected %q", outcome, *expect)
+	}
+	if *minFraction > 0 && fraction < *minFraction {
+		return fmt.Errorf("probe: covered fraction %.4f below required %.4f", fraction, *minFraction)
+	}
+	return nil
 }
 
 // durableServer adapts a durable.Store to the server's Durability hooks —
@@ -1095,7 +1327,7 @@ func cmdView(args []string) error {
 
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, overload, shards, all")
+	name := fs.String("name", "fig5", "experiment: fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, exp4, exp5, prep, table1, users, ingest, overload, shards, elastic, all")
 	rows := fs.Int("rows", core.SizeM, "dataset size (tuples)")
 	count := fs.Int("workflows", 10, "workflows per type")
 	interactions := fs.Int("interactions", 18, "interactions per workflow")
@@ -1157,6 +1389,8 @@ func cmdExp(args []string) error {
 			_, err = experiments.OverloadSweep(cfg)
 		case "shards":
 			_, err = experiments.ShardSweep(cfg)
+		case "elastic":
+			_, err = experiments.ElasticSweep(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
@@ -1167,7 +1401,7 @@ func cmdExp(args []string) error {
 	}
 
 	if *name == "all" {
-		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest", "overload", "shards"} {
+		for _, n := range []string{"prep", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "exp4", "exp5", "table1", "users", "ingest", "overload", "shards", "elastic"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -164,6 +164,37 @@
 // 3-shard+coordinator tier, and `idebench exp -name shards` sweeps
 // coordinator-over-N vs single-node (BENCH_8.json).
 //
+// # Elasticity: replicas, failover, degraded coverage
+//
+// The shard tier masks partial failure instead of amplifying it. Each hash
+// partition can carry R replicas (`idebench shard -replica-of`, coordinator
+// -shards p0r0/p0r1,... syntax): replicated ingest applies every routed
+// sub-batch to every healthy in-sync replica — one that misses a batch is
+// excluded from query fan-out until its watermark proves catch-up — and a
+// merged query that loses a replica mid-stream fails over to a live sibling,
+// so one dead replica costs latency, never a failed query. Failover keys off
+// probe-confirmed reachability, not stream shape: a live backend ending a
+// query deliberately (viz deleted, speculation shed) is not a death signal.
+//
+// When a whole partition is unreachable, the coordinator serves the merged
+// answer of the survivors annotated with a structured query.Coverage block
+// (partitions answered/total, population fraction, degraded flag, Complete
+// forced false) — never nil, never silently biased as full — carried on the
+// wire by protocol v4; -min-coverage sets a refusal floor below which the
+// answer is withheld instead. Because partials are bitwise-deterministic, a
+// background anti-entropy loop folds the same probe from two replicas and
+// alarms on divergence. Replica sets change at runtime: `idebench rebalance
+// -op add|remove` grows or shrinks a partition, with capture-window catch-up
+// and watermark-proof promotion at a version barrier; `idebench probe
+// -expect full|degraded|refused` asserts the tier's answer quality (and
+// prints a result digest) from the shell. The /healthz schema is versioned
+// (server.Health, schema_version) and reports the full per-replica topology.
+// Engine capability discovery is consolidated behind engine.CapabilitiesOf,
+// one struct resolving all optional interfaces in a single pass. The elastic
+// wall kills a primary mid-replay, then a whole partition, then rebalances
+// replacements in and requires bitwise-identical recovery; `idebench exp
+// -name elastic` sweeps availability vs dead replicas (BENCH_9.json).
+//
 // # Durable state
 //
 // `idebench serve -data-dir` makes the served state survive crashes
@@ -216,7 +247,12 @@
 // scatter-gather wall under -race, then boots three shard processes plus a
 // coordinator from the shell, asserts the tier's topology on /healthz,
 // replays 8 ingest-aware users against the coordinator, and drains the
-// whole tier cleanly.
+// whole tier cleanly. The elastic e2e job runs the replica/failover wall
+// under -race, then walks the failure ladder from the shell — kill a
+// primary (probe full, bitwise digest vs a single-node serve), kill a
+// partition (probe degraded), kill below the coverage floor (probe
+// refused), rebalance replacements in (probe full again) — against a
+// 2-partition, 2-replica tier.
 //
 // Per-PR performance numbers are recorded as machine-readable JSON at the
 // repo root (BENCH_<n>.json) by cmd/benchrun; BENCH_3.json records the
@@ -232,5 +268,9 @@
 // scatter-gather scaling sweep (single-node vs coordinator-over-N-shards
 // under the ingest-aware multi-user replay, every point gated on the
 // quiesced merged results being bitwise-identical to a cold exact scan of
-// the final table).
+// the final table), and BENCH_9.json adds the availability ladder (the
+// same replay against a replicated coordinator with nothing dead, one
+// replica dead, and one whole partition dead — full-coverage points gated
+// quiesce-bitwise, the dead-partition point honestly degraded with its
+// population fraction).
 package idebench

@@ -1,0 +1,128 @@
+package engine
+
+// Capabilities is the resolved set of optional interfaces an Engine
+// implements. Engines opt into extra behavior — live ingest, load shedding,
+// durability, scatter-gather observability — by implementing small optional
+// interfaces; before this struct existed every consumer re-discovered them
+// with ad-hoc type assertions scattered across the serving layer, the
+// coordinator, the durable wiring and the CLI. CapabilitiesOf performs that
+// discovery once; a nil field means the capability is absent.
+//
+// The struct is a snapshot of the engine's static type, so it is safe to
+// resolve at construction time and keep for the engine's lifetime: Go
+// interface satisfaction cannot change at runtime.
+type Capabilities struct {
+	// Appender absorbs live append batches (implies Watermarker).
+	Appender Appender
+	// Watermarker reports the absorbed data version. Set whenever the
+	// engine has a Watermark method — including watermark-only backends
+	// like *server.Remote that cannot Append locally.
+	Watermarker Watermarker
+	// Shedder cancels speculative work under overload pressure.
+	Shedder Shedder
+	// ScanObserver reports attached shared-scan consumers.
+	ScanObserver ScanObserver
+	// ViewSnapshotter exposes the prepared storage for checkpointing and
+	// hash-range handoff.
+	ViewSnapshotter ViewSnapshotter
+	// ReorderedPreparer adopts already-reordered storage (warm restart,
+	// rebalance target).
+	ReorderedPreparer ReorderedPreparer
+	// ShardObserver reports per-shard watermarks (coordinator engines).
+	ShardObserver ShardObserver
+	// TopologyObserver reports replica-set topology and health
+	// (replicated coordinator engines).
+	TopologyObserver TopologyObserver
+	// PartialSnapshotter exposes raw accumulator fragments. Note this is
+	// normally a capability of query *handles*, not engines; it is resolved
+	// here too for the rare engine that implements it directly, and so the
+	// conformance suite can assert the full set in one place.
+	PartialSnapshotter PartialSnapshotter
+}
+
+// CapabilitiesOf resolves every optional capability of e in one pass.
+// Callers resolve once (at server construction, coordinator construction,
+// CLI wiring) instead of asserting per call site.
+func CapabilitiesOf(e Engine) Capabilities {
+	var c Capabilities
+	if e == nil {
+		return c
+	}
+	if v, ok := e.(Appender); ok {
+		c.Appender = v
+	}
+	if v, ok := e.(Watermarker); ok {
+		c.Watermarker = v
+	}
+	if v, ok := e.(Shedder); ok {
+		c.Shedder = v
+	}
+	if v, ok := e.(ScanObserver); ok {
+		c.ScanObserver = v
+	}
+	if v, ok := e.(ViewSnapshotter); ok {
+		c.ViewSnapshotter = v
+	}
+	if v, ok := e.(ReorderedPreparer); ok {
+		c.ReorderedPreparer = v
+	}
+	if v, ok := e.(ShardObserver); ok {
+		c.ShardObserver = v
+	}
+	if v, ok := e.(TopologyObserver); ok {
+		c.TopologyObserver = v
+	}
+	if v, ok := e.(PartialSnapshotter); ok {
+		c.PartialSnapshotter = v
+	}
+	return c
+}
+
+// TopologyObserver is the optional elasticity observability capability:
+// replicated coordinator engines report their replica-set topology — which
+// replicas serve each hash partition, their health, their translated
+// watermarks — plus the anti-entropy counters. The serving layer embeds it
+// in /healthz so operators (and the chaos e2e) can see failover state
+// without querying.
+type TopologyObserver interface {
+	Topology() Topology
+}
+
+// Topology describes a replicated scatter-gather tier at one instant.
+type Topology struct {
+	// Partitions lists the replica set of each hash partition, indexed by
+	// partition ID.
+	Partitions []PartitionTopology `json:"partitions"`
+	// AntiEntropyChecks counts completed background divergence checks.
+	AntiEntropyChecks int64 `json:"anti_entropy_checks"`
+	// AntiEntropyMismatches counts checks whose two replicas disagreed
+	// bitwise at the same watermark — the replica-divergence alarm. Any
+	// non-zero value is an alarm condition.
+	AntiEntropyMismatches int64 `json:"anti_entropy_mismatches"`
+	// MinCoverage is the configured population-fraction floor below which
+	// degraded merges are refused.
+	MinCoverage float64 `json:"min_coverage"`
+}
+
+// PartitionTopology is one hash partition's replica set.
+type PartitionTopology struct {
+	// Replicas in failover-preference order; Replicas[0] is the preferred
+	// (primary) serving replica.
+	Replicas []ReplicaTopology `json:"replicas"`
+}
+
+// ReplicaTopology is one replica's observed state.
+type ReplicaTopology struct {
+	// Name identifies the replica (a remote address, or the backend
+	// engine's name for in-process replicas).
+	Name string `json:"name"`
+	// Healthy reflects the last health probe / query outcome.
+	Healthy bool `json:"healthy"`
+	// Synced is false once the replica has missed a routed ingest batch
+	// (it still serves, at an honestly stale watermark) — a rebalance
+	// handoff is what brings it back in sync.
+	Synced bool `json:"synced"`
+	// Watermark is the replica's confirmed local watermark translated onto
+	// the coordinator's global row axis.
+	Watermark int64 `json:"watermark"`
+}

@@ -110,6 +110,19 @@ type Engine interface {
 	WorkflowEnd()
 }
 
+// Watermarker is the optional data-version observability capability:
+// anything that can report the fact-row count it has absorbed — the data
+// version new queries answer against. Every Appender is a Watermarker, but
+// not every Watermarker can absorb rows locally: a *server.Remote has a
+// watermark (mirrored from the shard's ingest broadcasts) while its ingest
+// travels as wire batches, and the shard coordinator observes backends
+// through exactly this interface.
+type Watermarker interface {
+	// Watermark reports the fact-row count the engine has absorbed: the
+	// data version new queries answer against.
+	Watermark() int64
+}
+
 // Appender is the optional live-ingestion capability: engines that can
 // absorb append-only row batches after Prepare implement it. rows is a
 // materialized batch — a small table with the fact schema whose nominal
@@ -131,10 +144,8 @@ type Engine interface {
 // sessions; calls for one engine are serialized by the caller (the ingest
 // harness applies batches one at a time).
 type Appender interface {
+	Watermarker
 	Append(rows *dataset.Table) error
-	// Watermark reports the fact-row count the engine has absorbed: the
-	// data version new queries answer against.
-	Watermark() int64
 }
 
 // Shedder is the optional overload capability: engines whose background

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"idebench/internal/core"
+	"idebench/internal/dataset"
+	"idebench/internal/driver"
+	"idebench/internal/engine"
+	"idebench/internal/engine/progressive"
+	"idebench/internal/groundtruth"
+	"idebench/internal/ingest"
+	"idebench/internal/query"
+	"idebench/internal/report"
+	"idebench/internal/shard"
+	"idebench/internal/workflow"
+)
+
+// ElasticRow is one measured point of the availability-vs-dead-shards
+// sweep: the same multi-user replay against a replicated coordinator with
+// a progressively worse failure injected before the run.
+type ElasticRow struct {
+	// Scenario names the injected failure: "all_up", "replica_dead" (one
+	// replica of one partition killed; its sibling covers) or
+	// "partition_dead" (every replica of one partition killed; answers
+	// degrade to the surviving partitions' population).
+	Scenario             string
+	Partitions           int
+	ReplicasPerPartition int
+	DeadReplicas         int
+	Users                int
+
+	Queries       int
+	TRViolatedPct float64
+	WallClockMS   float64
+	QueriesPerSec float64
+	P50MS         float64
+	P95MS         float64
+	P99MS         float64
+	PrepareMS     float64
+
+	// Coverage of a post-replay probe COUNT: how much of the population the
+	// merged answer actually saw. A full-coverage point has
+	// PartitionsAnswered == PartitionsTotal and fraction 1.
+	PartitionsAnswered int
+	PartitionsTotal    int
+	PopulationFraction float64
+	Degraded           bool
+
+	// IngestedRows fed during the replay. The dead-partition scenario
+	// replays without ingest: its partition cannot absorb batches, so a
+	// quiesce gate would be meaningless there.
+	IngestedRows int64
+	// BitwiseOK is the quiesce gate, enforced on every fully-covered point:
+	// after the replay's ingest fully absorbed, a COUNT query answered
+	// bitwise-identically to a cold exact scan of the final table. Degraded
+	// points skip it (recorded false) — their answers are honest about
+	// missing rows via the coverage block, not bitwise-complete.
+	BitwiseOK bool
+}
+
+// ElasticSweep runs the default elasticity ladder — 2 partitions × 2
+// replicas, 4 users; nothing dead, one replica dead, one whole partition
+// dead — recorded as BENCH_9.json by benchrun.
+func ElasticSweep(cfg Config) ([]ElasticRow, error) {
+	return ElasticSweepSpec(cfg, 2, 2, 4)
+}
+
+// ElasticSweepSpec replays the same multi-user workload against a fresh
+// parts×reps replicated coordinator per scenario, killing the scenario's
+// replicas before the run. It errors if any replay fails (a dead replica
+// must cost latency, never a failed query), if a scenario's post-replay
+// coverage differs from what the injected failure predicts, or if a
+// fully-covered point misses the quiesce-bitwise gate.
+func ElasticSweepSpec(cfg Config, parts, reps, users int) ([]ElasticRow, error) {
+	cfg = cfg.withDefaults()
+	if parts < 2 || reps < 2 {
+		return nil, fmt.Errorf("experiments: elastic sweep needs >=2 partitions and >=2 replicas (got %d x %d)", parts, reps)
+	}
+
+	db, err := core.BuildData(cfg.Rows, false, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workflowGenerator(db)
+	if err != nil {
+		return nil, err
+	}
+	batchRows := cfg.Rows / 100
+	if batchRows < 200 {
+		batchRows = 200
+	}
+	// Two flow sets: ingest-interleaved for scenarios where every partition
+	// can still absorb batches, plain for the dead-partition scenario.
+	plain := make([]*workflow.Workflow, users)
+	flows := make([]*workflow.Workflow, users)
+	for i := range flows {
+		w, err := gen.Generate(workflow.GenConfig{
+			Type: workflow.Mixed, Interactions: cfg.Interactions,
+			Seed: cfg.Seed + int64(31000+i), Name: fmt.Sprintf("mixed-u%02d", i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		plain[i] = w
+		flows[i] = workflow.InterleaveIngest(w, IngestEvery, batchRows)
+	}
+	tr := cfg.TRs[len(cfg.TRs)/2]
+	s := core.DefaultSettings()
+	s.DataSize = cfg.Rows
+	s.Seed = cfg.Seed
+
+	type scenario struct {
+		name   string
+		kills  [][2]int // (partition, replica ordinal) to kill before the replay
+		ingest bool
+	}
+	scenarios := []scenario{
+		{name: "all_up", ingest: true},
+		{name: "replica_dead", kills: [][2]int{{0, 1}}, ingest: true},
+	}
+	partDead := make([][2]int, reps)
+	for r := 0; r < reps; r++ {
+		partDead[r] = [2]int{0, r}
+	}
+	scenarios = append(scenarios, scenario{name: "partition_dead", kills: partDead})
+
+	gt := groundtruth.New(db)
+	var out []ElasticRow
+	for _, sc := range scenarios {
+		// Fresh tier per scenario: kills and ingest both mutate state.
+		faults := make([][]*shard.Faulty, parts)
+		sets := make([][]engine.Engine, parts)
+		for p := range sets {
+			faults[p] = make([]*shard.Faulty, reps)
+			sets[p] = make([]engine.Engine, reps)
+			for r := range sets[p] {
+				f := shard.NewFaulty(progressive.New(progressive.Config{}))
+				faults[p][r] = f
+				sets[p][r] = f
+			}
+		}
+		co, err := shard.NewReplicated(shard.Options{}, sets...)
+		if err != nil {
+			return nil, err
+		}
+		prepStart := time.Now()
+		if err := co.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: s.Seed}); err != nil {
+			return nil, fmt.Errorf("experiments: %s prepare: %w", sc.name, err)
+		}
+		prep := time.Since(prepStart)
+		for _, k := range sc.kills {
+			faults[k[0]][k[1]].Kill()
+		}
+		// Health loop, as the serving tier runs it: the first pass marks the
+		// kills before the replay starts, later passes keep flags honest.
+		co.CheckHealth()
+		stopHealth := co.StartHealthLoop(100 * time.Millisecond)
+
+		dcfg := driver.Config{
+			TimeRequirement: tr,
+			ThinkTime:       cfg.ThinkTime,
+			DataSizeLabel:   core.SizeLabel(cfg.Rows),
+		}
+		replayFlows := plain
+		var h *ingest.Harness
+		if sc.ingest {
+			src, err := ingest.NewSource(2000, cfg.Seed+23)
+			if err != nil {
+				return nil, err
+			}
+			app := engine.CapabilitiesOf(co).Appender
+			h = ingest.NewHarness(db, src, ingest.EngineSink{A: app})
+			dcfg.IngestSink = h
+			replayFlows = flows
+		}
+		m := driver.NewMulti(co, gt, driver.MultiConfig{
+			Config: dcfg,
+			Users:  users, ThinkJitter: driver.DefaultThinkJitter, Seed: cfg.Seed,
+		})
+		res, err := m.Run(replayFlows)
+		stopHealth()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s replay: %w", sc.name, err)
+		}
+
+		probe, err := coverageProbe(co, db)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s probe: %w", sc.name, err)
+		}
+		row := ElasticRow{
+			Scenario:             sc.name,
+			Partitions:           parts,
+			ReplicasPerPartition: reps,
+			DeadReplicas:         len(sc.kills),
+			Users:                users,
+			WallClockMS:          float64(res.WallClock) / float64(time.Millisecond),
+			PrepareMS:            float64(prep) / float64(time.Millisecond),
+			PartitionsAnswered:   parts,
+			PartitionsTotal:      parts,
+			PopulationFraction:   1,
+		}
+		if cov := probe.Coverage; cov != nil && !cov.Full() {
+			row.PartitionsAnswered = cov.PartitionsAnswered
+			row.PartitionsTotal = cov.PartitionsTotal
+			row.PopulationFraction = cov.PopulationFraction
+			row.Degraded = cov.Degraded
+		}
+		// The injected failure predicts the coverage exactly: only the
+		// dead-partition scenario may (and must) degrade, by one partition.
+		wantAnswered := parts
+		if !sc.ingest {
+			wantAnswered = parts - 1
+		}
+		if row.PartitionsAnswered != wantAnswered || row.Degraded != (wantAnswered < parts) {
+			return nil, fmt.Errorf("experiments: %s answered %d/%d partitions (degraded=%v), want %d/%d",
+				sc.name, row.PartitionsAnswered, row.PartitionsTotal, row.Degraded, wantAnswered, parts)
+		}
+		if sc.ingest {
+			row.IngestedRows = h.IngestedRows()
+			bitwise, err := quiesceBitwise(co, engine.CapabilitiesOf(co).Appender, h)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s quiesce: %w", sc.name, err)
+			}
+			row.BitwiseOK = bitwise
+		}
+		for _, scal := range report.SummarizeUsers(res.Records) {
+			row.Queries = scal.Queries
+			row.TRViolatedPct = scal.TRViolatedPct
+			row.QueriesPerSec = scal.QueriesPerSec
+			row.P50MS = scal.Latency.P50
+			row.P95MS = scal.Latency.P95
+			row.P99MS = scal.Latency.P99
+		}
+		out = append(out, row)
+	}
+
+	fmt.Fprintf(cfg.Out, "=== Elasticity: %dx%d replicated coordinator under injected failures ===\n", parts, reps)
+	for _, r := range out {
+		fmt.Fprintf(cfg.Out, "%-15s dead=%d queries=%d p95=%.2fms coverage=%d/%d (%.2f) degraded=%v ingested=%d quiesce_bitwise=%v\n",
+			r.Scenario, r.DeadReplicas, r.Queries, r.P95MS, r.PartitionsAnswered, r.PartitionsTotal,
+			r.PopulationFraction, r.Degraded, r.IngestedRows, r.BitwiseOK)
+	}
+	return out, nil
+}
+
+// coverageProbe runs one COUNT-by-carrier query to completion and returns
+// its merged result, whose Coverage block (nil when full) states how much
+// of the population answered.
+func coverageProbe(eng engine.Engine, db *dataset.Database) (*query.Result, error) {
+	q := &query.Query{
+		VizName: "coverage_count", Table: db.Fact.Name,
+		Bins: []query.Binning{{Field: "carrier", Kind: dataset.Nominal}},
+		Aggs: []query.Aggregate{{Func: query.Count}},
+	}
+	sess := eng.OpenSession()
+	defer sess.Close()
+	sess.WorkflowStart()
+	defer sess.WorkflowEnd()
+	hdl, err := sess.StartQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-hdl.Done():
+	case <-time.After(60 * time.Second):
+		return nil, fmt.Errorf("coverage probe did not complete")
+	}
+	res := hdl.Snapshot()
+	if res == nil {
+		return nil, fmt.Errorf("coverage probe was refused (nil snapshot)")
+	}
+	return res, nil
+}

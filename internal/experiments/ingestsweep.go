@@ -123,8 +123,8 @@ func IngestSweepUsers(cfg Config, userCounts []int) ([]IngestSweepRow, error) {
 					prev, name, drv)
 			}
 			seenDriver[drv] = name
-			app, ok := p.Engine.(engine.Appender)
-			if !ok {
+			app := engine.CapabilitiesOf(p.Engine).Appender
+			if app == nil {
 				return nil, fmt.Errorf("experiments: engine %s does not support ingestion", name)
 			}
 			src, err := ingest.NewSource(2000, cfg.Seed+23)

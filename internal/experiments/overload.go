@@ -56,7 +56,8 @@ func OverloadSweepRates(cfg Config, rates []float64, window time.Duration) ([]re
 	if err != nil {
 		return nil, err
 	}
-	scanObs, _ := p.Engine.(engine.ScanObserver)
+	caps := engine.CapabilitiesOf(p.Engine)
+	scanObs := caps.ScanObserver
 
 	// Tight caps force the knee inside the ladder: a shallow admission queue
 	// and a short late budget mean the upper rungs must be survived by
@@ -69,7 +70,7 @@ func OverloadSweepRates(cfg Config, rates []float64, window time.Duration) ([]re
 		MaxInflightPerConn: 8,
 		PollInterval:       time.Millisecond,
 	}
-	if app, ok := p.Engine.(engine.Appender); ok {
+	if app := caps.Appender; app != nil {
 		opts.Apply = ingest.NewApplier(db, app).Apply
 	}
 	srv := server.New(p.Engine, opts)

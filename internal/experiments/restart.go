@@ -78,8 +78,9 @@ func RestartBench(cfg Config, batches, batchRows int) (*RestartResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	vs, ok := p.Engine.(engine.ViewSnapshotter)
-	if !ok {
+	caps := engine.CapabilitiesOf(p.Engine)
+	vs := caps.ViewSnapshotter
+	if vs == nil {
 		return nil, fmt.Errorf("experiments: progressive lost the ViewSnapshotter capability")
 	}
 	meta := durable.Meta{Engine: "progressive", Seed: cfg.Seed, BaseRows: int64(cfg.Rows)}
@@ -95,8 +96,8 @@ func RestartBench(cfg Config, batches, batchRows int) (*RestartResult, error) {
 	res.CheckpointMS = msSince(ckStart)
 	res.CheckpointBytes = st.Status().LastCheckpointBytes
 
-	app, ok := p.Engine.(engine.Appender)
-	if !ok {
+	app := caps.Appender
+	if app == nil {
 		return nil, fmt.Errorf("experiments: progressive lost the Appender capability")
 	}
 	ap := ingest.NewApplier(db, app)
@@ -154,8 +155,9 @@ func RestartBench(cfg Config, batches, batchRows int) (*RestartResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rp, ok := eng2.(engine.ReorderedPreparer)
-	if !ok {
+	caps2 := engine.CapabilitiesOf(eng2)
+	rp := caps2.ReorderedPreparer
+	if rp == nil {
 		return nil, fmt.Errorf("experiments: progressive lost the ReorderedPreparer capability")
 	}
 	eopts := engine.Options{Confidence: s.Confidence, Seed: s.Seed}
@@ -165,8 +167,8 @@ func RestartBench(cfg Config, batches, batchRows int) (*RestartResult, error) {
 	res.WarmLoadMS = msSince(warmStart)
 
 	replayStart := time.Now()
-	app2, ok := eng2.(engine.Appender)
-	if !ok {
+	app2 := caps2.Appender
+	if app2 == nil {
 		return nil, fmt.Errorf("experiments: progressive lost the Appender capability")
 	}
 	ap2 := ingest.NewApplier(rec.Checkpoint.DB, app2)

@@ -145,8 +145,8 @@ func ShardSweepCounts(cfg Config, shardCounts []int, users int) ([]ShardSweepRow
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s prepare: %w", pt.topology, err)
 		}
-		app, ok := eng.(engine.Appender)
-		if !ok {
+		app := engine.CapabilitiesOf(eng).Appender
+		if app == nil {
 			return nil, fmt.Errorf("experiments: %s does not support ingestion", pt.topology)
 		}
 		src, err := ingest.NewSource(2000, cfg.Seed+23)

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func coveredResult() *Result {
+	r := NewResult()
+	r.Bins[BinKey{A: 2}] = &BinValue{Values: []float64{41}, Margins: []float64{0.5}}
+	r.Bins[BinKey{A: 0}] = &BinValue{Values: []float64{7}, Margins: []float64{1.25}}
+	r.RowsSeen = 480
+	r.TotalRows = 1000
+	r.Watermark = 960
+	r.Coverage = &Coverage{
+		PartitionsAnswered: 2,
+		PartitionsTotal:    3,
+		PopulationFraction: 0.661,
+		Degraded:           true,
+	}
+	return r
+}
+
+// TestCoverageRoundTrip: a degraded result survives encode→decode→encode
+// with the coverage block intact and stable.
+func TestCoverageRoundTrip(t *testing.T) {
+	r := coveredResult()
+	enc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Coverage == nil {
+		t.Fatal("coverage block lost on round trip")
+	}
+	if !reflect.DeepEqual(back.Coverage, r.Coverage) {
+		t.Fatalf("coverage changed: got %+v want %+v", back.Coverage, r.Coverage)
+	}
+	if back.Coverage.Full() {
+		t.Fatal("degraded coverage reported as full")
+	}
+	enc2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("unstable encoding:\n%s\n%s", enc, enc2)
+	}
+}
+
+// TestCoverageOmittedWhenFull: results without a coverage block (every
+// single-node engine) serialize without the key at all — the document is
+// byte-identical to the protocol-v3 form.
+func TestCoverageOmittedWhenFull(t *testing.T) {
+	r := coveredResult()
+	r.Coverage = nil
+	enc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if bytes.Contains(enc, []byte("coverage")) {
+		t.Fatalf("nil coverage leaked into wire form: %s", enc)
+	}
+	var back Result
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Coverage != nil {
+		t.Fatalf("coverage invented on decode: %+v", back.Coverage)
+	}
+	if !back.Coverage.Full() {
+		t.Fatal("nil coverage must read as full")
+	}
+}
+
+// TestCoverageV3ClientCompat: a client compiled against the protocol-v3
+// result shape (no coverage field) still parses v4 documents — encoding/json
+// ignores the unknown key on degraded results, and full-coverage results
+// omit it entirely. This pins the forward-compatibility contract the v4 bump
+// relies on.
+func TestCoverageV3ClientCompat(t *testing.T) {
+	// The v3 wire struct, frozen as it was before the Coverage field.
+	type v3Bin struct {
+		Key     [2]int64  `json:"key"`
+		Values  []float64 `json:"values"`
+		Margins []float64 `json:"margins"`
+	}
+	type v3Result struct {
+		Bins      []v3Bin `json:"bins"`
+		RowsSeen  int64   `json:"rows_seen"`
+		TotalRows int64   `json:"total_rows"`
+		Complete  bool    `json:"complete"`
+		Watermark int64   `json:"watermark,omitempty"`
+	}
+
+	for _, tc := range []struct {
+		name string
+		r    *Result
+	}{
+		{"degraded", coveredResult()},
+		{"full", func() *Result { r := coveredResult(); r.Coverage = nil; return r }()},
+	} {
+		enc, err := json.Marshal(tc.r)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		var old v3Result
+		if err := json.Unmarshal(enc, &old); err != nil {
+			t.Fatalf("%s: v3 client failed to parse v4 document: %v", tc.name, err)
+		}
+		if old.RowsSeen != tc.r.RowsSeen || old.TotalRows != tc.r.TotalRows ||
+			old.Watermark != tc.r.Watermark || len(old.Bins) != len(tc.r.Bins) {
+			t.Fatalf("%s: v3 client mis-parsed: %+v", tc.name, old)
+		}
+	}
+}
+
+// TestCoverageClone: Clone deep-copies the coverage block.
+func TestCoverageClone(t *testing.T) {
+	r := coveredResult()
+	c := r.Clone()
+	if c.Coverage == r.Coverage {
+		t.Fatal("Clone shared the coverage pointer")
+	}
+	c.Coverage.PartitionsAnswered = 99
+	if r.Coverage.PartitionsAnswered == 99 {
+		t.Fatal("Clone aliased coverage state")
+	}
+	r.Coverage = nil
+	if got := r.Clone().Coverage; got != nil {
+		t.Fatalf("nil coverage cloned to %+v", got)
+	}
+}

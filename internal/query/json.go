@@ -48,6 +48,18 @@ type resultJSON struct {
 	TotalRows int64     `json:"total_rows"`
 	Complete  bool      `json:"complete"`
 	Watermark int64     `json:"watermark,omitempty"`
+	// Coverage is omitted when nil, so single-node (and fully-covered
+	// legacy) result documents are byte-identical to the protocol-v3 form;
+	// v3 decoders that do see it ignore the unknown key. Introduced with
+	// wire protocol v4.
+	Coverage *coverageJSON `json:"coverage,omitempty"`
+}
+
+type coverageJSON struct {
+	PartitionsAnswered int     `json:"partitions_answered"`
+	PartitionsTotal    int     `json:"partitions_total"`
+	PopulationFraction float64 `json:"population_fraction"`
+	Degraded           bool    `json:"degraded,omitempty"`
 }
 
 type binJSON struct {
@@ -64,6 +76,14 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		TotalRows: r.TotalRows,
 		Complete:  r.Complete,
 		Watermark: r.Watermark,
+	}
+	if c := r.Coverage; c != nil {
+		out.Coverage = &coverageJSON{
+			PartitionsAnswered: c.PartitionsAnswered,
+			PartitionsTotal:    c.PartitionsTotal,
+			PopulationFraction: c.PopulationFraction,
+			Degraded:           c.Degraded,
+		}
 	}
 	for _, k := range r.SortedKeys() {
 		bv := r.Bins[k]
@@ -87,6 +107,15 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	r.TotalRows = in.TotalRows
 	r.Complete = in.Complete
 	r.Watermark = in.Watermark
+	r.Coverage = nil
+	if c := in.Coverage; c != nil {
+		r.Coverage = &Coverage{
+			PartitionsAnswered: c.PartitionsAnswered,
+			PartitionsTotal:    c.PartitionsTotal,
+			PopulationFraction: c.PopulationFraction,
+			Degraded:           c.Degraded,
+		}
+	}
 	for _, b := range in.Bins {
 		if len(b.Margins) != len(b.Values) {
 			return fmt.Errorf("query: bin %v has %d margins for %d values",

@@ -49,6 +49,48 @@ type Result struct {
 	// Engines without ingestion leave it equal to TotalRows (0 on legacy
 	// wire documents means unknown).
 	Watermark int64
+	// Coverage, when non-nil, reports which fraction of a partitioned
+	// population this result covers. Single-node engines leave it nil
+	// (implicitly full coverage); a scatter-gather coordinator attaches it
+	// to every merged result so a degraded answer — some partitions
+	// unreachable — is annotated rather than silently biased or withheld.
+	Coverage *Coverage
+}
+
+// Coverage quantifies how much of a partitioned population contributed to a
+// merged result. It extends the paper's progressive-answer contract from
+// "sample coverage" (RowsSeen/TotalRows with margins) to "shard coverage":
+// under partial failure the tier serves the merged answer of the reachable
+// partitions, flagged with exactly what it covers, instead of an outage.
+type Coverage struct {
+	// PartitionsAnswered is how many hash partitions contributed a
+	// fragment to the merge.
+	PartitionsAnswered int
+	// PartitionsTotal is the partition count of the tier.
+	PartitionsTotal int
+	// PopulationFraction is the fraction of the global fact-row population
+	// owned by the answering partitions, in [0,1]. This is the honest
+	// scale of the answer: values estimate the full population only when
+	// it is 1.
+	PopulationFraction float64
+	// Degraded is true when at least one partition is missing from the
+	// merge (PartitionsAnswered < PartitionsTotal).
+	Degraded bool
+}
+
+// Full reports whether the coverage describes a complete merge. A nil
+// Coverage is also full by convention.
+func (c *Coverage) Full() bool {
+	return c == nil || (!c.Degraded && c.PartitionsAnswered == c.PartitionsTotal)
+}
+
+// Clone copies the coverage block; nil-safe.
+func (c *Coverage) Clone() *Coverage {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
 }
 
 // NewResult allocates an empty result.
@@ -90,6 +132,7 @@ func (r *Result) Clone() *Result {
 		TotalRows: r.TotalRows,
 		Complete:  r.Complete,
 		Watermark: r.Watermark,
+		Coverage:  r.Coverage.Clone(),
 	}
 	for k, v := range r.Bins {
 		nv := &BinValue{

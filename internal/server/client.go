@@ -365,6 +365,29 @@ func (r *Remote) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error { return r.
 // ingest broadcasts (the prepared row count before any ingestion).
 func (r *Remote) Watermark() int64 { return r.wm.Load() }
 
+// PingTimeout bounds one Ping health probe — short, because the health loop
+// that calls it runs serially over every replica and a hung probe must not
+// stall the whole pass.
+const PingTimeout = 2 * time.Second
+
+// Ping implements the coordinator's health-probe capability (shard.Pinger):
+// one HTTP GET of the server's /healthz over a fresh connection, so it
+// reflects current reachability rather than the state of a long-lived
+// WebSocket that may have died silently.
+func (r *Remote) Ping() error {
+	c := &http.Client{Timeout: PingTimeout}
+	resp, err := c.Get("http://" + r.addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: healthz status %s", resp.Status)
+	}
+	return nil
+}
+
 var (
 	_ engine.Engine = (*Remote)(nil)
 	_ ingest.Sink   = (*Remote)(nil)

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestHealthSchemaVersioned asserts the /healthz document is the exported,
+// versioned Health struct: it decodes into it, states the current schema
+// version and wire protocol version, and carries no topology block for a
+// standalone engine.
+func TestHealthSchemaVersioned(t *testing.T) {
+	f := newFixture(t, Options{})
+	resp, err := http.Get(f.hsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.SchemaVersion != HealthSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", h.SchemaVersion, HealthSchemaVersion)
+	}
+	if h.Version != ProtoVersion {
+		t.Errorf("version = %d, want %d", h.Version, ProtoVersion)
+	}
+	if h.Topology != nil {
+		t.Errorf("standalone server reported a topology block: %+v", h.Topology)
+	}
+}
+
+// TestRebalanceEndpoint covers the admin endpoint: wired, it validates the
+// op, forwards to the hook, and maps hook errors to 409; unwired, it 404s.
+func TestRebalanceEndpoint(t *testing.T) {
+	var got []RebalanceRequest
+	f := newFixture(t, Options{Rebalance: func(req RebalanceRequest) error {
+		got = append(got, req)
+		if req.Op == "remove" {
+			return fmt.Errorf("refusing to remove the last replica")
+		}
+		return nil
+	}})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(f.hsrv.URL+"/rebalance", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post(`{"op":"add","partition":1,"addr":"127.0.0.1:9999"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add status = %d", resp.StatusCode)
+	}
+	if len(got) != 1 || got[0].Op != "add" || got[0].Partition != 1 || got[0].Addr != "127.0.0.1:9999" {
+		t.Fatalf("hook saw %+v", got)
+	}
+	if resp := post(`{"op":"remove","partition":0,"name":"p0/r0/x"}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("hook error status = %d, want 409", resp.StatusCode)
+	}
+	if resp := post(`{"op":"shuffle"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op status = %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(f.hsrv.URL + "/rebalance"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	// Without the hook the endpoint does not exist.
+	plain := newFixture(t, Options{})
+	resp, err := http.Post(plain.hsrv.URL+"/rebalance", "application/json", bytes.NewBufferString(`{"op":"add"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unwired status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRemotePing asserts the client-side health probe reflects actual
+// reachability: OK against a live server, an error once it is gone.
+func TestRemotePing(t *testing.T) {
+	f := newFixture(t, Options{})
+	rem, err := NewRemote(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	if err := rem.Ping(); err != nil {
+		t.Fatalf("ping against live server: %v", err)
+	}
+	f.hsrv.Close()
+	if err := rem.Ping(); err == nil {
+		t.Fatal("ping against a dead server succeeded")
+	}
+}

@@ -26,7 +26,14 @@ import (
 // Version 3 added scatter-gather serving: the Partials request flag on
 // "query" frames, the raw Partial payload on snapshot frames, and the
 // server's Role in the hello frame.
-const ProtoVersion = 3
+// Version 4 added shard elasticity: the coverage block on degraded results
+// (query.Result.Coverage — partitions answered/total, population fraction)
+// and the topology/schema_version fields on /healthz. Fully-covered results
+// omit the block, so v4 result documents for healthy tiers are byte-for-byte
+// the v3 documents; a v3 client parsing a degraded v4 result ignores the
+// unknown "coverage" key and must instead key off Complete, which a degraded
+// merge always clears.
+const ProtoVersion = 4
 
 // Client→server message types.
 const (

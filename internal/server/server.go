@@ -106,6 +106,11 @@ type Options struct {
 	// hello frames and on /healthz: "" (standalone), "shard" (one partition
 	// behind a scatter-gather coordinator) or "coord" (the coordinator).
 	Role string
+	// Rebalance, when set, handles topology-change requests arriving on the
+	// POST /rebalance admin endpoint (coordinators wire it to the shard
+	// tier's AddReplica/RemoveReplica/Rebalance). nil — the common case for
+	// standalone servers and shards — leaves the endpoint answering 404.
+	Rebalance func(req RebalanceRequest) error
 	// Durable, when set, is the durability subsystem backing this server.
 	// The serving layer itself does not log batches — the Apply function is
 	// expected to enforce WAL-before-apply ordering internally (validate the
@@ -255,9 +260,11 @@ type Counters struct {
 }
 
 // Server serves one prepared engine. It is an http.Handler: "/ws" upgrades
-// to the WebSocket protocol, "/healthz" reports JSON health.
+// to the WebSocket protocol, "/healthz" reports JSON health, and — when
+// Options.Rebalance is wired — "/rebalance" accepts topology changes.
 type Server struct {
 	eng  engine.Engine
+	caps engine.Capabilities // optional capabilities, resolved once in New
 	opts Options
 	mux  *http.ServeMux
 
@@ -276,12 +283,16 @@ type Server struct {
 func New(eng engine.Engine, opts Options) *Server {
 	s := &Server{
 		eng:   eng,
+		caps:  engine.CapabilitiesOf(eng),
 		opts:  opts.withDefaults(),
 		mux:   http.NewServeMux(),
 		conns: make(map[*serverConn]struct{}),
 	}
 	s.mux.HandleFunc("/ws", s.handleWS)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if s.opts.Rebalance != nil {
+		s.mux.HandleFunc("/rebalance", s.handleRebalance)
+	}
 	return s
 }
 
@@ -337,14 +348,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // liveWatermark is the single source of truth for the data version the
-// server is at: the engine's absorbed row count when it has the append
+// server is at: the engine's absorbed row count when it has the watermark
 // capability, never below the prepared row count. The hello frame, the
 // /healthz document and the recovery banner all report this one value — it
 // is what a reconnecting client resumes at after a crash recovery.
 func (s *Server) liveWatermark() int64 {
 	rows := s.opts.Rows
-	if app, ok := s.eng.(engine.Appender); ok {
-		if wm := app.Watermark(); wm > rows {
+	if s.caps.Watermarker != nil {
+		if wm := s.caps.Watermarker.Watermark(); wm > rows {
 			rows = wm
 		}
 	}
@@ -366,8 +377,8 @@ func (s *Server) Counters() *Counters { return &s.ctr }
 // the capability), rate-limited to once per 10ms so a rejection storm does
 // not convoy on the scheduler lock.
 func (s *Server) shedSpeculation() {
-	sh, ok := s.eng.(engine.Shedder)
-	if !ok {
+	sh := s.caps.Shedder
+	if sh == nil {
 		return
 	}
 	now := time.Now().UnixNano()
@@ -380,14 +391,26 @@ func (s *Server) shedSpeculation() {
 	}
 }
 
-// health is the /healthz document.
-type health struct {
-	Engine   string `json:"engine"`
-	Rows     int64  `json:"rows"`
-	Version  int    `json:"version"`
-	Conns    int    `json:"conns"`
-	MaxConns int    `json:"max_conns"`
-	Draining bool   `json:"draining"`
+// HealthSchemaVersion identifies the /healthz document layout. Monitoring
+// that scrapes the endpoint keys off this field instead of sniffing for
+// marker fields. Version 1 is the pre-elasticity document (implicit — it
+// carried no schema_version field, so its absence identifies it); version 2
+// added schema_version itself plus the replica-set topology block.
+const HealthSchemaVersion = 2
+
+// Health is the /healthz document — THE wire schema for server health, one
+// struct instead of ad-hoc map building, versioned by SchemaVersion.
+type Health struct {
+	// SchemaVersion is HealthSchemaVersion; absent (0) on documents from
+	// pre-elasticity servers.
+	SchemaVersion int    `json:"schema_version"`
+	Engine        string `json:"engine"`
+	Rows          int64  `json:"rows"`
+	// Version is the wire ProtoVersion the server speaks on /ws.
+	Version  int  `json:"version"`
+	Conns    int  `json:"conns"`
+	MaxConns int  `json:"max_conns"`
+	Draining bool `json:"draining"`
 	// Inflight is the number of queries currently executing.
 	Inflight int64 `json:"inflight"`
 	// Watermark is the engine's absorbed row count (engines with the append
@@ -406,6 +429,11 @@ type health struct {
 	Shards            int     `json:"shards,omitempty"`
 	ShardWatermarks   []int64 `json:"shard_watermarks,omitempty"`
 	MinShardWatermark int64   `json:"min_shard_watermark,omitempty"`
+	// Topology is the replica-set topology of a replicated coordinator
+	// (engines with the topology-observer capability): which replicas serve
+	// each partition, their health/sync state, and the anti-entropy alarm
+	// counters. Absent on standalone servers and plain shards.
+	Topology *engine.Topology `json:"topology,omitempty"`
 	// Cumulative overload/liveness counters (see Counters).
 	Admitted             int64 `json:"admitted"`
 	RejectedOverload     int64 `json:"rejected_overload"`
@@ -432,13 +460,14 @@ type health struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	h := health{
-		Engine:   s.eng.Name(),
-		Rows:     s.opts.Rows,
-		Version:  ProtoVersion,
-		Conns:    len(s.conns),
-		MaxConns: s.opts.MaxConns,
-		Draining: s.draining,
+	h := Health{
+		SchemaVersion: HealthSchemaVersion,
+		Engine:        s.eng.Name(),
+		Rows:          s.opts.Rows,
+		Version:       ProtoVersion,
+		Conns:         len(s.conns),
+		MaxConns:      s.opts.MaxConns,
+		Draining:      s.draining,
 	}
 	s.mu.Unlock()
 	h.Inflight = s.inflight.Load()
@@ -457,11 +486,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		h.Checkpoints = ds.Checkpoints
 		h.LastCheckpointVersion = ds.LastCheckpointVersion
 	}
-	if obs, ok := s.eng.(engine.ScanObserver); ok {
+	if obs := s.caps.ScanObserver; obs != nil {
 		h.ScanConsumers = obs.ActiveScanConsumers()
 	}
 	h.Role = s.opts.Role
-	if so, ok := s.eng.(engine.ShardObserver); ok {
+	if so := s.caps.ShardObserver; so != nil {
 		wms := so.ShardWatermarks()
 		h.Shards = len(wms)
 		h.ShardWatermarks = wms
@@ -470,6 +499,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 				h.MinShardWatermark = w
 			}
 		}
+	}
+	if to := s.caps.TopologyObserver; to != nil {
+		topo := to.Topology()
+		h.Topology = &topo
 	}
 	h.Admitted = s.ctr.Admitted.Load()
 	h.RejectedOverload = s.ctr.RejectedOverload.Load()
@@ -482,6 +515,50 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h.IdleDisconnects = s.ctr.IdleDisconnects.Load()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h)
+}
+
+// RebalanceRequest is the POST /rebalance admin payload: one topology
+// change. Op selects the operation — "add" attaches Addr as a cold replica
+// of Partition (it joins unsynced and is promoted once its watermark proves
+// it caught up), "remove" detaches the replica named Name, "rebalance"
+// performs the checkpoint-streaming hash-range handoff to Addr and attaches
+// it fully in sync.
+type RebalanceRequest struct {
+	Op        string `json:"op"`
+	Partition int    `json:"partition"`
+	// Addr is the replica backend address ("host:port") for add/rebalance.
+	Addr string `json:"addr,omitempty"`
+	// Name is the replica name to detach for remove (as reported on the
+	// /healthz topology block).
+	Name string `json:"name,omitempty"`
+}
+
+// handleRebalance decodes one admin topology change and hands it to the
+// Options.Rebalance hook. 200 with a JSON {"ok":true} on success; failures
+// are 4xx/5xx with the error in the body so `idebench rebalance` can print
+// it verbatim.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "rebalance wants POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RebalanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad rebalance request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch req.Op {
+	case "add", "remove", "rebalance":
+	default:
+		http.Error(w, fmt.Sprintf("unknown rebalance op %q", req.Op), http.StatusBadRequest)
+		return
+	}
+	if err := s.opts.Rebalance(req); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
 }
 
 // rejectUpgrade writes a pre-upgrade 503 with a machine-readable reason so

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idebench/internal/dataset"
@@ -13,104 +14,276 @@ import (
 	"idebench/internal/stats"
 )
 
-// watermarker is the subset of engine.Appender a backend needs for the
-// coordinator to observe its confirmed data version. *server.Remote has a
-// Watermark but no Append (ingest travels as wire batches), so the
-// coordinator asserts this rather than the full Appender.
-type watermarker interface {
-	Watermark() int64
+// Pinger is the optional liveness capability of a coordinator backend: a
+// cheap out-of-band health probe (for *server.Remote it is an HTTP GET of
+// the shard's /healthz). Backends without it are assumed alive until a
+// query or ingest apply against them fails.
+type Pinger interface {
+	Ping() error
 }
 
-// wmStep records that shard-local watermark Local corresponds to global
+// wmStep records that partition-local watermark Local corresponds to global
 // data version Global: after the batch that produced this step is fully
-// absorbed by the shard, a query answering at Local covers everything up to
-// Global rows of the unified timeline.
+// absorbed by a partition's replicas, a query answering at Local covers
+// everything up to Global rows of the unified timeline.
 type wmStep struct {
 	Local, Global int64
 }
 
-// Coordinator fans queries out to N shard backends and merges their raw
-// accumulator fragments into one progressive result. It implements
-// engine.Engine (so the serving layer and the driver use it unchanged),
-// engine.Appender and ingest.Sink (routed live ingest), and
-// engine.ShardObserver (per-shard watermark observability for /healthz).
+// Options tunes a replicated coordinator.
+type Options struct {
+	// MinCoverage is the population-fraction floor for degraded answers:
+	// when the reachable partitions own less than this fraction of the
+	// global fact rows, the coordinator refuses (nil snapshots) instead of
+	// serving the degraded merge. 0 serves any non-empty coverage; 1
+	// restores the strict all-partitions-or-nothing behavior.
+	MinCoverage float64
+	// ApplyTimeout bounds the post-route wait for a remote replica to
+	// confirm absorption; zero means 15s.
+	ApplyTimeout time.Duration
+}
+
+// replica is one backend serving one hash partition. Health and sync flags
+// have their own lock so query handles and the health loop can flip them
+// without touching the coordinator's routing lock.
+type replica struct {
+	be   engine.Engine
+	caps engine.Capabilities
+	name string
+	// matDB is the database in-process appends are materialized against:
+	// the partition database the replica was prepared from, or the
+	// transferred view for a rebalanced-in replica (whose dictionaries are
+	// its own). nil for pure wire sinks.
+	matDB *dataset.Database
+
+	mu      sync.Mutex
+	healthy bool
+	synced  bool
+}
+
+func newReplica(be engine.Engine, name string, matDB *dataset.Database) *replica {
+	return &replica{
+		be: be, caps: engine.CapabilitiesOf(be), name: name, matDB: matDB,
+		healthy: true, synced: true,
+	}
+}
+
+func (r *replica) state() (healthy, synced bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy, r.synced
+}
+
+func (r *replica) setHealthy(h bool) {
+	r.mu.Lock()
+	r.healthy = h
+	r.mu.Unlock()
+}
+
+func (r *replica) markUnsynced() {
+	r.mu.Lock()
+	r.synced = false
+	r.mu.Unlock()
+}
+
+// unreachable reports whether the replica's backend is confirmed gone, as
+// opposed to alive and deliberately ending queries. Backends without a
+// Pinger cannot be probed and are presumed reachable.
+func (r *replica) unreachable() bool {
+	p, ok := r.be.(Pinger)
+	return ok && p.Ping() != nil
+}
+
+func (r *replica) setSynced(s bool) {
+	r.mu.Lock()
+	r.synced = s
+	r.mu.Unlock()
+}
+
+// watermark reads the replica's confirmed local watermark; base is the
+// fallback for backends without the capability (a static engine never moves
+// past Prepare).
+func (r *replica) watermark(base int64) int64 {
+	if r.caps.Watermarker != nil {
+		return r.caps.Watermarker.Watermark()
+	}
+	return base
+}
+
+// Coordinator fans queries out over hash partitions, each served by a set
+// of replicas, and merges their raw accumulator fragments into one
+// progressive result. It implements engine.Engine (so the serving layer and
+// the driver use it unchanged), engine.Appender and ingest.Sink (routed
+// live ingest, applied to every in-sync replica), engine.ShardObserver
+// (per-partition watermark observability) and engine.TopologyObserver
+// (replica health for /healthz).
 //
-// Backends are fixed at construction; their slice order IS the shard ID
-// order, and every merge folds fragments in that order — see the package
-// comment for why that fixed order is load-bearing.
+// Availability semantics: a query fans out to one replica per partition and
+// fails over to the next live replica when its current one dies mid-stream.
+// When a whole partition is unreachable the merged snapshot is served
+// anyway, annotated with a query.Coverage block naming exactly which
+// fraction of the population answered — degraded, never silently biased as
+// full, and refused entirely below Options.MinCoverage.
+//
+// Partition order is fixed at construction and every merge folds fragments
+// in that order — see the package comment for why the fixed order is
+// load-bearing. Replica order within a partition is the failover
+// preference order.
 type Coordinator struct {
-	backends []engine.Engine
+	opts Options
 
 	mu       sync.Mutex
+	sets     [][]*replica // partition -> replica set; mutable via rebalance
 	prepared bool
-	parts    []*dataset.Database // in-process backends only: shard-local dbs for Materialize
-	steps    [][]wmStep          // per shard, ascending in both coordinates
+	partDBs  []*dataset.Database // shard-local dbs for Materialize and rebalance targets
+	steps    [][]wmStep          // per partition, ascending in both coordinates
 	global   int64               // global data version: base rows + all routed batch rows
 	z        float64
+	prepOpts engine.Options
+	capture  [][]*ingest.Batch // per partition: non-nil while a rebalance captures the ingest tail
 
-	// applyTimeout bounds the post-route wait for a remote shard to confirm
-	// absorption. Exposed for tests; zero means the default.
-	applyTimeout time.Duration
+	aeChecks     atomic.Int64
+	aeMismatches atomic.Int64
 }
 
-// NewCoordinator wraps the given shard backends. The slice order assigns
-// shard IDs: backends[i] is shard i, forever. At least one backend is
-// required; Prepare partitions with n = len(backends).
+// NewCoordinator wraps one backend per partition (no replication): the
+// PR 8 topology, kept as the simple constructor. The slice order assigns
+// partition IDs: backends[i] serves partition i, forever.
 func NewCoordinator(backends ...engine.Engine) (*Coordinator, error) {
-	if len(backends) == 0 {
-		return nil, fmt.Errorf("shard: coordinator needs at least one backend")
+	sets := make([][]engine.Engine, len(backends))
+	for i, be := range backends {
+		sets[i] = []engine.Engine{be}
 	}
-	return &Coordinator{backends: append([]engine.Engine(nil), backends...)}, nil
+	return NewReplicated(Options{}, sets...)
 }
 
-// Shards returns the number of shard backends.
-func (co *Coordinator) Shards() int { return len(co.backends) }
+// NewReplicated wraps one replica set per partition. replicaSets[i] lists
+// the backends serving partition i in failover-preference order; every
+// partition needs at least one. Replicas of a partition must be prepared
+// identically (same dataset, same hash, same fan-out) — partials are
+// deterministic, so the anti-entropy check can hold them to that bitwise.
+func NewReplicated(opts Options, replicaSets ...[]engine.Engine) (*Coordinator, error) {
+	if len(replicaSets) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one partition")
+	}
+	if opts.MinCoverage < 0 || opts.MinCoverage > 1 {
+		return nil, fmt.Errorf("shard: min coverage %v outside [0,1]", opts.MinCoverage)
+	}
+	co := &Coordinator{opts: opts, sets: make([][]*replica, len(replicaSets))}
+	for i, set := range replicaSets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("shard: partition %d has no replicas", i)
+		}
+		for j, be := range set {
+			co.sets[i] = append(co.sets[i], newReplica(be, replicaName(be, i, j), nil))
+		}
+	}
+	return co, nil
+}
+
+// replicaName labels a replica for topology reporting: the backend's
+// engine name plus its partition/ordinal coordinates.
+func replicaName(be engine.Engine, part, ordinal int) string {
+	return fmt.Sprintf("p%d/r%d/%s", part, ordinal, be.Name())
+}
+
+// Shards returns the number of hash partitions.
+func (co *Coordinator) Shards() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.sets)
+}
+
+// Replicas returns the current replica count of one partition.
+func (co *Coordinator) Replicas(part int) int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if part < 0 || part >= len(co.sets) {
+		return 0
+	}
+	return len(co.sets[part])
+}
+
+// replicaSet snapshots one partition's replica slice under the lock.
+func (co *Coordinator) replicaSet(part int) []*replica {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append([]*replica(nil), co.sets[part]...)
+}
 
 // Name identifies the coordinator in reports: the backend engine name
-// prefixed with the fan-out, e.g. "shard3/progressive".
+// prefixed with the fan-out, e.g. "shard3/progressive", or
+// "shard2x2/progressive" for a replicated tier (max replicas per
+// partition).
 func (co *Coordinator) Name() string {
-	return fmt.Sprintf("shard%d/%s", len(co.backends), co.backends[0].Name())
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	maxR := 1
+	for _, set := range co.sets {
+		if len(set) > maxR {
+			maxR = len(set)
+		}
+	}
+	inner := co.sets[0][0].be.Name()
+	if maxR == 1 {
+		return fmt.Sprintf("shard%d/%s", len(co.sets), inner)
+	}
+	return fmt.Sprintf("shard%dx%d/%s", len(co.sets), maxR, inner)
 }
 
-// Prepare partitions db across the backends and prepares each one with its
-// partition. For a *server.Remote backend, Prepare is the client-side
-// sanity check that the shard process serves exactly the partition this
-// coordinator computed (same dataset, same hash, same fan-out).
+// Prepare partitions db across the partitions and prepares every replica
+// with its partition. For a *server.Remote backend, Prepare is the
+// client-side sanity check that the shard process serves exactly the
+// partition this coordinator computed (same dataset, same hash, same
+// fan-out).
 func (co *Coordinator) Prepare(db *dataset.Database, opts engine.Options) error {
 	opts = opts.Normalize()
 	z, err := stats.ZScore(opts.Confidence)
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	parts, err := Partition(db, len(co.backends))
+	co.mu.Lock()
+	nParts := len(co.sets)
+	sets := make([][]*replica, nParts)
+	for i := range co.sets {
+		sets[i] = append([]*replica(nil), co.sets[i]...)
+	}
+	co.mu.Unlock()
+
+	parts, err := Partition(db, nParts)
 	if err != nil {
 		return err
 	}
-	for i, be := range co.backends {
-		if err := be.Prepare(parts[i], opts); err != nil {
-			return fmt.Errorf("shard: prepare shard %d: %w", i, err)
+	for i, set := range sets {
+		for _, r := range set {
+			if err := r.be.Prepare(parts[i], opts); err != nil {
+				return fmt.Errorf("shard: prepare %s: %w", r.name, err)
+			}
+			r.matDB = parts[i]
 		}
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	co.parts = parts
+	co.partDBs = parts
 	co.global = int64(db.Fact.NumRows())
-	co.steps = make([][]wmStep, len(co.backends))
+	co.steps = make([][]wmStep, nParts)
+	co.capture = make([][]*ingest.Batch, nParts)
 	for i := range co.steps {
-		// The base step: a shard answering at its full partition size covers
+		// The base step: a partition answering at its full base size covers
 		// the whole prepared dataset.
 		co.steps[i] = []wmStep{{Local: int64(parts[i].Fact.NumRows()), Global: co.global}}
 	}
 	co.z = z
+	co.prepOpts = opts
 	co.prepared = true
 	return nil
 }
 
-// translate floors shard i's local watermark w onto the global row axis:
-// the largest recorded global version whose local step is <= w. A local
-// watermark below the base partition size (mid-Prepare, or a shard that
-// restarted from an older checkpoint) translates to 0 — honest "staler
-// than any version I know".
+// translate floors partition i's local watermark w onto the global row
+// axis: the largest recorded global version whose local step is <= w. A
+// local watermark below the base partition size (mid-Prepare, or a replica
+// that restarted from an older checkpoint) translates to 0 — honest
+// "staler than any version I know". Callers hold co.mu.
 func (co *Coordinator) translate(i int, w int64) int64 {
 	steps := co.steps[i]
 	g := int64(0)
@@ -124,28 +297,33 @@ func (co *Coordinator) translate(i int, w int64) int64 {
 	return g
 }
 
-// shardWatermark reads shard i's confirmed local watermark, falling back to
-// its base partition size when the backend has no watermark capability
-// (a static engine never moves past Prepare).
-func (co *Coordinator) shardWatermark(i int) int64 {
-	if wm, ok := co.backends[i].(watermarker); ok {
-		return wm.Watermark()
-	}
+// partitionWatermark reads partition i's best confirmed local watermark:
+// the max over its replicas (absorption is a data property, independent of
+// which replicas are currently reachable).
+func (co *Coordinator) partitionWatermark(i int) int64 {
 	co.mu.Lock()
-	defer co.mu.Unlock()
+	var base int64
 	if len(co.steps) > i && len(co.steps[i]) > 0 {
-		return co.steps[i][0].Local
+		base = co.steps[i][0].Local
 	}
-	return 0
+	set := append([]*replica(nil), co.sets[i]...)
+	co.mu.Unlock()
+	best := int64(0)
+	for _, r := range set {
+		if w := r.watermark(base); w > best {
+			best = w
+		}
+	}
+	return best
 }
 
-// Watermark implements engine.Appender's observer half on the global axis:
-// the minimum over all shards' translated watermarks. A merged snapshot
-// never claims a Watermark above this.
+// Watermark implements engine.Watermarker on the global axis: the minimum
+// over all partitions' translated watermarks. A merged snapshot never
+// claims a Watermark above this.
 func (co *Coordinator) Watermark() int64 {
 	min := int64(math.MaxInt64)
-	for i := range co.backends {
-		w := co.shardWatermark(i)
+	for i := 0; i < co.Shards(); i++ {
+		w := co.partitionWatermark(i)
 		co.mu.Lock()
 		g := co.translate(i, w)
 		co.mu.Unlock()
@@ -159,17 +337,55 @@ func (co *Coordinator) Watermark() int64 {
 	return min
 }
 
-// ShardWatermarks implements engine.ShardObserver: each shard's confirmed
-// watermark translated onto the global axis, indexed by shard ID.
+// ShardWatermarks implements engine.ShardObserver: each partition's
+// confirmed watermark translated onto the global axis, indexed by
+// partition ID.
 func (co *Coordinator) ShardWatermarks() []int64 {
-	out := make([]int64, len(co.backends))
-	for i := range co.backends {
-		w := co.shardWatermark(i)
+	n := co.Shards()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		w := co.partitionWatermark(i)
 		co.mu.Lock()
 		out[i] = co.translate(i, w)
 		co.mu.Unlock()
 	}
 	return out
+}
+
+// Topology implements engine.TopologyObserver.
+func (co *Coordinator) Topology() engine.Topology {
+	co.mu.Lock()
+	sets := make([][]*replica, len(co.sets))
+	bases := make([]int64, len(co.sets))
+	for i := range co.sets {
+		sets[i] = append([]*replica(nil), co.sets[i]...)
+		if len(co.steps) > i && len(co.steps[i]) > 0 {
+			bases[i] = co.steps[i][0].Local
+		}
+	}
+	co.mu.Unlock()
+
+	topo := engine.Topology{
+		Partitions:            make([]engine.PartitionTopology, len(sets)),
+		AntiEntropyChecks:     co.aeChecks.Load(),
+		AntiEntropyMismatches: co.aeMismatches.Load(),
+		MinCoverage:           co.opts.MinCoverage,
+	}
+	for i, set := range sets {
+		pt := engine.PartitionTopology{Replicas: make([]engine.ReplicaTopology, 0, len(set))}
+		for _, r := range set {
+			healthy, synced := r.state()
+			w := r.watermark(bases[i])
+			co.mu.Lock()
+			g := co.translate(i, w)
+			co.mu.Unlock()
+			pt.Replicas = append(pt.Replicas, engine.ReplicaTopology{
+				Name: r.name, Healthy: healthy, Synced: synced, Watermark: g,
+			})
+		}
+		topo.Partitions[i] = pt
+	}
+	return topo
 }
 
 // Append implements engine.Appender: it reconstructs the wire batch from
@@ -181,12 +397,16 @@ func (co *Coordinator) Append(rows *dataset.Table) error {
 }
 
 // ApplyBatch implements ingest.Sink: route the batch's rows to their home
-// shards, apply every non-empty sub-batch, wait until each receiving shard
-// confirms absorption, then publish the new global version. The wait keeps
-// Apply synchronous-per-batch (the harness serializes batches anyway) so
-// Watermark() moves monotonically and quiesce loops terminate.
+// partitions, apply every non-empty sub-batch to each in-sync live replica,
+// wait until each confirms absorption, then publish the new global version.
+// A replica that fails (or is skipped because it is down) is marked
+// unsynced — it keeps serving at its honestly stale watermark and only
+// rejoins the ingest path once its watermark proves it caught back up (a
+// durable restart) or a rebalance hands it the current state. The batch as
+// a whole fails only when some partition with routed rows has no live
+// replica left to absorb them.
 func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
-	n := len(co.backends)
+	n := co.Shards()
 	subs, err := RouteBatch(b, n)
 	if err != nil {
 		return err
@@ -201,44 +421,51 @@ func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
 	// the caller's bug, but a racing reader must still see consistent steps.
 	targets := make([]int64, n)
 	newGlobal := co.global + int64(len(b.Rows))
-	for i := range co.backends {
+	sets := make([][]*replica, n)
+	for i := range co.sets {
 		prev := co.steps[i][len(co.steps[i])-1].Local
 		targets[i] = prev + int64(len(subs[i].Rows))
+		sets[i] = append([]*replica(nil), co.sets[i]...)
+		// A rebalance in flight captures the tail it must replay before the
+		// routing flip; the capturing goroutine owns batches appended here.
+		if co.capture[i] != nil && len(subs[i].Rows) > 0 {
+			co.capture[i] = append(co.capture[i], subs[i])
+		}
 	}
-	parts := co.parts
-	timeout := co.applyTimeout
+	timeout := co.opts.ApplyTimeout
 	co.mu.Unlock()
 	if timeout <= 0 {
 		timeout = 15 * time.Second
 	}
 
-	for i, be := range co.backends {
+	for i, set := range sets {
 		if len(subs[i].Rows) == 0 {
 			continue
 		}
-		if sink, ok := be.(ingest.Sink); ok {
-			// Remote shard: ship the wire batch; the shard server materializes
-			// and validates against its own partition.
-			if err := sink.ApplyBatch(subs[i], nil); err != nil {
-				return fmt.Errorf("shard: apply to shard %d: %w", i, err)
+		applied := false
+		var firstErr error
+		for _, r := range set {
+			healthy, synced := r.state()
+			if !healthy || !synced {
+				// Down or already behind: this replica misses the batch.
+				r.markUnsynced()
+				continue
 			}
-			if err := co.waitWatermark(i, targets[i], timeout); err != nil {
-				return err
+			if err := co.applyToReplica(r, subs[i], targets[i], timeout); err != nil {
+				r.setHealthy(false)
+				r.markUnsynced()
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
-			continue
+			applied = true
 		}
-		app, ok := be.(engine.Appender)
-		if !ok {
-			return fmt.Errorf("shard: shard %d (%s) cannot absorb ingest", i, be.Name())
-		}
-		// In-process shard: materialize against the shard's own partition so
-		// dictionary interning and FK validation happen in shard-local terms.
-		tbl, err := ingest.Materialize(parts[i], subs[i])
-		if err != nil {
-			return fmt.Errorf("shard: materialize for shard %d: %w", i, err)
-		}
-		if err := app.Append(tbl); err != nil {
-			return fmt.Errorf("shard: append to shard %d: %w", i, err)
+		if !applied {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("no live replica")
+			}
+			return fmt.Errorf("shard: partition %d cannot absorb ingest: %w", i, firstErr)
 		}
 	}
 
@@ -251,37 +478,60 @@ func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
 	return nil
 }
 
-// waitWatermark polls shard i until its confirmed watermark reaches target.
-// Remote watermarks advance via the server's post-apply ingest broadcast,
-// so this is a short wait in practice; the timeout turns a dead shard into
-// an error instead of a hang.
-func (co *Coordinator) waitWatermark(i int, target int64, timeout time.Duration) error {
-	wm, ok := co.backends[i].(watermarker)
-	if !ok {
+// applyToReplica ships one routed sub-batch to one replica and waits for
+// its confirmed absorption.
+func (co *Coordinator) applyToReplica(r *replica, sub *ingest.Batch, target int64, timeout time.Duration) error {
+	if sink, ok := r.be.(ingest.Sink); ok {
+		// Remote replica: ship the wire batch; the shard server materializes
+		// and validates against its own partition.
+		if err := sink.ApplyBatch(sub, nil); err != nil {
+			return fmt.Errorf("apply to %s: %w", r.name, err)
+		}
+		return co.waitWatermark(r, target, timeout)
+	}
+	if r.caps.Appender == nil {
+		return fmt.Errorf("%s (%s) cannot absorb ingest", r.name, r.be.Name())
+	}
+	// In-process replica: materialize against the replica's own database so
+	// dictionary interning and FK validation happen in its storage's terms.
+	tbl, err := ingest.Materialize(r.matDB, sub)
+	if err != nil {
+		return fmt.Errorf("materialize for %s: %w", r.name, err)
+	}
+	if err := r.caps.Appender.Append(tbl); err != nil {
+		return fmt.Errorf("append to %s: %w", r.name, err)
+	}
+	return nil
+}
+
+// waitWatermark polls one replica until its confirmed watermark reaches
+// target. Remote watermarks advance via the server's post-apply ingest
+// broadcast, so this is a short wait in practice; the timeout turns a dead
+// replica into an error instead of a hang.
+func (co *Coordinator) waitWatermark(r *replica, target int64, timeout time.Duration) error {
+	if r.caps.Watermarker == nil {
 		return nil
 	}
 	deadline := time.Now().Add(timeout)
-	for wm.Watermark() < target {
+	for r.caps.Watermarker.Watermark() < target {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("shard: shard %d watermark stuck at %d, want %d", i, wm.Watermark(), target)
+			return fmt.Errorf("%s watermark stuck at %d, want %d",
+				r.name, r.caps.Watermarker.Watermark(), target)
 		}
 		time.Sleep(500 * time.Microsecond)
 	}
 	return nil
 }
 
-// OpenSession opens one session per backend and returns a session that fans
-// every call across them.
+// OpenSession returns a session that fans every call out, creating one
+// sub-session per replica on demand (a failover may route a query to a
+// replica the session never touched before).
 func (co *Coordinator) OpenSession() engine.Session {
-	subs := make([]engine.Session, len(co.backends))
-	for i, be := range co.backends {
-		subs[i] = be.OpenSession()
-	}
-	return &coordSession{co: co, subs: subs}
+	return &coordSession{co: co, subs: make(map[*replica]engine.Session)}
 }
 
-// StartQuery runs q on every backend's default session and returns a merged
-// handle.
+// StartQuery runs q via the backends' default sessions and returns a
+// merged handle.
 func (co *Coordinator) StartQuery(q *query.Query) (engine.Handle, error) {
 	co.mu.Lock()
 	prepared := co.prepared
@@ -289,76 +539,102 @@ func (co *Coordinator) StartQuery(q *query.Query) (engine.Handle, error) {
 	if !prepared {
 		return nil, engine.ErrNotPrepared
 	}
-	hs := make([]engine.Handle, len(co.backends))
-	for i, be := range co.backends {
-		h, err := be.StartQuery(q)
-		if err != nil {
-			for _, prev := range hs[:i] {
-				prev.Cancel()
-			}
-			return nil, fmt.Errorf("shard: start on shard %d: %w", i, err)
-		}
-		hs[i] = h
+	h, err := newCoordHandle(co, q, func(r *replica) (engine.Handle, error) {
+		return r.be.StartQuery(q)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return newCoordHandle(co, q, hs), nil
+	return h, nil
 }
 
-// LinkVizs forwards the link hint to every backend.
+// LinkVizs forwards the link hint to every replica.
 func (co *Coordinator) LinkVizs(from, to string) {
-	for _, be := range co.backends {
-		be.LinkVizs(from, to)
-	}
+	co.eachReplica(func(r *replica) { r.be.LinkVizs(from, to) })
 }
 
-// DeleteViz forwards the discard to every backend.
+// DeleteViz forwards the discard to every replica.
 func (co *Coordinator) DeleteViz(name string) {
-	for _, be := range co.backends {
-		be.DeleteViz(name)
-	}
+	co.eachReplica(func(r *replica) { r.be.DeleteViz(name) })
 }
 
-// WorkflowStart forwards to every backend.
+// WorkflowStart forwards to every replica.
 func (co *Coordinator) WorkflowStart() {
-	for _, be := range co.backends {
-		be.WorkflowStart()
-	}
+	co.eachReplica(func(r *replica) { r.be.WorkflowStart() })
 }
 
-// WorkflowEnd forwards to every backend.
+// WorkflowEnd forwards to every replica.
 func (co *Coordinator) WorkflowEnd() {
-	for _, be := range co.backends {
-		be.WorkflowEnd()
+	co.eachReplica(func(r *replica) { r.be.WorkflowEnd() })
+}
+
+func (co *Coordinator) eachReplica(f func(*replica)) {
+	co.mu.Lock()
+	var all []*replica
+	for _, set := range co.sets {
+		all = append(all, set...)
+	}
+	co.mu.Unlock()
+	for _, r := range all {
+		f(r)
 	}
 }
 
-// ShedSpeculation implements engine.Shedder by summing over backends that
+// ShedSpeculation implements engine.Shedder by summing over replicas that
 // have the capability.
 func (co *Coordinator) ShedSpeculation() int {
 	n := 0
-	for _, be := range co.backends {
-		if s, ok := be.(engine.Shedder); ok {
-			n += s.ShedSpeculation()
+	co.eachReplica(func(r *replica) {
+		if r.caps.Shedder != nil {
+			n += r.caps.Shedder.ShedSpeculation()
 		}
-	}
+	})
 	return n
 }
 
 // ActiveScanConsumers implements engine.ScanObserver by summing over
-// backends that have the capability.
+// replicas that have the capability.
 func (co *Coordinator) ActiveScanConsumers() int {
 	n := 0
-	for _, be := range co.backends {
-		if s, ok := be.(engine.ScanObserver); ok {
-			n += s.ActiveScanConsumers()
+	co.eachReplica(func(r *replica) {
+		if r.caps.ScanObserver != nil {
+			n += r.caps.ScanObserver.ActiveScanConsumers()
 		}
-	}
+	})
 	return n
 }
 
-// coordSession fans session calls across one sub-session per shard.
+// coordSession fans session calls out with one lazily created sub-session
+// per replica.
 type coordSession struct {
-	co   *Coordinator
-	subs []engine.Session
+	co *Coordinator
+
+	mu   sync.Mutex
+	subs map[*replica]engine.Session
+}
+
+// sessionOf returns the cached sub-session for r, creating it on first
+// use.
+func (s *coordSession) sessionOf(r *replica) engine.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[r]; ok {
+		return sub
+	}
+	sub := r.be.OpenSession()
+	s.subs[r] = sub
+	return sub
+}
+
+// invalidate drops a sub-session whose connection died so the next
+// failover attempt on that replica dials fresh.
+func (s *coordSession) invalidate(r *replica, sub engine.Session) {
+	s.mu.Lock()
+	if s.subs[r] == sub {
+		delete(s.subs, r)
+	}
+	s.mu.Unlock()
+	sub.Close()
 }
 
 func (s *coordSession) StartQuery(q *query.Query) (engine.Handle, error) {
@@ -368,113 +644,57 @@ func (s *coordSession) StartQuery(q *query.Query) (engine.Handle, error) {
 	if !prepared {
 		return nil, engine.ErrNotPrepared
 	}
-	hs := make([]engine.Handle, len(s.subs))
-	for i, sub := range s.subs {
-		h, err := sub.StartQuery(q)
+	h, err := newCoordHandle(s.co, q, func(r *replica) (engine.Handle, error) {
+		sub := s.sessionOf(r)
+		sh, err := sub.StartQuery(q)
 		if err != nil {
-			for _, prev := range hs[:i] {
-				prev.Cancel()
-			}
-			return nil, fmt.Errorf("shard: start on shard %d: %w", i, err)
+			// A session pinned to a dead connection stays dead; retry once on
+			// a fresh one so a recovered replica is actually reachable.
+			s.invalidate(r, sub)
+			return s.sessionOf(r).StartQuery(q)
 		}
-		hs[i] = h
+		return sh, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return newCoordHandle(s.co, q, hs), nil
+	return h, nil
+}
+
+func (s *coordSession) each(f func(engine.Session)) {
+	s.mu.Lock()
+	subs := make([]engine.Session, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		f(sub)
+	}
 }
 
 func (s *coordSession) LinkVizs(from, to string) {
-	for _, sub := range s.subs {
-		sub.LinkVizs(from, to)
-	}
+	s.each(func(sub engine.Session) { sub.LinkVizs(from, to) })
 }
 
 func (s *coordSession) DeleteViz(name string) {
-	for _, sub := range s.subs {
-		sub.DeleteViz(name)
-	}
+	s.each(func(sub engine.Session) { sub.DeleteViz(name) })
 }
 
 func (s *coordSession) WorkflowStart() {
-	for _, sub := range s.subs {
-		sub.WorkflowStart()
-	}
+	s.each(func(sub engine.Session) { sub.WorkflowStart() })
 }
 
 func (s *coordSession) WorkflowEnd() {
-	for _, sub := range s.subs {
-		sub.WorkflowEnd()
-	}
+	s.each(func(sub engine.Session) { sub.WorkflowEnd() })
 }
 
 func (s *coordSession) Close() {
-	for _, sub := range s.subs {
+	s.mu.Lock()
+	subs := s.subs
+	s.subs = make(map[*replica]engine.Session)
+	s.mu.Unlock()
+	for _, sub := range subs {
 		sub.Close()
-	}
-}
-
-// coordHandle merges one query's per-shard handles. Snapshot buffers one
-// Partial per shard (arrival order irrelevant), folds them in shard-ID
-// order and renders once; it returns nil until EVERY shard has produced a
-// fragment — a merged estimate over a subset of shards would be a biased
-// sample of the population, not a progressive answer. An unreachable shard
-// therefore shows up as "no snapshot yet" (and, at Done, as a nil final
-// result), never as a silently-partial one.
-type coordHandle struct {
-	co     *Coordinator
-	aggs   []query.Aggregate
-	shards []engine.Handle
-	done   chan struct{}
-}
-
-func newCoordHandle(co *Coordinator, q *query.Query, hs []engine.Handle) *coordHandle {
-	h := &coordHandle{co: co, aggs: q.Aggs, shards: hs, done: make(chan struct{})}
-	go func() {
-		for _, sh := range hs {
-			<-sh.Done()
-		}
-		close(h.done)
-	}()
-	return h
-}
-
-// Snapshot implements engine.Handle.
-func (h *coordHandle) Snapshot() *query.Result {
-	parts := make([]*engine.Partial, len(h.shards))
-	for i, sh := range h.shards {
-		ps, ok := sh.(engine.PartialSnapshotter)
-		if !ok {
-			return nil
-		}
-		p := ps.PartialSnapshot()
-		if p == nil {
-			return nil
-		}
-		parts[i] = p
-	}
-	fold := engine.NewPartialFold(h.aggs)
-	h.co.mu.Lock()
-	z := h.co.z
-	minWM := int64(math.MaxInt64)
-	for i, p := range parts {
-		fold.Add(p)
-		if g := h.co.translate(i, p.Watermark); g < minWM {
-			minWM = g
-		}
-	}
-	h.co.mu.Unlock()
-	res := fold.Render(z)
-	if res != nil {
-		res.Watermark = minWM
-	}
-	return res
-}
-
-// Done implements engine.Handle: closed when every shard handle is done.
-func (h *coordHandle) Done() <-chan struct{} { return h.done }
-
-// Cancel implements engine.Handle: cancels every shard.
-func (h *coordHandle) Cancel() {
-	for _, sh := range h.shards {
-		sh.Cancel()
 	}
 }

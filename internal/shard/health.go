@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"idebench/internal/engine"
+	"idebench/internal/query"
+)
+
+// CheckHealth runs one synchronous health pass over every replica: backends
+// with a Pinger capability are probed and their health flag set from the
+// outcome; backends without one keep whatever the query/ingest paths last
+// observed. A replica that comes back healthy is re-marked in-sync only
+// when its confirmed watermark proves it holds the partition's current
+// version (a durable restart recovered the WAL tail, or no batch was
+// routed while it was down) — otherwise it keeps serving at its honestly
+// stale watermark until a rebalance hands it fresh state. Returns the
+// healthy and total replica counts.
+func (co *Coordinator) CheckHealth() (healthy, total int) {
+	co.mu.Lock()
+	sets := make([][]*replica, len(co.sets))
+	targets := make([]int64, len(co.sets))
+	for i := range co.sets {
+		sets[i] = append([]*replica(nil), co.sets[i]...)
+		if len(co.steps) > i && len(co.steps[i]) > 0 {
+			targets[i] = co.steps[i][len(co.steps[i])-1].Local
+		}
+	}
+	co.mu.Unlock()
+
+	for i, set := range sets {
+		for _, r := range set {
+			if p, ok := r.be.(Pinger); ok {
+				r.setHealthy(p.Ping() == nil)
+			}
+			h, synced := r.state()
+			if h && !synced && r.caps.Watermarker != nil &&
+				r.caps.Watermarker.Watermark() >= targets[i] {
+				r.setSynced(true)
+			}
+			if h {
+				healthy++
+			}
+			total++
+		}
+	}
+	return healthy, total
+}
+
+// StartHealthLoop probes replica health every interval until the returned
+// stop function is called.
+func (co *Coordinator) StartHealthLoop(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				co.CheckHealth()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Mismatch describes one anti-entropy divergence: two replicas of the same
+// partition answered the same query with bitwise-different partials at the
+// same watermark.
+type Mismatch struct {
+	Partition int
+	A, B      string // replica names
+	Watermark int64
+}
+
+// AntiEntropyCheck runs q to completion on two healthy in-sync replicas of
+// every partition that has them and compares the resulting fragments
+// bitwise via their canonical encoding. Partials are deterministic — same
+// partition, same data version, same query must produce identical bytes —
+// so any difference is real divergence (lost batch, corrupted state), not
+// timing. Comparisons only happen when both fragments are complete at the
+// same watermark; partitions with fewer than two eligible replicas are
+// skipped. Mismatches are returned and counted on the Topology alarm
+// counters.
+func (co *Coordinator) AntiEntropyCheck(q *query.Query, timeout time.Duration) ([]Mismatch, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	var out []Mismatch
+	for i := 0; i < co.Shards(); i++ {
+		set := co.replicaSet(i)
+		var pair []*replica
+		for _, r := range set {
+			if h, synced := r.state(); h && synced {
+				pair = append(pair, r)
+				if len(pair) == 2 {
+					break
+				}
+			}
+		}
+		if len(pair) < 2 {
+			continue
+		}
+		pa, err := runFragment(pair[0], q, timeout)
+		if err != nil {
+			return out, fmt.Errorf("shard: anti-entropy on %s: %w", pair[0].name, err)
+		}
+		pb, err := runFragment(pair[1], q, timeout)
+		if err != nil {
+			return out, fmt.Errorf("shard: anti-entropy on %s: %w", pair[1].name, err)
+		}
+		if pa == nil || pb == nil || !pa.Complete || !pb.Complete || pa.Watermark != pb.Watermark {
+			// Not comparable (one replica mid-ingest or without partial
+			// support); try again next round.
+			continue
+		}
+		ea, err := json.Marshal(pa)
+		if err != nil {
+			return out, err
+		}
+		eb, err := json.Marshal(pb)
+		if err != nil {
+			return out, err
+		}
+		co.aeChecks.Add(1)
+		if !bytes.Equal(ea, eb) {
+			co.aeMismatches.Add(1)
+			out = append(out, Mismatch{
+				Partition: i, A: pair[0].name, B: pair[1].name, Watermark: pa.Watermark,
+			})
+		}
+	}
+	return out, nil
+}
+
+// runFragment executes q on one replica until done (or timeout, which
+// cancels) and returns its raw fragment.
+func runFragment(r *replica, q *query.Query, timeout time.Duration) (*engine.Partial, error) {
+	sh, err := r.be.StartQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-sh.Done():
+	case <-time.After(timeout):
+		sh.Cancel()
+		<-sh.Done()
+		return nil, fmt.Errorf("timed out after %v", timeout)
+	}
+	return partialOf(sh), nil
+}
+
+// StartAntiEntropyLoop runs AntiEntropyCheck every interval with the query
+// produced by qf, logging nothing itself: divergence shows up on the
+// Topology alarm counters (and /healthz). Stops when the returned function
+// is called.
+func (co *Coordinator) StartAntiEntropyLoop(interval, timeout time.Duration, qf func() *query.Query) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				// Best-effort: a dead replica mid-check is the health loop's
+				// problem, not a reason to stop watching for divergence.
+				co.AntiEntropyCheck(qf(), timeout) //nolint:errcheck
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -33,6 +33,28 @@
 // and translates by flooring. A merged snapshot's Result.Watermark is the
 // MINIMUM over its constituent shards' translated watermarks: the merged
 // answer is only as fresh as its stalest fragment.
+//
+// # Elasticity
+//
+// Each partition may be served by a replica set rather than a single
+// engine (NewReplicated). Replicas of a partition hold identical data, so
+// any healthy, synced replica can answer for it; the coordinator
+// health-checks replicas (StartHealthLoop), fails a mid-stream query over
+// to a sibling replica without surfacing an error, and keeps ingesting to
+// the survivors while a dead replica is down. A replica that rejoins is
+// only promoted back to query duty once its watermark proves it has
+// re-applied everything it missed.
+//
+// When every replica of a partition is down, queries do not fail and do
+// not silently pretend to be complete: the merged result carries a
+// query.Coverage block naming how many partitions answered and what
+// fraction of the population they hold, and Options.MinCoverage lets an
+// operator refuse answers below a floor instead. AddReplica/RemoveReplica
+// and Rebalance grow, shrink and re-split the tier at runtime; handoff
+// reuses the durable-checkpoint transfer format plus a capture-window tail
+// replay so the moved partition attaches at a version barrier with no row
+// loss. StartAntiEntropyLoop cross-checks replica sets bitwise in the
+// background and reports divergence before users can observe it.
 package shard
 
 import (
