@@ -52,6 +52,20 @@ func startServe(t *testing.T, bin string, args ...string) *servedProc {
 // subcommand) and waits until it prints its bound address banner.
 func startProc(t *testing.T, bin string, argv ...string) *servedProc {
 	t.Helper()
+	p, addrCh := launchProc(t, bin, argv...)
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("server did not come up; output so far:\n%s", p.output())
+	}
+	return p
+}
+
+// launchProc starts the binary and returns immediately with a channel that
+// yields the bound address once the serving banner appears — for processes
+// (a warm standby) that deliberately do not bind until much later.
+func launchProc(t *testing.T, bin string, argv ...string) (*servedProc, <-chan string) {
+	t.Helper()
 	p := &servedProc{cmd: exec.Command(bin, argv...)}
 	stdout, err := p.cmd.StdoutPipe()
 	if err != nil {
@@ -83,12 +97,7 @@ func startProc(t *testing.T, bin string, argv ...string) *servedProc {
 			}
 		}
 	}()
-	select {
-	case p.addr = <-addrCh:
-	case <-time.After(60 * time.Second):
-		t.Fatalf("server did not come up; output so far:\n%s", p.output())
-	}
-	return p
+	return p, addrCh
 }
 
 type lockedWriter struct {

@@ -17,6 +17,8 @@
 //	idebench shard       -rows 500000 -replica-of 0 -shard-count 3 -addr :9101
 //	idebench coord       -rows 500000 -shards localhost:9001,localhost:9002,localhost:9003 -addr :8373
 //	idebench coord       -rows 500000 -shards localhost:9001/localhost:9101,localhost:9002/localhost:9102 -min-coverage 0.5 -addr :8373
+//	idebench coord       -rows 500000 -shards ... -data-dir ./coord-state -peers localhost:8374 -addr :8373
+//	idebench coord       -rows 500000 -standby-of localhost:8373 -data-dir ./coord-state -addr :8374
 //	idebench rebalance   -addr localhost:8373 -op add -partition 0 -shard-addr localhost:9102
 //	idebench probe       -addr localhost:8373 -rows 500000 -expect full
 //	idebench run         -addr localhost:8373 -rows 500000 -users 8
@@ -83,6 +85,22 @@
 // background bitwise divergence check between replicas. `rebalance` posts
 // replica add/remove to a live coordinator; `probe` asserts the tier's
 // coverage outcome from the outside (CI walls are built from it).
+//
+// The coordinator itself is redundant: `coord -data-dir` journals the
+// authoritative control-plane state — partition map, replica membership
+// with sync and quarantine flags, and the global→shard version-log
+// translation, each step fsynced BEFORE the ingest ack — and
+// `coord -standby-of ADDR -data-dir SAME` runs a warm standby that tails
+// that journal, probes the primary, and on probe-confirmed death takes
+// over serving at exactly the acknowledged watermark (it binds its -addr
+// only at takeover). `-peers` lists the standby addresses the primary
+// states in its hello frames, so clients that dialed only the primary
+// learn the failover rotation before they need it; the client walks the
+// rotation on redial (comma-separated `-addr` lists on `run`, `probe` and
+// `load` seed it explicitly). A replica whose content diverges bitwise
+// from its siblings is quarantined — excluded from fan-out and ingest,
+// visible on /healthz, durable across coordinator restart — until
+// readmitted through the rebalance path.
 //
 // `serve -data-dir` makes the served state durable (internal/durable): the
 // prepared base is checkpointed once at boot, every ingest batch is written
@@ -283,7 +301,7 @@ func cmdRun(args []string) error {
 	detailed := fs.String("detailed", "", "optional path for the detailed per-query CSV report")
 	users := fs.Int("users", 1, "concurrent simulated users (each on its own engine session)")
 	seed := fs.Int64("seed", 1, "random seed")
-	addr := fs.String("addr", "", "replay against a remote `idebench serve` at host:port instead of in-process (-rows/-seed must match the server)")
+	addr := fs.String("addr", "", "replay against a remote `idebench serve` at host:port instead of in-process (-rows/-seed must match the server); a comma-separated list enables failover through the rotation (primary first, then warm standbys)")
 	maxViol := fs.Float64("maxviol", -1, "fail if the TR-violation percentage exceeds this (negative disables); CI smoke guard")
 	expectStream := fs.Bool("expect-stream", false, "with -addr: fail unless at least one intermediate and one final snapshot frame arrived")
 	ingestEvery := fs.Int("ingest-every", 0, "interleave an ingest event after every N workflow interactions (0 disables live ingestion)")
@@ -424,7 +442,18 @@ func cmdRun(args []string) error {
 // the client owns the ground-truth lineage (a local harness applies every
 // batch) while the same batches ship to the server as ingest frames.
 func runRemote(addr string, db *dataset.Database, flows []*workflow.Workflow, s core.Settings, users int, withIngest bool) ([]driver.Record, *server.FrameStats, *ingest.Harness, error) {
-	rem, err := server.NewRemote(addr)
+	// addr may be a comma-separated failover list (primary first, then warm
+	// standbys); with more than one address the client reconnects through
+	// the rotation when the primary dies. A single address keeps the
+	// fail-loudly default — a benchmark replay should not paper over a
+	// flaky single-server setup.
+	addrs := splitAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, nil, nil, errors.New("run: -addr is empty")
+	}
+	rem, err := server.NewRemoteWithOptions(addrs[0], server.RemoteOptions{
+		Addrs: addrs[1:], Reconnect: len(addrs) > 1,
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -859,11 +888,99 @@ func antiEntropyQuery(db *dataset.Database) *query.Query {
 	}
 }
 
+// splitAddrs parses a comma-separated address list, trimming blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// standbyWait blocks until the primary coordinator at primary is
+// probe-confirmed dead: failures consecutive /healthz probes failed. While
+// waiting it tails the shared journal read-only — a torn trailing record is
+// the primary mid-append, which a non-owning read stops before rather than
+// truncating — so the takeover starts from state the standby has already
+// seen and validated.
+func standbyWait(primary, dataDir string, interval time.Duration, failures int) error {
+	if failures < 1 {
+		failures = 1
+	}
+	client := &http.Client{Timeout: server.PingTimeout}
+	consecutive := 0
+	lastGlobal := int64(-1)
+	for {
+		if st, _, err := shard.ReadCoordState(dataDir); err == nil && st != nil && st.Global != lastGlobal {
+			lastGlobal = st.Global
+			fmt.Printf("standby: tailing %s — global version %d over %d partitions\n",
+				dataDir, st.Global, len(st.Parts))
+		}
+		resp, err := client.Get("http://" + primary + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				consecutive = 0
+				time.Sleep(interval)
+				continue
+			}
+		}
+		consecutive++
+		fmt.Printf("standby: primary %s probe failed (%d/%d)\n", primary, consecutive, failures)
+		if consecutive >= failures {
+			fmt.Printf("standby: primary %s confirmed dead, taking over\n", primary)
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// recoverCoordinator rebuilds a serving coordinator from journaled
+// control-plane state: every journaled replica is re-dialed at its
+// journaled address, then the partition map, version log and quarantine
+// flags are restored verbatim — watermark translation after the takeover
+// is exactly what the previous incarnation acked. Sync flags are re-proved
+// from each replica's live watermark, not trusted.
+func recoverCoordinator(db *dataset.Database, st *shard.CoordState, coOpts shard.Options) (*shard.Coordinator, []*server.Remote, error) {
+	var rems []*server.Remote
+	fail := func(err error) (*shard.Coordinator, []*server.Remote, error) {
+		for _, r := range rems {
+			r.Close()
+		}
+		return nil, nil, err
+	}
+	specs := make([][]shard.ReplicaSpec, len(st.Parts))
+	for i, set := range st.Parts {
+		for _, ps := range set {
+			if ps.Addr == "" {
+				return fail(fmt.Errorf("coord: journaled replica %s of partition %d has no address; in-process members cannot be re-dialed", ps.Name, i))
+			}
+			rem, err := dialReplica(ps.Addr)
+			if err != nil {
+				return fail(fmt.Errorf("coord: re-dial partition %d replica %s at %s: %w", i, ps.Name, ps.Addr, err))
+			}
+			rems = append(rems, rem)
+			specs[i] = append(specs[i], shard.ReplicaSpec{Engine: rem, Addr: ps.Addr, Name: ps.Name})
+		}
+	}
+	co, err := shard.NewReplicatedSpecs(coOpts, specs...)
+	if err != nil {
+		return fail(err)
+	}
+	if err := co.Restore(db, st); err != nil {
+		return fail(err)
+	}
+	return co, rems, nil
+}
+
 func cmdCoord(args []string) error {
 	fs := flag.NewFlagSet("coord", flag.ExitOnError)
 	rows := fs.Int("rows", core.SizeM, "FULL dataset size (tuples); must match the shard servers")
 	seed := fs.Int64("seed", 1, "random seed (must match the shard servers)")
-	shards := fs.String("shards", "", "comma-separated shard replica sets, '/'-separated replicas within a set (e.g. h:9001/h:9101,h:9002/h:9102); set ORDER assigns partition IDs and must match each server's -shard-index/-replica-of")
+	shards := fs.String("shards", "", "comma-separated shard replica sets, '/'-separated replicas within a set (e.g. h:9001/h:9101,h:9002/h:9102); set ORDER assigns partition IDs and must match each server's -shard-index/-replica-of; ignored when -data-dir holds recoverable state")
 	addr := fs.String("addr", ":8373", "listen address")
 	maxConns := fs.Int("max-conns", server.DefaultMaxConns, "maximum concurrent connections")
 	poll := fs.Duration("poll", server.DefaultPollInterval, "snapshot streaming poll interval")
@@ -874,12 +991,13 @@ func cmdCoord(args []string) error {
 	minCoverage := fs.Float64("min-coverage", 0, "refuse degraded merged results whose live population fraction is below this floor (0 serves any non-empty coverage)")
 	healthInterval := fs.Duration("health-interval", time.Second, "replica health-probe cadence (0 disables the loop)")
 	antiEntropy := fs.Duration("anti-entropy", 0, "background replica divergence-check cadence, bitwise over canonical fragments (0 disables)")
+	dataDir := fs.String("data-dir", "", "control-plane journal directory: membership, quarantine flags and the version log are write-ahead-logged here before acks and recovered on restart (empty = in-memory only)")
+	standbyOf := fs.String("standby-of", "", "run as a warm standby of the primary coordinator at this address: tail the shared -data-dir journal, probe the primary, and take over serving once it is probe-confirmed dead (requires -data-dir)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "standby's primary-death probe cadence")
+	takeoverFailures := fs.Int("takeover-failures", 3, "consecutive failed probes before the standby takes over")
+	peers := fs.String("peers", "", "comma-separated list of every address this serving tier is reachable at (primary first, then standbys); stated on hello frames so clients learn where to redial")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	partSpecs := strings.Split(*shards, ",")
-	if *shards == "" || len(partSpecs) == 0 {
-		return errors.New("coord: -shards is required (comma-separated replica sets, '/' between replicas)")
 	}
 
 	// The coordinator computes the same partitioning the shards did, both to
@@ -888,30 +1006,77 @@ func cmdCoord(args []string) error {
 	if err != nil {
 		return err
 	}
-	sets := make([][]engine.Engine, len(partSpecs))
-	replicas := 0
-	for i, spec := range partSpecs {
-		for _, a := range strings.Split(spec, "/") {
-			rem, err := dialReplica(a)
-			if err != nil {
-				return fmt.Errorf("coord: partition %d replica at %s: %w", i, strings.TrimSpace(a), err)
-			}
-			defer rem.Close()
-			sets[i] = append(sets[i], rem)
-			replicas++
+
+	if *standbyOf != "" {
+		if *dataDir == "" {
+			return errors.New("coord: -standby-of requires -data-dir (the journal the standby tails)")
+		}
+		// Block here — dataset built, warm — until the primary is confirmed
+		// dead; only then take ownership of the journal and bind the listener.
+		if err := standbyWait(*standbyOf, *dataDir, *probeInterval, *takeoverFailures); err != nil {
+			return err
 		}
 	}
-	co, err := shard.NewReplicated(shard.Options{MinCoverage: *minCoverage}, sets...)
-	if err != nil {
-		return err
+
+	coOpts := shard.Options{MinCoverage: *minCoverage}
+	var journal *shard.CoordJournal
+	if *dataDir != "" {
+		journal, err = shard.OpenCoordJournal(*dataDir)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		coOpts.Journal = journal
 	}
-	s := core.DefaultSettings()
-	start := time.Now()
-	if err := co.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: *seed}); err != nil {
-		return err
+
+	var co *shard.Coordinator
+	if st := func() *shard.CoordState {
+		if journal == nil {
+			return nil
+		}
+		return journal.State()
+	}(); st != nil {
+		var rems []*server.Remote
+		co, rems, err = recoverCoordinator(db, st, coOpts)
+		if err != nil {
+			return err
+		}
+		for _, rem := range rems {
+			defer rem.Close()
+		}
+		fmt.Printf("recovered coordinator over %d partitions (%d replicas) at global version %d from %s\n",
+			co.Shards(), len(rems), co.Watermark(), *dataDir)
+	} else {
+		if *shards == "" {
+			return errors.New("coord: -shards is required (comma-separated replica sets, '/' between replicas)")
+		}
+		partSpecs := strings.Split(*shards, ",")
+		specs := make([][]shard.ReplicaSpec, len(partSpecs))
+		replicas := 0
+		for i, spec := range partSpecs {
+			for _, a := range strings.Split(spec, "/") {
+				a = strings.TrimSpace(a)
+				rem, err := dialReplica(a)
+				if err != nil {
+					return fmt.Errorf("coord: partition %d replica at %s: %w", i, a, err)
+				}
+				defer rem.Close()
+				specs[i] = append(specs[i], shard.ReplicaSpec{Engine: rem, Addr: a})
+				replicas++
+			}
+		}
+		co, err = shard.NewReplicatedSpecs(coOpts, specs...)
+		if err != nil {
+			return err
+		}
+		s := core.DefaultSettings()
+		start := time.Now()
+		if err := co.Prepare(db, engine.Options{Confidence: s.Confidence, Seed: *seed}); err != nil {
+			return err
+		}
+		fmt.Printf("coordinator over %d partitions (%d replicas); partition check + prepare in %v\n",
+			co.Shards(), replicas, time.Since(start).Round(time.Microsecond))
 	}
-	fmt.Printf("coordinator over %d partitions (%d replicas); partition check + prepare in %v\n",
-		co.Shards(), replicas, time.Since(start).Round(time.Microsecond))
 	if *healthInterval > 0 {
 		defer co.StartHealthLoop(*healthInterval)()
 	}
@@ -930,6 +1095,7 @@ func cmdCoord(args []string) error {
 		MaxInflightPerConn: *maxInflightConn,
 		LateFactor:         *lateFactor,
 		Role:               "coord",
+		Peers:              splitAddrs(*peers),
 	}
 	// Ingest frames route through the coordinator: validate against the full
 	// database, then hash-split to the owning shards and wait for their
@@ -952,7 +1118,7 @@ func cmdCoord(args []string) error {
 			if err != nil {
 				return fmt.Errorf("coord: dial new replica %s: %w", req.Addr, err)
 			}
-			if err := co.AddReplica(req.Partition, rem); err != nil {
+			if err := co.AddReplicaAddr(req.Partition, rem, strings.TrimSpace(req.Addr)); err != nil {
 				rem.Close()
 				return err
 			}
@@ -1038,7 +1204,7 @@ func resultDigest(res *query.Result) uint64 {
 // the tier is below its -min-coverage floor or fully unreachable).
 func cmdProbe(args []string) error {
 	fs := flag.NewFlagSet("probe", flag.ExitOnError)
-	addr := fs.String("addr", "localhost:8373", "server address to probe")
+	addr := fs.String("addr", "localhost:8373", "server address to probe; a comma-separated list probes through the failover rotation (primary first)")
 	rows := fs.Int("rows", core.SizeM, "dataset size the server was prepared with")
 	seed := fs.Int64("seed", 1, "dataset seed the server was prepared with")
 	timeout := fs.Duration("timeout", 30*time.Second, "probe query budget")
@@ -1051,7 +1217,13 @@ func cmdProbe(args []string) error {
 	if err != nil {
 		return err
 	}
-	rem, err := server.NewRemoteWithOptions(*addr, server.RemoteOptions{})
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		return errors.New("probe: -addr is empty")
+	}
+	rem, err := server.NewRemoteWithOptions(addrs[0], server.RemoteOptions{
+		Addrs: addrs[1:], Reconnect: len(addrs) > 1,
+	})
 	if err != nil {
 		return err
 	}

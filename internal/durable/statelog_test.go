@@ -1,0 +1,246 @@
+package durable
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type testEvent struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func appendEvents(t *testing.T, l *StateLog, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := l.Append("ev", testEvent{N: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func decodeEvents(t *testing.T, recs []StateRecord) []testEvent {
+	t.Helper()
+	out := make([]testEvent, 0, len(recs))
+	for i, rec := range recs {
+		if rec.Kind != "ev" {
+			t.Fatalf("record %d: kind %q, want ev", i, rec.Kind)
+		}
+		var ev testEvent
+		if err := json.Unmarshal(rec.Payload, &ev); err != nil {
+			t.Fatalf("record %d payload: %v", i, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestStateLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Records()); got != 0 {
+		t.Fatalf("fresh log has %d records", got)
+	}
+	appendEvents(t, l, 0, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	evs := decodeEvents(t, l2.Records())
+	if len(evs) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.N != i {
+			t.Fatalf("record %d: N=%d", i, ev.N)
+		}
+	}
+	// Appending after recovery must extend, not clobber.
+	appendEvents(t, l2, 10, 12)
+	l2.Close()
+	l3, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if got := len(l3.Records()); got != 12 {
+		t.Fatalf("after extend: %d records, want 12", got)
+	}
+}
+
+func TestStateLogTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, l, 0, 5)
+	l.Close()
+
+	// Simulate a mid-write crash: append garbage half-frame bytes.
+	path := filepath.Join(dir, stateLogFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Read-only view reports the tear, keeps the file intact.
+	recs, torn, err := ReadStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("ReadStateLog did not report the torn tail")
+	}
+	if len(recs) != 5 {
+		t.Fatalf("ReadStateLog: %d records, want 5", len(recs))
+	}
+	if sz, _ := (OSFS{}).Size(path); sz == 0 {
+		t.Fatal("read-only view emptied the file")
+	}
+
+	// Owning open truncates the tear and appends cleanly after it.
+	l2, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l2.Records()); got != 5 {
+		t.Fatalf("recovered %d records, want 5", got)
+	}
+	appendEvents(t, l2, 5, 6)
+	l2.Close()
+	recs, torn, err = ReadStateLog(dir, nil)
+	if err != nil || torn {
+		t.Fatalf("after repair: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("after repair: %d records, want 6", len(recs))
+	}
+}
+
+func TestStateLogCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, l, 0, 20)
+	snap, err := json.Marshal(testEvent{N: 99, S: "snapshot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(StateRecord{Kind: "ev", Payload: snap}); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after a compaction extend the compacted log.
+	appendEvents(t, l, 100, 101)
+	l.Close()
+
+	l2, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	evs := decodeEvents(t, l2.Records())
+	if len(evs) != 2 || evs[0].N != 99 || evs[0].S != "snapshot" || evs[1].N != 100 {
+		t.Fatalf("after compact: %+v", evs)
+	}
+}
+
+func TestStateLogFailedAppendRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	l, err := OpenStateLog(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, l, 0, 3)
+
+	// Arm ENOSPC so the next append lands short; the log must roll it back.
+	ffs.SetWriteBudget(4)
+	if err := l.Append("ev", testEvent{N: 3}); err == nil {
+		t.Fatal("append past the write budget succeeded")
+	}
+	ffs.SetWriteBudget(-1)
+
+	// The next append goes through and recovery sees no half record.
+	appendEvents(t, l, 3, 4)
+	l.Close()
+	l2, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	evs := decodeEvents(t, l2.Records())
+	if len(evs) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.N != i {
+			t.Fatalf("record %d: N=%d", i, ev.N)
+		}
+	}
+}
+
+func TestStateLogFailedSyncNotCommitted(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	l, err := OpenStateLog(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, l, 0, 2)
+	ffs.FailNextSyncs(1)
+	if err := l.Append("ev", testEvent{N: 2}); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	appendEvents(t, l, 2, 3)
+	l.Close()
+	l2, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	evs := decodeEvents(t, l2.Records())
+	if len(evs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(evs))
+	}
+}
+
+func TestStateLogCompactFailureKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	l, err := OpenStateLog(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, l, 0, 5)
+	ffs.FailNextRenames(1)
+	snap, _ := json.Marshal(testEvent{N: 99})
+	if err := l.Compact(StateRecord{Kind: "ev", Payload: snap}); err == nil {
+		t.Fatal("compact with failing rename succeeded")
+	}
+	l.Close()
+	l2, err := OpenStateLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := len(l2.Records()); got != 5 {
+		t.Fatalf("old log lost: %d records, want 5", got)
+	}
+}

@@ -99,6 +99,11 @@ type Topology struct {
 	// bitwise at the same watermark — the replica-divergence alarm. Any
 	// non-zero value is an alarm condition.
 	AntiEntropyMismatches int64 `json:"anti_entropy_mismatches"`
+	// AntiEntropyErrors counts fragment runs the anti-entropy sweep could
+	// not complete (replica unreachable, query failed). A climbing value
+	// with flat AntiEntropyChecks means the divergence watch is wedged,
+	// not quiet.
+	AntiEntropyErrors int64 `json:"anti_entropy_errors"`
 	// MinCoverage is the configured population-fraction floor below which
 	// degraded merges are refused.
 	MinCoverage float64 `json:"min_coverage"`
@@ -122,6 +127,15 @@ type ReplicaTopology struct {
 	// (it still serves, at an honestly stale watermark) — a rebalance
 	// handoff is what brings it back in sync.
 	Synced bool `json:"synced"`
+	// Quarantined marks a replica whose state was caught diverging from
+	// its siblings (bitwise mismatch at a common watermark, or rows it was
+	// never routed). It is excluded from query fan-out and ingest entirely
+	// until re-prepared and readmitted through the rebalance path.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Addr is the replica's dialable address, empty for in-process
+	// replicas. Persisted with the control-plane topology so a standby
+	// coordinator can re-dial the data plane at takeover.
+	Addr string `json:"addr,omitempty"`
 	// Watermark is the replica's confirmed local watermark translated onto
 	// the coordinator's global row axis.
 	Watermark int64 `json:"watermark"`

@@ -59,6 +59,14 @@ type RemoteOptions struct {
 	// session. Scatter-gather coordinators set it; handles then implement
 	// engine.PartialSnapshotter with the freshest streamed partial.
 	Partials bool
+	// Addrs lists alternate addresses the same serving tier is reachable at
+	// (warm standbys of the primary passed to NewRemoteWithOptions). Dials
+	// and redials walk the combined list round-robin: a failed attempt —
+	// retryable or terminal — advances to the next address, so a client
+	// pointed at a dead primary finds the standby that took over instead of
+	// hammering a corpse. The server's hello Peers list is merged in, so a
+	// client that dialed only the primary still learns the standbys.
+	Addrs []string
 }
 
 func (o RemoteOptions) withDefaults() RemoteOptions {
@@ -144,7 +152,6 @@ func (r *Remote) jitter(d time.Duration) time.Duration {
 // model), so driver.Runner and driver.MultiRunner replay workflows over the
 // network exactly as they do in-process.
 type Remote struct {
-	addr  string
 	opts  RemoteOptions
 	name  string
 	rows  int64
@@ -159,8 +166,77 @@ type Remote struct {
 	jmu  sync.Mutex
 	jrng *rand.Rand
 
+	// addrs is the dial rotation: the primary address first, then
+	// RemoteOptions.Addrs, then any peers learned from hello frames; cur
+	// indexes the address the next dial targets. Guarded separately from mu
+	// because redial runs while sessions hold their own locks.
+	amu   sync.Mutex
+	addrs []string
+	cur   int
+
 	mu  sync.Mutex
 	def *RemoteSession
+}
+
+// currentAddr returns the address the next dial attempt targets.
+func (r *Remote) currentAddr() string {
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	return r.addrs[r.cur]
+}
+
+// advanceAddr rotates to the next address in the dial list.
+func (r *Remote) advanceAddr() {
+	r.amu.Lock()
+	r.cur = (r.cur + 1) % len(r.addrs)
+	r.amu.Unlock()
+}
+
+// addrCount returns the current dial-list length (it can grow as hello
+// frames reveal peers).
+func (r *Remote) addrCount() int {
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	return len(r.addrs)
+}
+
+// ConnectedAddr reports the remote TCP address the default session is
+// currently connected to — after a failover this is the rotation member
+// actually serving the session, which the rotation index alone cannot tell.
+func (r *Remote) ConnectedAddr() string { return r.def.RemoteAddr() }
+
+// Addrs returns a copy of the current dial rotation, primary-first.
+func (r *Remote) Addrs() []string {
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	return append([]string(nil), r.addrs...)
+}
+
+// mergePeers appends addresses from a hello Peers list that the rotation
+// does not already contain. The server states every address its tier is
+// reachable at, so a client that dialed only the primary learns where the
+// warm standbys live before it needs them.
+func (r *Remote) mergePeers(peers []string) {
+	if len(peers) == 0 {
+		return
+	}
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	for _, p := range peers {
+		if p == "" {
+			continue
+		}
+		known := false
+		for _, a := range r.addrs {
+			if a == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			r.addrs = append(r.addrs, p)
+		}
+	}
 }
 
 // NewRemote connects to a Server at addr ("host:port") and performs the
@@ -170,9 +246,11 @@ func NewRemote(addr string) (*Remote, error) {
 	return NewRemoteWithOptions(addr, RemoteOptions{})
 }
 
-// NewRemoteWithOptions is NewRemote with explicit resilience options.
+// NewRemoteWithOptions is NewRemote with explicit resilience options. addr
+// is the preferred (first-dialed) address; opts.Addrs extends the rotation.
 func NewRemoteWithOptions(addr string, opts RemoteOptions) (*Remote, error) {
-	r := &Remote{addr: addr, opts: opts.withDefaults(), jrng: newJitterRand()}
+	r := &Remote{opts: opts.withDefaults(), jrng: newJitterRand(), addrs: []string{addr}}
+	r.mergePeers(opts.Addrs)
 	sess, err := r.dial()
 	if err != nil {
 		return nil, err
@@ -233,10 +311,12 @@ func (r *Remote) OpenSession() engine.Session {
 	return sess
 }
 
-// dialConn performs one connection attempt: handshake, hello exchange,
-// version check. No retries — callers decide the retry policy.
+// dialConn performs one connection attempt against the rotation's current
+// address: handshake, hello exchange, version check. No retries — callers
+// decide the retry policy. A successful hello merges the server's Peers
+// into the dial rotation.
 func (r *Remote) dialConn() (*WSConn, *ServerMsg, error) {
-	ws, err := dialWS("ws://"+r.addr+"/ws", DialTimeout)
+	ws, err := dialWS("ws://"+r.currentAddr()+"/ws", DialTimeout)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -258,20 +338,41 @@ func (r *Remote) dialConn() (*WSConn, *ServerMsg, error) {
 		ws.Close()
 		return nil, nil, fmt.Errorf("server: protocol version %d, client speaks %d", hello.Version, ProtoVersion)
 	}
+	r.mergePeers(hello.Peers)
 	return ws, hello, nil
 }
 
-// redial retries dialConn after a retryable failure with exponential
+// redial retries dialConn after a connection failure with exponential
 // backoff + jitter, honoring any server Retry-After hint as the floor.
+//
+// With a multi-address rotation every failed attempt — retryable or
+// terminal — advances to the next address before retrying: a kill -9'd
+// primary refuses connections (retryable), a drained one closes with
+// GoingAway (terminal), and either way the answer lives at a standby, not
+// in hammering the same address. The attempt budget scales with the
+// rotation length so each address gets its MaxRetries; a full lap of
+// terminal failures — every address refused for a reason retrying cannot
+// fix — gives up at once, preserving the single-address contract that a
+// terminal error is returned without any retry.
 func (r *Remote) redial(cause error) (*WSConn, *ServerMsg, error) {
 	err := cause
 	backoff := r.opts.BackoffBase
 	if ra := retryAfterHint(err); ra > backoff {
 		backoff = ra
 	}
-	for attempt := 0; attempt < r.opts.MaxRetries; attempt++ {
+	terminalLap := 0
+	for attempt := 0; attempt < r.opts.MaxRetries*r.addrCount(); attempt++ {
+		n := r.addrCount()
 		if !IsRetryable(err) {
-			return nil, nil, err
+			terminalLap++
+			if terminalLap >= n {
+				return nil, nil, err
+			}
+		} else {
+			terminalLap = 0
+		}
+		if n > 1 {
+			r.advanceAddr()
 		}
 		time.Sleep(r.jitter(backoff))
 		var ws *WSConn
@@ -376,7 +477,7 @@ const PingTimeout = 2 * time.Second
 // WebSocket that may have died silently.
 func (r *Remote) Ping() error {
 	c := &http.Client{Timeout: PingTimeout}
-	resp, err := c.Get("http://" + r.addr + "/healthz")
+	resp, err := c.Get("http://" + r.currentAddr() + "/healthz")
 	if err != nil {
 		return err
 	}
@@ -413,15 +514,67 @@ type RemoteSession struct {
 	err      error // first connection-level failure
 	closed   bool
 	deadline time.Duration // attached to query frames as DeadlineMS
+	// reconnecting is true from the moment a connection loss is being
+	// handled until the replacement connection is installed (or the session
+	// fails/closes). While set, ws still points at the DEAD connection — and
+	// a write to a socket that received the peer's FIN succeeds silently
+	// into the kernel buffer, losing the frame without an error. Senders
+	// must therefore wait the flag out (liveConn) instead of writing.
+	reconnecting bool
+	sendCond     *sync.Cond // lazily made; broadcast when senders may proceed
 
 	readDone chan struct{}
 }
 
-// conn returns the session's current connection (reconnects swap it).
+// conn returns the session's current connection (reconnects swap it). Only
+// the readLoop — the goroutine that performs reconnects — may use it to do
+// I/O; frame writers go through liveConn.
 func (s *RemoteSession) conn() *WSConn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ws
+}
+
+// wakeSenders unblocks goroutines waiting in liveConn. Callers hold s.mu.
+func (s *RemoteSession) wakeSenders() {
+	if s.sendCond != nil {
+		s.sendCond.Broadcast()
+	}
+}
+
+// liveConn returns the connection an outgoing frame should be written to,
+// waiting out an in-progress reconnect: between a connection loss and the
+// swap-in of its replacement, ws points at a dead socket that can swallow a
+// write without an error (the first write after the peer's FIN lands in the
+// kernel buffer and vanishes with the RST). Returns the session error when
+// the loss proved terminal, so a blocked sender fails loudly instead.
+func (s *RemoteSession) liveConn() (*WSConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.reconnecting && !s.closed && s.err == nil {
+		if s.sendCond == nil {
+			s.sendCond = sync.NewCond(&s.mu)
+		}
+		s.sendCond.Wait()
+	}
+	if s.closed {
+		return nil, ErrWSClosed
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.ws, nil
+}
+
+// RemoteAddr reports the TCP peer of the session's current connection, ""
+// when the session never connected.
+func (s *RemoteSession) RemoteAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ws == nil {
+		return ""
+	}
+	return s.ws.conn.RemoteAddr().String()
 }
 
 // SetQueryDeadline attaches d as the deadline hint (ClientMsg.DeadlineMS)
@@ -543,19 +696,30 @@ func (s *RemoteSession) tryReconnect(cause error) bool {
 		s.mu.Unlock()
 		return false
 	}
+	// Senders block from here until the replacement connection is in (or
+	// fail clears the flag): queries started during the redial must go out
+	// on the NEW connection, not silently into the dead one.
+	s.reconnecting = true
 	s.mu.Unlock()
 	s.completeHandles()
 	ws, hello, err := s.rem.redial(cause)
 	if err != nil {
+		// Leave reconnecting set: the caller fails the session next, which
+		// clears it with err installed, so woken senders see the error and
+		// never the dead connection.
 		return false
 	}
 	s.mu.Lock()
 	if s.closed {
+		s.reconnecting = false
+		s.wakeSenders()
 		s.mu.Unlock()
 		ws.Close()
 		return false
 	}
 	s.ws = ws
+	s.reconnecting = false
+	s.wakeSenders()
 	s.mu.Unlock()
 	if s.wm != nil {
 		casMax(s.wm, hello.Rows)
@@ -583,6 +747,8 @@ func (s *RemoteSession) fail(err error) {
 	if s.err == nil {
 		s.err = err
 	}
+	s.reconnecting = false
+	s.wakeSenders()
 	s.mu.Unlock()
 	s.completeHandles()
 }
@@ -600,13 +766,18 @@ func (s *RemoteSession) Err() error {
 	return s.err
 }
 
-// send marshals and writes one client message.
+// send marshals and writes one client message on the live connection,
+// waiting out a reconnect in progress.
 func (s *RemoteSession) send(m *ClientMsg) error {
 	data, err := encodeMsg(m)
 	if err != nil {
 		return err
 	}
-	return s.conn().WriteMessage(data)
+	ws, err := s.liveConn()
+	if err != nil {
+		return err
+	}
+	return ws.WriteMessage(data)
 }
 
 // StartQuery implements engine.Session. It is asynchronous like its
@@ -688,6 +859,7 @@ func (s *RemoteSession) Close() {
 	}
 	s.closed = true
 	ws := s.ws
+	s.wakeSenders()
 	s.mu.Unlock()
 	ws.Close()
 	<-s.readDone

@@ -33,7 +33,12 @@ import (
 // the v3 documents; a v3 client parsing a degraded v4 result ignores the
 // unknown "coverage" key and must instead key off Complete, which a degraded
 // merge always clears.
-const ProtoVersion = 4
+// Version 5 added coordinator redundancy: the Peers list on the hello frame
+// (every address the serving tier may be reached at — the primary plus its
+// warm standbys), which clients merge into their redial address list, and
+// the quarantined/addr fields and anti-entropy error counter on the
+// /healthz topology block.
+const ProtoVersion = 5
 
 // Client→server message types.
 const (
@@ -173,6 +178,11 @@ type ServerMsg struct {
 	// "" or "single" for a standalone server, "shard" for one partition of a
 	// scatter-gather tier, "coord" for the coordinator fronting it.
 	Role string `json:"role,omitempty"`
+	// Peers lists, on the hello frame, every address this serving tier may
+	// be reached at: the answering server plus its warm standbys. Clients
+	// merge unseen entries into their redial address list, so a client
+	// that dialed only the primary learns where to go when it dies.
+	Peers []string `json:"peers,omitempty"`
 }
 
 // encodeMsg marshals a protocol message for the wire.

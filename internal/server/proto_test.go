@@ -89,6 +89,8 @@ func TestQuerySignatureSurvivesWire(t *testing.T) {
 func TestServerMsgRoundTrip(t *testing.T) {
 	msgs := []*ServerMsg{
 		{Type: MsgHello, Version: ProtoVersion, Engine: "progressive", Rows: 50000, Seed: 7},
+		{Type: MsgHello, Version: ProtoVersion, Engine: "progressive", Rows: 50000, Seed: 7,
+			Role: "coord", Peers: []string{"127.0.0.1:7001", "127.0.0.1:7002"}},
 		{Type: MsgSnapshot, ID: 7, Seq: 3, Result: testResult()},
 		{Type: MsgSnapshot, ID: 7, Seq: 4, Final: true, Result: testResult()},
 		{Type: MsgError, ID: 9, Error: "engine: unknown table"},

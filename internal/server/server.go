@@ -106,6 +106,11 @@ type Options struct {
 	// hello frames and on /healthz: "" (standalone), "shard" (one partition
 	// behind a scatter-gather coordinator) or "coord" (the coordinator).
 	Role string
+	// Peers lists every address this serving tier is reachable at (this
+	// server plus its warm standbys), stated in hello frames so clients
+	// can extend their redial address list with addresses they never
+	// dialed. Order is the suggested dial preference.
+	Peers []string
 	// Rebalance, when set, handles topology-change requests arriving on the
 	// POST /rebalance admin endpoint (coordinators wire it to the shard
 	// tier's AddReplica/RemoveReplica/Rebalance). nil — the common case for
@@ -629,7 +634,7 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	// Hello reports the live watermark when the engine grows under ingestion,
 	// so a reconnecting client resumes at the server's current version rather
 	// than the prepare-time row count.
-	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: s.liveWatermark(), Seed: s.opts.Seed, Role: s.opts.Role}
+	hello := &ServerMsg{Type: MsgHello, Version: ProtoVersion, Engine: s.eng.Name(), Rows: s.liveWatermark(), Seed: s.opts.Seed, Role: s.opts.Role, Peers: s.opts.Peers}
 	if data, err := encodeMsg(hello); err != nil || ws.WriteMessage(data) != nil {
 		c.teardown()
 		return

@@ -25,9 +25,11 @@ type Pinger interface {
 // wmStep records that partition-local watermark Local corresponds to global
 // data version Global: after the batch that produced this step is fully
 // absorbed by a partition's replicas, a query answering at Local covers
-// everything up to Global rows of the unified timeline.
+// everything up to Global rows of the unified timeline. The JSON shape is
+// the journal's persisted form — see journal.go.
 type wmStep struct {
-	Local, Global int64
+	Local  int64 `json:"local"`
+	Global int64 `json:"global"`
 }
 
 // Options tunes a replicated coordinator.
@@ -41,6 +43,11 @@ type Options struct {
 	// ApplyTimeout bounds the post-route wait for a remote replica to
 	// confirm absorption; zero means 15s.
 	ApplyTimeout time.Duration
+	// Journal, when set, persists the control plane: version-log steps and
+	// topology changes are journaled before they are acknowledged, and a
+	// standby coordinator can Restore from the journal's reduction. nil
+	// keeps the in-memory-only behavior.
+	Journal Journal
 }
 
 // replica is one backend serving one hash partition. Health and sync flags
@@ -50,6 +57,10 @@ type replica struct {
 	be   engine.Engine
 	caps engine.Capabilities
 	name string
+	// addr is the replica's dialable address, journaled with the topology
+	// so a recovering coordinator can re-attach it; "" for in-process
+	// backends.
+	addr string
 	// matDB is the database in-process appends are materialized against:
 	// the partition database the replica was prepared from, or the
 	// transferred view for a rebalanced-in replica (whose dictionaries are
@@ -59,6 +70,11 @@ type replica struct {
 	mu      sync.Mutex
 	healthy bool
 	synced  bool
+	// quarantined marks confirmed content divergence: the replica is
+	// excluded from query fan-out AND ingest (worse than unsynced — its
+	// data is wrong, not stale) until it is removed and readmitted through
+	// the rebalance path with freshly prepared state.
+	quarantined bool
 }
 
 func newReplica(be engine.Engine, name string, matDB *dataset.Database) *replica {
@@ -98,6 +114,25 @@ func (r *replica) setSynced(s bool) {
 	r.mu.Lock()
 	r.synced = s
 	r.mu.Unlock()
+}
+
+func (r *replica) isQuarantined() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quarantined
+}
+
+// setQuarantined flags the replica divergent (also dropping its sync flag)
+// and reports whether the flag actually flipped.
+func (r *replica) setQuarantined() (flipped bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.quarantined {
+		return false
+	}
+	r.quarantined = true
+	r.synced = false
+	return true
 }
 
 // watermark reads the replica's confirmed local watermark; base is the
@@ -144,6 +179,15 @@ type Coordinator struct {
 
 	aeChecks     atomic.Int64
 	aeMismatches atomic.Int64
+	aeErrors     atomic.Int64
+	aeRound      atomic.Int64
+
+	// applySeq / applyDone count ApplyBatch entries and exits; equality
+	// means no batch is in flight, which is what lets the health loop's
+	// divergence audit tell phantom rows from a watermark read racing a
+	// legitimate apply.
+	applySeq  atomic.Int64
+	applyDone atomic.Int64
 }
 
 // NewCoordinator wraps one backend per partition (no replication): the
@@ -163,19 +207,49 @@ func NewCoordinator(backends ...engine.Engine) (*Coordinator, error) {
 // identically (same dataset, same hash, same fan-out) — partials are
 // deterministic, so the anti-entropy check can hold them to that bitwise.
 func NewReplicated(opts Options, replicaSets ...[]engine.Engine) (*Coordinator, error) {
-	if len(replicaSets) == 0 {
+	specs := make([][]ReplicaSpec, len(replicaSets))
+	for i, set := range replicaSets {
+		for _, be := range set {
+			specs[i] = append(specs[i], ReplicaSpec{Engine: be})
+		}
+	}
+	return NewReplicatedSpecs(opts, specs...)
+}
+
+// ReplicaSpec names one replica backend and, for remote backends, the
+// address a recovering coordinator would re-dial it at.
+type ReplicaSpec struct {
+	Engine engine.Engine
+	// Addr is journaled with the topology; empty for in-process backends.
+	Addr string
+	// Name overrides the derived replica name. A recovering coordinator
+	// passes the journaled name so the restored topology is identical to
+	// the persisted one; empty derives replicaName as usual.
+	Name string
+}
+
+// NewReplicatedSpecs is NewReplicated with per-replica metadata (addresses
+// and recovered names) for journaled topologies.
+func NewReplicatedSpecs(opts Options, specs ...[]ReplicaSpec) (*Coordinator, error) {
+	if len(specs) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one partition")
 	}
 	if opts.MinCoverage < 0 || opts.MinCoverage > 1 {
 		return nil, fmt.Errorf("shard: min coverage %v outside [0,1]", opts.MinCoverage)
 	}
-	co := &Coordinator{opts: opts, sets: make([][]*replica, len(replicaSets))}
-	for i, set := range replicaSets {
+	co := &Coordinator{opts: opts, sets: make([][]*replica, len(specs))}
+	for i, set := range specs {
 		if len(set) == 0 {
 			return nil, fmt.Errorf("shard: partition %d has no replicas", i)
 		}
-		for j, be := range set {
-			co.sets[i] = append(co.sets[i], newReplica(be, replicaName(be, i, j), nil))
+		for j, spec := range set {
+			name := spec.Name
+			if name == "" {
+				name = replicaName(spec.Engine, i, j)
+			}
+			r := newReplica(spec.Engine, name, nil)
+			r.addr = spec.Addr
+			co.sets[i] = append(co.sets[i], r)
 		}
 	}
 	return co, nil
@@ -263,7 +337,6 @@ func (co *Coordinator) Prepare(db *dataset.Database, opts engine.Options) error 
 		}
 	}
 	co.mu.Lock()
-	defer co.mu.Unlock()
 	co.partDBs = parts
 	co.global = int64(db.Fact.NumRows())
 	co.steps = make([][]wmStep, nParts)
@@ -276,6 +349,12 @@ func (co *Coordinator) Prepare(db *dataset.Database, opts engine.Options) error 
 	co.z = z
 	co.prepOpts = opts
 	co.prepared = true
+	co.mu.Unlock()
+	// The prepared topology is the journal's base snapshot; a coordinator
+	// that cannot persist its control plane must not start serving it.
+	if err := co.logState(); err != nil {
+		return fmt.Errorf("shard: journal prepared state: %w", err)
+	}
 	return nil
 }
 
@@ -299,7 +378,8 @@ func (co *Coordinator) translate(i int, w int64) int64 {
 
 // partitionWatermark reads partition i's best confirmed local watermark:
 // the max over its replicas (absorption is a data property, independent of
-// which replicas are currently reachable).
+// which replicas are currently reachable). Quarantined replicas are
+// excluded — rows a replica was never routed are not absorption.
 func (co *Coordinator) partitionWatermark(i int) int64 {
 	co.mu.Lock()
 	var base int64
@@ -310,6 +390,9 @@ func (co *Coordinator) partitionWatermark(i int) int64 {
 	co.mu.Unlock()
 	best := int64(0)
 	for _, r := range set {
+		if r.isQuarantined() {
+			continue
+		}
 		if w := r.watermark(base); w > best {
 			best = w
 		}
@@ -369,6 +452,7 @@ func (co *Coordinator) Topology() engine.Topology {
 		Partitions:            make([]engine.PartitionTopology, len(sets)),
 		AntiEntropyChecks:     co.aeChecks.Load(),
 		AntiEntropyMismatches: co.aeMismatches.Load(),
+		AntiEntropyErrors:     co.aeErrors.Load(),
 		MinCoverage:           co.opts.MinCoverage,
 	}
 	for i, set := range sets {
@@ -380,7 +464,8 @@ func (co *Coordinator) Topology() engine.Topology {
 			g := co.translate(i, w)
 			co.mu.Unlock()
 			pt.Replicas = append(pt.Replicas, engine.ReplicaTopology{
-				Name: r.name, Healthy: healthy, Synced: synced, Watermark: g,
+				Name: r.name, Healthy: healthy, Synced: synced,
+				Quarantined: r.isQuarantined(), Addr: r.addr, Watermark: g,
 			})
 		}
 		topo.Partitions[i] = pt
@@ -417,6 +502,8 @@ func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
 		co.mu.Unlock()
 		return engine.ErrNotPrepared
 	}
+	co.applySeq.Add(1)
+	defer co.applyDone.Add(1)
 	// Reserve the new steps under the lock: concurrent ApplyBatch calls are
 	// the caller's bug, but a racing reader must still see consistent steps.
 	targets := make([]int64, n)
@@ -445,6 +532,11 @@ func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
 		applied := false
 		var firstErr error
 		for _, r := range set {
+			if r.isQuarantined() {
+				// Divergent content: never feed it more data. Readmission
+				// goes through remove + re-prepare + the rebalance path.
+				continue
+			}
 			healthy, synced := r.state()
 			if !healthy || !synced {
 				// Down or already behind: this replica misses the batch.
@@ -467,6 +559,14 @@ func (co *Coordinator) ApplyBatch(b *ingest.Batch, _ *dataset.Table) error {
 			}
 			return fmt.Errorf("shard: partition %d cannot absorb ingest: %w", i, firstErr)
 		}
+	}
+
+	// Journal the step before publishing or acking it: a crash after the
+	// journal write recovers to a state that includes this batch (the
+	// replicas hold it), a crash before recovers to one that doesn't (the
+	// batch was never acked). A journal failure refuses the ack outright.
+	if err := co.logStep(targets, newGlobal); err != nil {
+		return fmt.Errorf("shard: journal version step: %w", err)
 	}
 
 	co.mu.Lock()

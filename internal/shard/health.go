@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,10 +19,22 @@ import (
 // when its confirmed watermark proves it holds the partition's current
 // version (a durable restart recovered the WAL tail, or no batch was
 // routed while it was down) — otherwise it keeps serving at its honestly
-// stale watermark until a rebalance hands it fresh state. Returns the
-// healthy and total replica counts.
+// stale watermark until a rebalance hands it fresh state.
+//
+// The pass also audits for phantom rows: a replica whose watermark exceeds
+// the partition's published ingest target holds rows the coordinator never
+// routed (someone fed the backend directly), which is content divergence
+// and quarantines it. Two guards keep the audit honest: it only runs while
+// no ApplyBatch is in flight (a racing watermark read mid-apply is not
+// divergence), and it only fires when some sibling sits exactly at the
+// target — a whole partition ahead in lockstep is an un-acked batch from a
+// crash between apply and journal, not a rogue replica.
+//
+// Returns the healthy and total replica counts; quarantined replicas count
+// in total but never as healthy (they serve nothing).
 func (co *Coordinator) CheckHealth() (healthy, total int) {
 	co.mu.Lock()
+	prepared := co.prepared
 	sets := make([][]*replica, len(co.sets))
 	targets := make([]int64, len(co.sets))
 	for i := range co.sets {
@@ -32,23 +45,73 @@ func (co *Coordinator) CheckHealth() (healthy, total int) {
 	}
 	co.mu.Unlock()
 
+	seq := co.applySeq.Load()
+	quiescent := seq == co.applyDone.Load()
+
+	type phantom struct {
+		part int
+		r    *replica
+	}
+	var phantoms []phantom
 	for i, set := range sets {
-		for _, r := range set {
+		wms := make([]int64, len(set)) // confirmed watermark, -1 unknown
+		for j, r := range set {
 			if p, ok := r.be.(Pinger); ok {
 				r.setHealthy(p.Ping() == nil)
 			}
 			h, synced := r.state()
-			if h && !synced && r.caps.Watermarker != nil &&
-				r.caps.Watermarker.Watermark() >= targets[i] {
+			q := r.isQuarantined()
+			wms[j] = -1
+			if r.caps.Watermarker != nil {
+				wms[j] = r.caps.Watermarker.Watermark()
+			}
+			if h && !synced && !q && wms[j] >= targets[i] && wms[j] >= 0 {
 				r.setSynced(true)
 			}
-			if h {
+			if h && !q {
 				healthy++
 			}
 			total++
 		}
+		if !prepared || !quiescent {
+			continue
+		}
+		for j, r := range set {
+			if wms[j] <= targets[i] || r.isQuarantined() {
+				continue
+			}
+			for k, s := range set {
+				if k != j && !s.isQuarantined() && wms[k] == targets[i] {
+					phantoms = append(phantoms, phantom{part: i, r: r})
+					break
+				}
+			}
+		}
+	}
+	// Commit quarantine decisions only if no apply started since the
+	// targets were read — otherwise the overshoot may be a batch landing.
+	if len(phantoms) > 0 && co.applySeq.Load() == seq {
+		for _, ph := range phantoms {
+			if co.quarantine(ph.part, ph.r) {
+				healthy--
+			}
+		}
 	}
 	return healthy, total
+}
+
+// quarantine excludes r from serving and ingest, journaling the exclusion
+// so it survives a coordinator restart. Reports whether the flag flipped
+// (false when already quarantined). The journal append is counted on the
+// error alarm if it fails — the in-memory exclusion stands regardless.
+func (co *Coordinator) quarantine(part int, r *replica) bool {
+	if !r.setQuarantined() {
+		return false
+	}
+	if err := co.logTopology(TopologyEvent{Op: "quarantine", Partition: part, Name: r.name}); err != nil {
+		co.aeErrors.Add(1)
+	}
+	return true
 }
 
 // StartHealthLoop probes replica health every interval until the returned
@@ -81,6 +144,10 @@ type Mismatch struct {
 	Partition int
 	A, B      string // replica names
 	Watermark int64
+	// Quarantined names the replica the divergence was attributed to (a
+	// third replica's fragment broke the tie), empty when the partition
+	// had no conclusive witness and both replicas stay serving.
+	Quarantined string
 }
 
 // AntiEntropyCheck runs q to completion on two healthy in-sync replicas of
@@ -88,36 +155,57 @@ type Mismatch struct {
 // bitwise via their canonical encoding. Partials are deterministic — same
 // partition, same data version, same query must produce identical bytes —
 // so any difference is real divergence (lost batch, corrupted state), not
-// timing. Comparisons only happen when both fragments are complete at the
-// same watermark; partitions with fewer than two eligible replicas are
-// skipped. Mismatches are returned and counted on the Topology alarm
-// counters.
+// timing.
+//
+// The pair rotates across rounds so every replica of an R≥3 set is
+// eventually audited, and a mismatch is escalated: a third eligible
+// replica's fragment votes, and the replica it outvotes is quarantined
+// (excluded from fan-out and ingest until readmitted via the rebalance
+// path). With only two eligible replicas the mismatch is counted and
+// returned but nobody is quarantined — evicting on a coin flip could
+// remove the correct copy.
+//
+// A replica that fails its fragment run no longer aborts the sweep: the
+// partition is skipped, the failure lands on the error alarm counter, and
+// the remaining partitions are still checked; the joined errors come back
+// to the caller. Comparisons only happen when both fragments are complete
+// at the same watermark; partitions with fewer than two eligible replicas
+// are skipped.
 func (co *Coordinator) AntiEntropyCheck(q *query.Query, timeout time.Duration) ([]Mismatch, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	round := int(co.aeRound.Add(1) - 1)
 	var out []Mismatch
+	var errs []error
+	fail := func(part int, name string, err error) {
+		co.aeErrors.Add(1)
+		errs = append(errs, fmt.Errorf("partition %d, %s: %w", part, name, err))
+	}
 	for i := 0; i < co.Shards(); i++ {
 		set := co.replicaSet(i)
-		var pair []*replica
+		var elig []*replica
 		for _, r := range set {
-			if h, synced := r.state(); h && synced {
-				pair = append(pair, r)
-				if len(pair) == 2 {
-					break
-				}
+			if h, synced := r.state(); h && synced && !r.isQuarantined() {
+				elig = append(elig, r)
 			}
 		}
-		if len(pair) < 2 {
+		if len(elig) < 2 {
 			continue
 		}
-		pa, err := runFragment(pair[0], q, timeout)
+		// Rotate which adjacent pair is compared: over len(elig) rounds
+		// every replica is in at least one audited pair.
+		a := elig[round%len(elig)]
+		b := elig[(round+1)%len(elig)]
+		pa, err := runFragment(a, q, timeout)
 		if err != nil {
-			return out, fmt.Errorf("shard: anti-entropy on %s: %w", pair[0].name, err)
+			fail(i, a.name, err)
+			continue
 		}
-		pb, err := runFragment(pair[1], q, timeout)
+		pb, err := runFragment(b, q, timeout)
 		if err != nil {
-			return out, fmt.Errorf("shard: anti-entropy on %s: %w", pair[1].name, err)
+			fail(i, b.name, err)
+			continue
 		}
 		if pa == nil || pb == nil || !pa.Complete || !pb.Complete || pa.Watermark != pb.Watermark {
 			// Not comparable (one replica mid-ingest or without partial
@@ -126,21 +214,63 @@ func (co *Coordinator) AntiEntropyCheck(q *query.Query, timeout time.Duration) (
 		}
 		ea, err := json.Marshal(pa)
 		if err != nil {
-			return out, err
+			fail(i, a.name, err)
+			continue
 		}
 		eb, err := json.Marshal(pb)
 		if err != nil {
-			return out, err
+			fail(i, b.name, err)
+			continue
 		}
 		co.aeChecks.Add(1)
-		if !bytes.Equal(ea, eb) {
-			co.aeMismatches.Add(1)
-			out = append(out, Mismatch{
-				Partition: i, A: pair[0].name, B: pair[1].name, Watermark: pa.Watermark,
-			})
+		if bytes.Equal(ea, eb) {
+			continue
 		}
+		co.aeMismatches.Add(1)
+		m := Mismatch{Partition: i, A: a.name, B: b.name, Watermark: pa.Watermark}
+		if loser := co.outvoted(i, elig, a, b, ea, eb, pa.Watermark, q, timeout); loser != nil {
+			co.quarantine(i, loser)
+			m.Quarantined = loser.name
+		}
+		out = append(out, m)
+	}
+	if len(errs) > 0 {
+		return out, fmt.Errorf("shard: anti-entropy sweep: %w", errors.Join(errs...))
 	}
 	return out, nil
+}
+
+// outvoted attributes a mismatch between a and b by polling the other
+// eligible replicas: the first witness fragment that matches one side
+// bitwise (complete, at the same watermark) convicts the other. Returns
+// nil when no witness is conclusive.
+func (co *Coordinator) outvoted(part int, elig []*replica, a, b *replica, ea, eb []byte, wm int64, q *query.Query, timeout time.Duration) *replica {
+	for _, w := range elig {
+		if w == a || w == b {
+			continue
+		}
+		pw, err := runFragment(w, q, timeout)
+		if err != nil {
+			co.aeErrors.Add(1)
+			continue
+		}
+		if pw == nil || !pw.Complete || pw.Watermark != wm {
+			continue
+		}
+		ew, err := json.Marshal(pw)
+		if err != nil {
+			continue
+		}
+		switch {
+		case bytes.Equal(ew, ea):
+			return b
+		case bytes.Equal(ew, eb):
+			return a
+		}
+		// The witness agrees with neither side: keep polling; if nobody
+		// breaks the tie the partition stays on the alarm counters only.
+	}
+	return nil
 }
 
 // runFragment executes q on one replica until done (or timeout, which
@@ -150,9 +280,11 @@ func runFragment(r *replica, q *query.Query, timeout time.Duration) (*engine.Par
 	if err != nil {
 		return nil, err
 	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-sh.Done():
-	case <-time.After(timeout):
+	case <-t.C:
 		sh.Cancel()
 		<-sh.Done()
 		return nil, fmt.Errorf("timed out after %v", timeout)
@@ -177,9 +309,12 @@ func (co *Coordinator) StartAntiEntropyLoop(interval, timeout time.Duration, qf 
 			case <-done:
 				return
 			case <-t.C:
-				// Best-effort: a dead replica mid-check is the health loop's
-				// problem, not a reason to stop watching for divergence.
-				co.AntiEntropyCheck(qf(), timeout) //nolint:errcheck
+				// The sweep's errors are already accounted on the aeErrors
+				// alarm counter (surfaced via Topology and /healthz); the
+				// loop keeps watching regardless.
+				if _, err := co.AntiEntropyCheck(qf(), timeout); err != nil {
+					continue
+				}
 			}
 		}
 	}()

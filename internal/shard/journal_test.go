@@ -1,0 +1,378 @@
+package shard_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"idebench/internal/dataset"
+	"idebench/internal/engine"
+	"idebench/internal/engine/progressive"
+	"idebench/internal/ingest"
+	"idebench/internal/shard"
+)
+
+// journaledTier is replicatedTier with a durable control-plane journal in
+// dir.
+func journaledTier(t *testing.T, db *dataset.Database, dir string, parts, reps int) (*shard.Coordinator, *shard.CoordJournal, [][]*shard.Faulty) {
+	t.Helper()
+	j, err := shard.OpenCoordJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenCoordJournal: %v", err)
+	}
+	co, faulty := replicatedTier(t, db, parts, reps, shard.Options{Journal: j})
+	return co, j, faulty
+}
+
+// applyRows routes one batch of rows [from, to) of db's fact table.
+func applyRows(t *testing.T, co *shard.Coordinator, db *dataset.Database, from, to int, seq int64) {
+	t.Helper()
+	b := ingest.FromTable(db.Fact, from, to)
+	b.Seq = seq
+	if err := co.ApplyBatch(b, nil); err != nil {
+		t.Fatalf("ApplyBatch seq %d: %v", seq, err)
+	}
+}
+
+// recoverTier rebuilds a coordinator from the journal in dir, re-attaching
+// the same backends the journaled topology names — the in-process analogue
+// of a standby dialing the surviving data plane.
+func recoverTier(t *testing.T, db *dataset.Database, dir string, faulty [][]*shard.Faulty) (*shard.Coordinator, *shard.CoordJournal) {
+	t.Helper()
+	j, err := shard.OpenCoordJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	st := j.State()
+	if st == nil {
+		t.Fatalf("journal in %s reduced to nil state", dir)
+	}
+	specs := make([][]shard.ReplicaSpec, len(st.Parts))
+	for i, set := range st.Parts {
+		if len(set) != len(faulty[i]) {
+			t.Fatalf("partition %d: journal names %d replicas, tier has %d", i, len(set), len(faulty[i]))
+		}
+		for k, ps := range set {
+			specs[i] = append(specs[i], shard.ReplicaSpec{Engine: faulty[i][k], Name: ps.Name, Addr: ps.Addr})
+		}
+	}
+	co, err := shard.NewReplicatedSpecs(shard.Options{Journal: j}, specs...)
+	if err != nil {
+		t.Fatalf("NewReplicatedSpecs: %v", err)
+	}
+	if err := co.Restore(db, st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	return co, j
+}
+
+// TestJournalRestoreExactTranslation: a coordinator rebuilt from its
+// journal answers at exactly the global watermark and with exactly the
+// bins the dead one served — the version log survives verbatim.
+func TestJournalRestoreExactTranslation(t *testing.T) {
+	db := buildDB(t, 8000, 61)
+	q := countQuery(db)
+	dir := t.TempDir()
+
+	co, j, faulty := journaledTier(t, db, dir, 2, 2)
+	applyRows(t, co, db, 0, 700, 1)
+	applyRows(t, co, db, 700, 1500, 2)
+
+	wantWM := co.Watermark()
+	if wantWM != int64(db.Fact.NumRows())+1500 {
+		t.Fatalf("pre-crash watermark %d, want %d", wantWM, db.Fact.NumRows()+1500)
+	}
+	want := waitDone(t, mustStart(t, co, q))
+	if want == nil || !want.Complete || want.Watermark != wantWM {
+		t.Fatalf("pre-crash result %+v", want)
+	}
+	// The coordinator process "dies": only the journal and the data plane
+	// survive.
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	co2, j2 := recoverTier(t, db, dir, faulty)
+	defer j2.Close()
+	if got := co2.Watermark(); got != wantWM {
+		t.Fatalf("restored watermark %d, want %d", got, wantWM)
+	}
+	got := waitDone(t, mustStart(t, co2, q))
+	if got == nil || !got.Complete || got.Watermark != wantWM {
+		t.Fatalf("restored result %+v", got)
+	}
+	if !reflect.DeepEqual(got.Bins, want.Bins) {
+		t.Fatalf("restored bins differ from pre-crash bins")
+	}
+	for i, pt := range co2.Topology().Partitions {
+		for _, rt := range pt.Replicas {
+			if !rt.Synced || rt.Quarantined {
+				t.Fatalf("partition %d replica %s not restored in-sync: %+v", i, rt.Name, rt)
+			}
+		}
+	}
+	// The restored control plane keeps journaling: another batch and
+	// another recovery still translate exactly.
+	applyRows(t, co2, db, 1500, 2000, 3)
+	if got := co2.Watermark(); got != wantWM+500 {
+		t.Fatalf("post-restore ingest watermark %d, want %d", got, wantWM+500)
+	}
+	j2.Close()
+	co3, j3 := recoverTier(t, db, dir, faulty)
+	defer j3.Close()
+	if got := co3.Watermark(); got != wantWM+500 {
+		t.Fatalf("second recovery watermark %d, want %d", got, wantWM+500)
+	}
+}
+
+// TestJournalMembershipSurvives: add/remove membership changes are
+// journaled and a recovered coordinator sees the final roster.
+func TestJournalMembershipSurvives(t *testing.T) {
+	db := buildDB(t, 6000, 67)
+	dir := t.TempDir()
+	co, j, faulty := journaledTier(t, db, dir, 2, 2)
+
+	extra := shard.NewFaulty(progressive.New(progressive.Config{}))
+	if err := co.AddReplicaAddr(0, extra, "198.51.100.7:9999"); err != nil {
+		t.Fatalf("AddReplicaAddr: %v", err)
+	}
+	victim := co.Topology().Partitions[1].Replicas[1].Name
+	if err := co.RemoveReplica(1, victim); err != nil {
+		t.Fatalf("RemoveReplica: %v", err)
+	}
+	j.Close()
+
+	j2, err := shard.OpenCoordJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if st == nil {
+		t.Fatal("nil journaled state")
+	}
+	if len(st.Parts[0]) != 3 || len(st.Parts[1]) != 1 {
+		t.Fatalf("journaled roster %d/%d replicas, want 3/1", len(st.Parts[0]), len(st.Parts[1]))
+	}
+	added := st.Parts[0][2]
+	if added.Addr != "198.51.100.7:9999" {
+		t.Fatalf("journaled addr %q", added.Addr)
+	}
+	for _, ps := range st.Parts[1] {
+		if ps.Name == victim {
+			t.Fatalf("removed replica %s still journaled", victim)
+		}
+	}
+	_ = faulty
+}
+
+// TestPhantomRowsQuarantine: rows fed to a replica behind the
+// coordinator's back (watermark above the routed target while a sibling
+// sits exactly at it) quarantine the replica: it stops serving and
+// ingesting, the topology says so, the exclusion survives recovery, and a
+// remove + rebalance readmits fresh state bitwise.
+func TestPhantomRowsQuarantine(t *testing.T) {
+	db := buildDB(t, 8000, 71)
+	q := countQuery(db)
+	dir := t.TempDir()
+	co, j, faulty := journaledTier(t, db, dir, 2, 2)
+	defer j.Close()
+
+	want := waitDone(t, mustStart(t, co, q))
+	if want == nil || !want.Complete {
+		t.Fatalf("reference result %+v", want)
+	}
+
+	// Feed partition 0's second replica 400 rows the coordinator never
+	// routed.
+	parts, err := shard.Partition(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := ingest.FromTable(parts[0].Fact, 0, 400)
+	tbl, err := ingest.Materialize(parts[0], sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty[0][1].Append(tbl); err != nil {
+		t.Fatal(err)
+	}
+
+	healthy, total := co.CheckHealth()
+	if healthy != 3 || total != 4 {
+		t.Fatalf("after phantom rows: %d/%d healthy, want 3/4", healthy, total)
+	}
+	topo := co.Topology()
+	rt := topo.Partitions[0].Replicas[1]
+	if !rt.Quarantined || rt.Synced {
+		t.Fatalf("phantom-rows replica not quarantined: %+v", rt)
+	}
+	// The rogue rows must not leak into the tier's watermark.
+	if got := co.Watermark(); got != int64(db.Fact.NumRows()) {
+		t.Fatalf("watermark %d counts phantom rows, want %d", got, db.Fact.NumRows())
+	}
+	// Queries keep full coverage via the clean sibling, bitwise unchanged.
+	got := waitDone(t, mustStart(t, co, q))
+	if got == nil || !got.Complete || got.Coverage == nil || !got.Coverage.Full() {
+		t.Fatalf("post-quarantine result %+v", got)
+	}
+	if !reflect.DeepEqual(got.Bins, want.Bins) {
+		t.Fatalf("post-quarantine bins polluted by quarantined replica")
+	}
+	// Routed ingest skips the quarantined replica entirely.
+	preWM := faulty[0][1].Watermark()
+	applyRows(t, co, db, 0, 600, 1)
+	if faulty[0][1].Watermark() != preWM {
+		t.Fatalf("quarantined replica absorbed routed ingest")
+	}
+
+	// The exclusion is durable: a recovered coordinator still refuses the
+	// replica even though its watermark exceeds the target.
+	j.Close()
+	co2, j2 := recoverTier(t, db, dir, faulty)
+	defer j2.Close()
+	rt2 := co2.Topology().Partitions[0].Replicas[1]
+	if !rt2.Quarantined {
+		t.Fatalf("quarantine lost across recovery: %+v", rt2)
+	}
+
+	// Readmission: drop the divergent member and rebalance a fresh backend
+	// in; the partition is bitwise clean again at the current version.
+	if err := co2.RemoveReplica(0, rt2.Name); err != nil {
+		t.Fatalf("RemoveReplica: %v", err)
+	}
+	if err := co2.Rebalance(0, progressive.New(progressive.Config{})); err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if mm, err := co2.AntiEntropyCheck(q, 30*time.Second); err != nil || len(mm) != 0 {
+		t.Fatalf("after readmission: mismatches %+v, err %v", mm, err)
+	}
+	final := waitDone(t, mustStart(t, co2, q))
+	if final == nil || !final.Complete || final.Watermark != int64(db.Fact.NumRows())+600 {
+		t.Fatalf("readmitted tier result %+v", final)
+	}
+}
+
+// TestAntiEntropySweepSurvivesFragmentError is the abort-on-first-error
+// regression test: a dead replica in partition 0 must not hide real
+// divergence in partition 1. The sweep skips the failed partition, counts
+// the failure on the error alarm, and still flags partition 1.
+func TestAntiEntropySweepSurvivesFragmentError(t *testing.T) {
+	db := buildDB(t, 6000, 73)
+	q := countQuery(db)
+	co, faulty := replicatedTier(t, db, 2, 2, shard.Options{})
+
+	// Partition 0: replica 0 dies, but no health pass runs, so the sweep
+	// still selects it (round 0 pairs replicas 0 and 1) and must absorb
+	// the failure.
+	faulty[0][0].Kill()
+
+	// Partition 1: equal-count, different-content divergence.
+	parts, err := shard.Partition(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, span := range [][2]int{{0, 250}, {250, 500}} {
+		sub := ingest.FromTable(parts[1].Fact, span[0], span[1])
+		tbl, err := ingest.Materialize(parts[1], sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := faulty[1][k].Append(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mm, err := co.AntiEntropyCheck(q, 30*time.Second)
+	if err == nil {
+		t.Fatalf("sweep with a dead replica reported no error")
+	}
+	if len(mm) != 1 || mm[0].Partition != 1 {
+		t.Fatalf("divergence in partition 1 not flagged past the failure: %+v", mm)
+	}
+	topo := co.Topology()
+	if topo.AntiEntropyErrors == 0 {
+		t.Fatalf("fragment failure not counted on the error alarm")
+	}
+	if topo.AntiEntropyMismatches != 1 {
+		t.Fatalf("mismatch counter %d, want 1", topo.AntiEntropyMismatches)
+	}
+	// With only two eligible replicas nobody is quarantined — a coin flip
+	// could evict the correct copy.
+	if mm[0].Quarantined != "" {
+		t.Fatalf("two-replica mismatch quarantined %s", mm[0].Quarantined)
+	}
+}
+
+// TestAntiEntropyRotationAuditsThirdReplica is the fixed-pair regression
+// test: with R=3, the old sweep only ever compared replicas 0 and 1, so a
+// divergent replica 2 was never audited. The rotating pair must catch it
+// within a few rounds, and the two clean replicas' majority quarantines
+// it.
+func TestAntiEntropyRotationAuditsThirdReplica(t *testing.T) {
+	db := buildDB(t, 6000, 79)
+	q := countQuery(db)
+	co, faulty := replicatedTier(t, db, 1, 3, shard.Options{})
+
+	// Replicas 0 and 1 get the same 300 extra rows; replica 2 gets a
+	// different 300 — all at the same watermark, only replica 2 divergent.
+	parts, err := shard.Partition(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := [][2]int{{0, 300}, {0, 300}, {300, 600}}
+	for k, span := range spans {
+		sub := ingest.FromTable(parts[0].Fact, span[0], span[1])
+		tbl, err := ingest.Materialize(parts[0], sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := faulty[0][k].Append(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var quarantined string
+	for round := 0; round < 3 && quarantined == ""; round++ {
+		mm, err := co.AntiEntropyCheck(q, 30*time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, m := range mm {
+			quarantined = m.Quarantined
+		}
+	}
+	if quarantined == "" {
+		t.Fatalf("rotation never caught the divergent third replica")
+	}
+	topo := co.Topology()
+	var flagged string
+	for _, rt := range topo.Partitions[0].Replicas {
+		if rt.Quarantined {
+			if flagged != "" {
+				t.Fatalf("more than one replica quarantined")
+			}
+			flagged = rt.Name
+		}
+	}
+	if flagged == "" || flagged != quarantined {
+		t.Fatalf("topology quarantine %q, mismatch said %q", flagged, quarantined)
+	}
+	if flagged != topo.Partitions[0].Replicas[2].Name {
+		t.Fatalf("quarantined %q, want the divergent third replica %q",
+			flagged, topo.Partitions[0].Replicas[2].Name)
+	}
+	// The clean majority keeps serving, bitwise clean.
+	if mm, err := co.AntiEntropyCheck(q, 30*time.Second); err != nil || len(mm) != 0 {
+		t.Fatalf("clean pair still mismatching: %+v err %v", mm, err)
+	}
+	res := waitDone(t, mustStart(t, co, q))
+	if res == nil || !res.Complete || res.Coverage == nil || !res.Coverage.Full() {
+		t.Fatalf("tier degraded after quarantining 1 of 3 replicas: %+v", res)
+	}
+}
+
+// mustEngineOptions pins the compile-time assumption the journal encodes:
+// prepare options persist as confidence + seed only (parallelism is
+// machine-local).
+var _ = engine.Options{Confidence: 0.95, Seed: 5}

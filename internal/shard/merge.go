@@ -92,6 +92,10 @@ func newCoordHandle(co *Coordinator, q *query.Query, start func(*replica) (engin
 // resort, since health info can itself be stale — anything untried. A
 // start error marks the replica unhealthy and moves on; exhausting the set
 // marks the partition dead.
+//
+// Quarantined replicas are excluded from every pass, including the last
+// resort: their content is known wrong, and an honestly uncovered
+// partition (degraded coverage) beats a silently wrong answer.
 func (h *coordHandle) startNext(i int) {
 	h.mu.Lock()
 	pq := &h.parts[i]
@@ -108,7 +112,7 @@ func (h *coordHandle) startNext(i int) {
 	queued := make(map[*replica]bool)
 	for pass := 0; pass < 3; pass++ {
 		for _, r := range set {
-			if tried[r] || queued[r] {
+			if tried[r] || queued[r] || r.isQuarantined() {
 				continue
 			}
 			healthy, synced := r.state()

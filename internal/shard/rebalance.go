@@ -16,6 +16,13 @@ import (
 // shard process recovering its durable WAL does this on its own; see
 // Rebalance for the in-process checkpoint handoff that syncs immediately).
 func (co *Coordinator) AddReplica(part int, be engine.Engine) error {
+	return co.AddReplicaAddr(part, be, "")
+}
+
+// AddReplicaAddr is AddReplica with the replica's dialable address, which
+// is journaled with the membership change so a recovering coordinator can
+// re-attach the replica.
+func (co *Coordinator) AddReplicaAddr(part int, be engine.Engine, addr string) error {
 	co.mu.Lock()
 	if !co.prepared {
 		co.mu.Unlock()
@@ -35,15 +42,19 @@ func (co *Coordinator) AddReplica(part int, be engine.Engine) error {
 		return fmt.Errorf("shard: add replica to partition %d: %w", part, err)
 	}
 	r := newReplica(be, replicaName(be, part, ordinal), partDB)
+	r.addr = addr
 	if r.watermark(int64(partDB.Fact.NumRows())) < target {
 		// Missed batches while it wasn't a member; serves stale until its
 		// watermark catches up.
 		r.markUnsynced()
 	}
 	co.mu.Lock()
-	defer co.mu.Unlock()
 	co.sets[part] = append(co.sets[part], r)
-	return nil
+	co.mu.Unlock()
+	_, synced := r.state()
+	return co.logTopology(TopologyEvent{
+		Op: "add", Partition: part, Name: r.name, Addr: addr, Synced: synced,
+	})
 }
 
 // RemoveReplica detaches the named replica from partition part. The last
@@ -51,8 +62,8 @@ func (co *Coordinator) AddReplica(part int, be engine.Engine) error {
 // instead (a different operation entirely).
 func (co *Coordinator) RemoveReplica(part int, name string) error {
 	co.mu.Lock()
-	defer co.mu.Unlock()
 	if part < 0 || part >= len(co.sets) {
+		co.mu.Unlock()
 		return fmt.Errorf("shard: no partition %d", part)
 	}
 	set := co.sets[part]
@@ -61,11 +72,14 @@ func (co *Coordinator) RemoveReplica(part int, name string) error {
 			continue
 		}
 		if len(set) == 1 {
+			co.mu.Unlock()
 			return fmt.Errorf("shard: refusing to remove the last replica of partition %d", part)
 		}
 		co.sets[part] = append(append([]*replica(nil), set[:j]...), set[j+1:]...)
-		return nil
+		co.mu.Unlock()
+		return co.logTopology(TopologyEvent{Op: "remove", Partition: part, Name: name})
 	}
+	co.mu.Unlock()
 	return fmt.Errorf("shard: partition %d has no replica %q", part, name)
 }
 
@@ -103,7 +117,7 @@ func (co *Coordinator) Rebalance(part int, be engine.Engine) error {
 	var src *replica
 	for _, r := range co.sets[part] {
 		healthy, synced := r.state()
-		if healthy && synced && r.caps.ViewSnapshotter != nil {
+		if healthy && synced && !r.isQuarantined() && r.caps.ViewSnapshotter != nil {
 			src = r
 			break
 		}
@@ -155,7 +169,9 @@ func (co *Coordinator) Rebalance(part int, be engine.Engine) error {
 			co.sets[part] = append(co.sets[part], r)
 			co.capture[part] = nil
 			co.mu.Unlock()
-			return nil
+			return co.logTopology(TopologyEvent{
+				Op: "add", Partition: part, Name: r.name, Synced: true,
+			})
 		}
 		co.capture[part] = []*ingest.Batch{}
 		co.mu.Unlock()
